@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation (paper Section III-F, "Types of Logging"): centralized vs
+ * distributed per-thread logs under the full design (fwb), across
+ * thread counts, on workloads with thread-private persistent data.
+ * Distributed logs remove the single log-tail serialization point;
+ * the benefit grows with thread count and write intensity.
+ */
+
+#include "bench/common.hh"
+#include "sim/logging.hh"
+
+using namespace snf;
+using namespace snf::bench;
+
+namespace
+{
+
+workloads::RunOutcome
+run(const std::string &wl, std::uint32_t threads, bool distributed)
+{
+    workloads::RunSpec spec;
+    spec.workload = wl;
+    spec.mode = PersistMode::Fwb;
+    spec.params.threads = threads;
+    spec.params.txPerThread = static_cast<std::uint64_t>(
+        500 * benchScale());
+    if (spec.params.txPerThread == 0)
+        spec.params.txPerThread = 1;
+    spec.params.footprint = 65536;
+    spec.sys = benchConfig(threads);
+    spec.sys.persist.distributedLogs = distributed;
+    spec.verifyAtEnd = false;
+    return workloads::runWorkload(spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("== Ablation: centralized vs distributed per-thread "
+                "logs (fwb) ==\n");
+    printTableII();
+
+    std::printf("%-8s %8s %14s %14s %8s %10s %10s\n", "workload",
+                "threads", "central tx/Mc", "distrib tx/Mc",
+                "speedup", "c-stalls", "d-stalls");
+    for (const auto &wl : {"sps", "hash", "echo", "tpcc"}) {
+        for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+            auto c = run(wl, threads, false);
+            auto d = run(wl, threads, true);
+            std::printf("%-8s %8u %14.1f %14.1f %7.2fx %10llu "
+                        "%10llu\n",
+                        wl, threads, c.stats.txPerMcycle,
+                        d.stats.txPerMcycle,
+                        d.stats.txPerMcycle / c.stats.txPerMcycle,
+                        static_cast<unsigned long long>(
+                            c.stats.logBufferStalls),
+                        static_cast<unsigned long long>(
+                            d.stats.logBufferStalls));
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\nExpected: log-buffer stalls collapse (per-thread "
+                "FIFOs drain in parallel), helping\n"
+                "most where the centralized tail saturates (8-thread "
+                "echo/sps). The counterweight is\n"
+                "that each partition is smaller, so the FWB scan "
+                "period shortens (more scan overhead) -\n"
+                "visible as a small net loss on tpcc. At one thread "
+                "the two are identical.\n"
+                "Constraint: requires thread-private persistent data "
+                "(see PersistConfig::distributedLogs).\n");
+    return 0;
+}

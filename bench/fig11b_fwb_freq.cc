@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 11(b): the cache force-write-back frequency required for
+ * persistence as a function of the NVRAM log size (Section IV-D).
+ * For each log size we report the derived scan period (from log size
+ * and NVRAM write bandwidth) and empirically confirm that running
+ * the write-intensive hash benchmark at that period produces zero
+ * log-overwrite hazards, while a grossly excessive period does not.
+ */
+
+#include "bench/common.hh"
+#include "persist/fwb_engine.hh"
+#include "sim/logging.hh"
+
+using namespace snf;
+using namespace snf::bench;
+
+namespace
+{
+
+std::uint64_t
+hazardsAt(std::uint64_t logBytes, Tick period)
+{
+    workloads::RunSpec spec;
+    spec.workload = "hash";
+    spec.mode = PersistMode::Fwb;
+    spec.params.threads = 4;
+    spec.params.txPerThread = static_cast<std::uint64_t>(
+        800 * benchScale());
+    if (spec.params.txPerThread == 0)
+        spec.params.txPerThread = 1;
+    spec.params.footprint = 65536;
+    spec.sys = benchConfig(4);
+    spec.sys.persist.logBytes = logBytes;
+    spec.sys.map.logSize = logBytes;
+    spec.sys.persist.fwbPeriod = period;
+    spec.verifyAtEnd = false;
+    auto o = workloads::runWorkload(spec);
+    return o.stats.overwriteHazards;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("== Figure 11(b): required FWB period vs log size "
+                "==\n");
+    printTableII();
+
+    std::printf("%10s %16s %16s %18s\n", "log size", "derived period",
+                "hazards@derived", "hazards@100x period");
+    for (std::uint64_t kb : {64ULL, 128ULL, 256ULL, 512ULL, 1024ULL,
+                             2048ULL, 4096ULL}) {
+        SystemConfig cfg = benchConfig(4);
+        cfg.persist.logBytes = kb * 1024;
+        cfg.map.logSize = kb * 1024;
+        Tick period = persist::FwbEngine::derivePeriod(cfg);
+        std::uint64_t at_derived = hazardsAt(kb * 1024, 0);
+        std::uint64_t at_slow = hazardsAt(kb * 1024, period * 100);
+        std::printf("%8lluKB %13llu cy %16llu %18llu\n",
+                    static_cast<unsigned long long>(kb),
+                    static_cast<unsigned long long>(period),
+                    static_cast<unsigned long long>(at_derived),
+                    static_cast<unsigned long long>(at_slow));
+        std::fflush(stdout);
+    }
+
+    std::printf("\nExpected shape (paper): the required period grows "
+                "linearly with log size\n"
+                "(paper: force write-backs every ~3M cycles suffice "
+                "for a 4MB log); the derived\n"
+                "period keeps hazards at zero, while scanning far "
+                "too slowly risks overwriting\n"
+                "live entries under write-intensive load.\n");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 6: transaction throughput of each persistence scheme,
+ * normalized to unsafe-base (the better of software redo/undo logging
+ * without forced write-backs), for the five microbenchmarks at 1, 2,
+ * 4, and 8 threads.
+ */
+
+#include "bench/common.hh"
+#include "sim/logging.hh"
+
+using namespace snf;
+using namespace snf::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("== Figure 6: transaction throughput speedup "
+                "(normalized to unsafe-base) ==\n");
+    printTableII();
+
+    const PersistMode modes[] = {
+        PersistMode::NonPers,  PersistMode::RedoClwb,
+        PersistMode::UndoClwb, PersistMode::HwRlog,
+        PersistMode::HwUlog,   PersistMode::Hwl,
+        PersistMode::Fwb,
+    };
+
+    std::printf("%-12s", "benchmark");
+    for (PersistMode m : modes)
+        std::printf(" %10s", persistModeName(m));
+    std::printf("\n");
+
+    for (std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+        for (const auto &wl : workloads::microbenchNames()) {
+            Cell base = unsafeBase(wl, threads);
+            std::printf("%-9s-%ut", wl.c_str(), threads);
+            for (PersistMode m : modes) {
+                Cell c = runCell(wl, m, threads);
+                std::printf(" %10.2f",
+                            c.throughput() / base.throughput());
+            }
+            std::printf("\n");
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\nExpected shape (paper): redo/undo-clwb < 1, "
+                "hwl > 1, fwb highest persistent mode\n");
+    std::printf("(paper: fwb ~1.86x best sw logging at 1 thread, "
+                "~1.75x at 8 threads)\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * NVRAM lifetime analysis (paper Section III-F): write amplification
+ * of logging vs the write coalescing the caches provide, per-row
+ * wear, and the projected time-to-wear-out of the hottest cell at
+ * the observed write rate — the paper's argument that conventional
+ * wear-leveling has ample time to engage.
+ */
+
+#include "bench/common.hh"
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+using namespace snf;
+using namespace snf::bench;
+
+namespace
+{
+
+void
+report(const char *label, PersistMode mode)
+{
+    workloads::RunSpec spec;
+    spec.workload = "sps";
+    spec.mode = mode;
+    spec.params.threads = 4;
+    spec.params.txPerThread = static_cast<std::uint64_t>(
+        2000 * benchScale());
+    if (spec.params.txPerThread == 0)
+        spec.params.txPerThread = 1;
+    spec.params.footprint = 65536;
+    spec.sys = benchConfig(4);
+
+    // Run by hand so the device wear counters are reachable.
+    System sys(spec.sys, mode);
+    auto wl = workloads::makeWorkload(spec.workload);
+    wl->setup(sys, spec.params);
+    for (CoreId c = 0; c < spec.params.threads; ++c) {
+        sys.spawn(c, [&](Thread &t) {
+            return wl->thread(sys, t, spec.params);
+        });
+    }
+    Tick end = sys.run();
+
+    auto wear = sys.mem().nvram().wearReport();
+    double days = wear.hottestRowLifetimeSeconds(
+                      100000000 /* 1e8 endurance */, end,
+                      spec.sys.clockGhz) /
+                  86400.0;
+    std::printf("%-10s writes=%-8llu rows=%-6llu hottest=%-6llu "
+                "mean=%-8.1f lifetime=%.1e days\n",
+                label,
+                static_cast<unsigned long long>(wear.totalWrites),
+                static_cast<unsigned long long>(wear.rowsTouched),
+                static_cast<unsigned long long>(
+                    wear.hottestRowWrites),
+                wear.meanWritesPerTouchedRow, days);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("== NVRAM lifetime report (Section III-F): sps, 4 "
+                "threads ==\n");
+    printTableII();
+    std::printf("(lifetime = hottest row at observed rate, 1e8 "
+                "endurance, no wear leveling)\n\n");
+
+    report("non-pers", PersistMode::NonPers);
+    report("undo-clwb", PersistMode::UndoClwb);
+    report("hwl", PersistMode::Hwl);
+    report("fwb", PersistMode::Fwb);
+
+    std::printf("\nReading the numbers: 'lifetime' is the hottest "
+                "row's time-to-wear-out at the run's\n"
+                "own (saturated, scaled-down-log) write rate, so "
+                "faster modes show shorter horizons\n"
+                "and small logs concentrate wear. It scales linearly "
+                "with log size: the paper's 4MB\n"
+                "log at a realistic duty cycle gives the ~15-day "
+                "floor of Section III-F, ample for\n"
+                "Start-Gap-style wear leveling [38-40] to engage. "
+                "The shape to check: fwb's hottest\n"
+                "row takes ~half the writes of clwb-based logging "
+                "(cache coalescing), with fewer\n"
+                "total writes than either software scheme.\n");
+    return 0;
+}

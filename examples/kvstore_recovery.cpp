@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Crash and recovery end to end: a small persistent key-value store
+ * runs under the hardware undo+redo design, the machine loses power
+ * mid-transaction (all caches, the log buffer, and in-flight state
+ * vanish), and recovery replays the NVRAM log — redoing committed
+ * transactions and rolling back the interrupted one.
+ *
+ *   ./kvstore_recovery
+ */
+
+#include <cstdio>
+
+#include "core/system.hh"
+#include "persist/recovery.hh"
+#include "sim/rng.hh"
+
+using namespace snf;
+
+namespace
+{
+
+constexpr std::uint64_t kSlots = 64;
+
+/** kv[i] layout: value(8) | stamp(8); invariant: stamp == value^0xA5. */
+sim::Co<void>
+kvThread(Thread &t, Addr table, std::uint64_t ops)
+{
+    sim::Rng rng(17 + t.id());
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        std::uint64_t k = rng.below(kSlots / 2) + t.id() * kSlots / 2;
+        Addr rec = table + k * 16;
+        co_await t.txBegin();
+        std::uint64_t v = co_await t.load64(rec);
+        std::uint64_t nv = v + k + 1;
+        co_await t.store64(rec, nv);
+        if (i % 16 == 0) {
+            // Model an unlucky eviction: the half-updated record
+            // "steals" its way into NVRAM mid-transaction. The
+            // undo log makes this safe.
+            co_await t.clwb(rec);
+            co_await t.fence();
+        }
+        co_await t.compute(25);
+        co_await t.store64(rec + 8, nv ^ 0xa5);
+        co_await t.txCommit();
+    }
+}
+
+bool
+consistent(const mem::BackingStore &img, Addr table, const char *when)
+{
+    std::uint64_t bad = 0;
+    for (std::uint64_t k = 0; k < kSlots; ++k) {
+        std::uint64_t v = img.read64(table + k * 16);
+        std::uint64_t s = img.read64(table + k * 16 + 8);
+        if (s != (v ^ 0xa5))
+            ++bad;
+    }
+    std::printf("  [%s] %llu/%llu records consistent\n", when,
+                static_cast<unsigned long long>(kSlots - bad),
+                static_cast<unsigned long long>(kSlots));
+    return bad == 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    SystemConfig cfg = SystemConfig::scaled(2);
+    cfg.persist.crashJournal = true; // record NVRAM write times
+    System sys(cfg, PersistMode::Fwb);
+
+    Addr table = sys.heap().alloc(kSlots * 16, 64);
+    for (std::uint64_t k = 0; k < kSlots; ++k) {
+        sys.heap().prewrite64(table + k * 16, 0);
+        sys.heap().prewrite64(table + k * 16 + 8, 0xa5);
+    }
+
+    for (CoreId c = 0; c < 2; ++c) {
+        sys.spawn(c, [&](Thread &t) {
+            return kvThread(t, table, 100000);
+        });
+    }
+
+    // Pull the plug mid-run.
+    const Tick crash_tick = 120000;
+    sys.run(crash_tick);
+    std::printf("power failure at tick %llu!\n",
+                static_cast<unsigned long long>(crash_tick));
+    std::printf("  committed so far: %llu transactions\n",
+                static_cast<unsigned long long>(
+                    sys.txns().committed.value()));
+
+    // The NVRAM image as the power failure left it: caches, store
+    // buffers, and the log buffer are gone.
+    mem::BackingStore image = sys.crashSnapshot(crash_tick);
+    bool before = consistent(image, table, "before recovery");
+
+    auto report = persist::Recovery::run(image, cfg.map);
+    std::printf("recovery: %llu log records in window, %llu txns "
+                "redone, %llu rolled back,\n"
+                "          %llu redo writes, %llu undo writes\n",
+                static_cast<unsigned long long>(report.validRecords),
+                static_cast<unsigned long long>(
+                    report.committedTxns),
+                static_cast<unsigned long long>(
+                    report.uncommittedTxns),
+                static_cast<unsigned long long>(report.redoApplied),
+                static_cast<unsigned long long>(report.undoApplied));
+
+    bool after = consistent(image, table, "after recovery");
+    if (!after) {
+        std::printf("FAILED: store inconsistent after recovery\n");
+        return 1;
+    }
+    std::printf("OK: every record satisfies its invariant%s\n",
+                before ? " (crash landed between transactions)"
+                       : " (recovery repaired the crash damage)");
+    return 0;
+}

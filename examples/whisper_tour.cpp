@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tour of the bundled workloads: runs every microbenchmark and
+ * WHISPER-style workload once under the full design (fwb) and under
+ * the best software baseline, printing throughput side by side and
+ * verifying structural consistency of each persistent structure.
+ *
+ *   ./whisper_tour [threads]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/driver.hh"
+
+using namespace snf;
+using namespace snf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    std::uint32_t threads =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2;
+    if (threads == 0 || threads > 16)
+        threads = 2;
+
+    std::printf("%-10s %14s %14s %8s %10s\n", "workload",
+                "undo-clwb tx/Mc", "fwb tx/Mc", "speedup",
+                "verified");
+
+    for (const auto &name : allWorkloadNames()) {
+        RunSpec spec;
+        spec.workload = name;
+        spec.params.threads = threads;
+        spec.params.txPerThread = 300;
+        spec.params.footprint = 2048;
+        spec.sys = SystemConfig::scaled(threads);
+
+        spec.mode = PersistMode::UndoClwb;
+        auto sw = runWorkload(spec);
+
+        spec.mode = PersistMode::Fwb;
+        auto hw = runWorkload(spec);
+
+        std::printf("%-10s %14.1f %14.1f %7.2fx %10s\n",
+                    name.c_str(), sw.stats.txPerMcycle,
+                    hw.stats.txPerMcycle,
+                    hw.stats.txPerMcycle / sw.stats.txPerMcycle,
+                    (sw.verified && hw.verified) ? "yes" : "NO");
+        if (!sw.verified || !hw.verified) {
+            std::printf("  verification failed: %s%s\n",
+                        sw.verifyMessage.c_str(),
+                        hw.verifyMessage.c_str());
+            return 1;
+        }
+    }
+    std::printf("\nAll structures verified under both schemes.\n");
+    return 0;
+}

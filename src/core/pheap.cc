@@ -1,0 +1,58 @@
+#include "core/pheap.hh"
+
+#include "mem/mem_device.hh"
+#include "sim/logging.hh"
+
+namespace snf
+{
+
+BumpAllocator::BumpAllocator(Addr base, std::uint64_t size)
+    : rangeBase(base), rangeSize(size), cursor(base)
+{
+}
+
+Addr
+BumpAllocator::alloc(std::uint64_t size, std::uint64_t align)
+{
+    SNF_ASSERT(align != 0 && (align & (align - 1)) == 0,
+               "bad alignment %llu",
+               static_cast<unsigned long long>(align));
+    Addr a = (cursor + align - 1) & ~(align - 1);
+    if (a + size > rangeBase + rangeSize)
+        fatal("heap exhausted: %llu bytes requested, %llu available",
+              static_cast<unsigned long long>(size),
+              static_cast<unsigned long long>(rangeBase + rangeSize -
+                                              a));
+    cursor = a + size;
+    return a;
+}
+
+PersistentHeap::PersistentHeap(const AddressMap &map,
+                               mem::MemDevice &dev)
+    : BumpAllocator(map.heapBase(),
+                    map.nvramBase + map.nvramSize - map.heapBase()),
+      nvram(dev)
+{
+}
+
+void
+PersistentHeap::prewrite(Addr addr, const void *data, std::uint64_t size)
+{
+    nvram.functionalWrite(addr, size, data);
+}
+
+void
+PersistentHeap::prewrite64(Addr addr, std::uint64_t value)
+{
+    nvram.functionalWrite(addr, 8, &value);
+}
+
+std::uint64_t
+PersistentHeap::peek64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    nvram.functionalRead(addr, 8, &v);
+    return v;
+}
+
+} // namespace snf

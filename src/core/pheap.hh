@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bump allocators over the simulated physical address space: a
+ * persistent heap in NVRAM (above the log region) and a volatile
+ * scratch heap in DRAM (locks, thread-private buffers).
+ *
+ * Allocation is a pure bump with no reuse: workload-visible node
+ * recycling under crashes would require logging the allocator itself
+ * (as real persistent-memory allocators do), which is orthogonal to
+ * the paper's mechanisms. Leaked nodes after a crash are benign.
+ */
+
+#ifndef SNF_CORE_PHEAP_HH
+#define SNF_CORE_PHEAP_HH
+
+#include <cstdint>
+
+#include "core/system_config.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+class MemDevice;
+} // namespace snf::mem
+
+namespace snf
+{
+
+/** A bump allocator over a device-backed address range. */
+class BumpAllocator
+{
+  public:
+    BumpAllocator(Addr base, std::uint64_t size);
+
+    /** Allocate @p size bytes at @p align alignment; fatal on OOM. */
+    Addr alloc(std::uint64_t size, std::uint64_t align = 8);
+
+    std::uint64_t allocated() const { return cursor - rangeBase; }
+
+    std::uint64_t capacity() const { return rangeSize; }
+
+    Addr base() const { return rangeBase; }
+
+    /** Reset to empty (between runs sharing a System). */
+    void reset() { cursor = rangeBase; }
+
+  private:
+    Addr rangeBase;
+    std::uint64_t rangeSize;
+    Addr cursor;
+};
+
+/**
+ * The persistent heap: a BumpAllocator over NVRAM plus zero-time
+ * functional preload helpers used by workload setup (modeling data
+ * that existed before the measured run).
+ */
+class PersistentHeap : public BumpAllocator
+{
+  public:
+    PersistentHeap(const AddressMap &map, mem::MemDevice &nvram);
+
+    /** Functionally write preload data (no simulated time/traffic). */
+    void prewrite(Addr addr, const void *data, std::uint64_t size);
+
+    /** Functionally write a 64-bit preload value. */
+    void prewrite64(Addr addr, std::uint64_t value);
+
+    /** Functional read (verification helpers). */
+    std::uint64_t peek64(Addr addr) const;
+
+  private:
+    mem::MemDevice &nvram;
+};
+
+} // namespace snf
+
+#endif // SNF_CORE_PHEAP_HH

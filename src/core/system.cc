@@ -1,0 +1,221 @@
+#include "core/system.hh"
+
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace snf
+{
+
+System::System(const SystemConfig &config, PersistMode m)
+    : cfg(config),
+      persistMode(m),
+      scheduler(eventQueue)
+{
+    cfg.validate();
+    memory = std::make_unique<mem::MemorySystem>(cfg);
+    pheap = std::make_unique<PersistentHeap>(cfg.map, memory->nvram());
+    dheap = std::make_unique<BumpAllocator>(cfg.map.dramBase,
+                                            cfg.map.dramSize);
+    // Partition the log area: one circular region for centralized
+    // logging, one per core for distributed per-thread logs
+    // (Section III-F).
+    std::uint32_t partitions =
+        (cfg.persist.distributedLogs && isHardwareLogging(persistMode))
+            ? cfg.numCores
+            : 1;
+    cfg.map.logPartitions = partitions;
+    std::uint64_t part_bytes = cfg.map.logSize / partitions;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+        logRegions.push_back(std::make_unique<persist::LogRegion>(
+            cfg.map.logBase() + p * part_bytes, part_bytes,
+            memory->nvram(),
+            partitions == 1 ? "log" : strfmt("log.%u", p)));
+        logRegions.back()->create();
+    }
+
+    // Wire reclamation-hazard predicates (invariant I4).
+    for (auto &region : logRegions) {
+        region->setTxActive([this](std::uint64_t seq) {
+            return txnTracker.isActive(seq);
+        });
+        region->setPersistedSince(
+            [this](Addr addr, Tick appendTick) {
+                Addr line = memory->lineOf(addr);
+                if (memory->monitor().lastWritebackOf(line) >=
+                    appendTick)
+                    return true;
+                return !memory->isLineDirtyAnywhere(line);
+            });
+        region->setHazardSink(
+            [this]() { memory->monitor().onLogOverwriteHazard(); });
+    }
+
+    if (isHardwareLogging(persistMode)) {
+        std::vector<persist::LogBuffer *> buf_ptrs;
+        std::vector<persist::LogRegion *> region_ptrs;
+        for (auto &region : logRegions) {
+            logBufs.push_back(std::make_unique<persist::LogBuffer>(
+                *region, memory->nvram(), &memory->monitor(),
+                cfg.persist.logBufferEntries, cfg.l1.lineBytes,
+                cfg.persist.crashJournal /* torn-test drains */));
+            buf_ptrs.push_back(logBufs.back().get());
+            region_ptrs.push_back(region.get());
+        }
+        hwlEngine = std::make_unique<persist::HwlEngine>(
+            persistMode, std::move(buf_ptrs),
+            std::move(region_ptrs), txnTracker);
+        memory->setStoreHook(hwlEngine.get());
+        // The memory controller issues log-buffer entries to the
+        // NVRAM bus ahead of data write-backs (FIFO order at the
+        // channel), preserving log-before-data without barriers.
+        if (!cfg.persist.disableWbBarrier) {
+            memory->setDataWbBarrier([this](Tick now) {
+                Tick done = now;
+                for (auto &buf : logBufs)
+                    done = std::max(done, buf->drainAll(now));
+                return done;
+            });
+        }
+    } else if (isSoftwareLogging(persistMode)) {
+        swLogging = std::make_unique<persist::SwLogging>(
+            persistMode, *memory, *logRegions[0]);
+        // The WCB sits in the memory controller ahead of the data
+        // write queue: uncacheable log stores issued before a data
+        // write-back drain first (same FIFO argument as the hardware
+        // log buffer). Without this, a clwb or eviction could steal a
+        // line to NVRAM while its undo record is still volatile.
+        memory->setDataWbBarrier(
+            [this](Tick now) { return memory->drainWcb(now); });
+    }
+
+    if (persistMode == PersistMode::Fwb) {
+        fwbEngine = std::make_unique<persist::FwbEngine>(
+            *memory, eventQueue, cfg.persist);
+        fwbEngine->start(0);
+    }
+
+    for (CoreId c = 0; c < cfg.numCores; ++c)
+        threads.push_back(std::make_unique<Thread>(c, *this));
+}
+
+System::~System() = default;
+
+void
+System::spawn(CoreId id,
+              const std::function<sim::Co<void>(Thread &)> &fn)
+{
+    SNF_ASSERT(id < cfg.numCores, "spawn on core %u of %u", id,
+               cfg.numCores);
+    Thread &t = *threads[id];
+    SNF_ASSERT(!t.context().rootHandle,
+               "core %u already has a workload", id);
+    rootCoros.push_back(fn(t));
+    t.context().rootHandle = rootCoros.back().raw();
+    scheduler.addThread(&t.context());
+}
+
+Tick
+System::run(Tick stopAt)
+{
+    Tick end = scheduler.run(stopAt);
+    if (scheduler.allFinished()) {
+        // The hardware log-buffer FIFOs drain continuously; at a
+        // natural end of execution they empty within a few cycles,
+        // so the final records are durable (commits acknowledged).
+        for (auto &buf : logBufs)
+            end = std::max(end, buf->drainAll(end));
+        if (fwbEngine)
+            fwbEngine->stop();
+    }
+    return end;
+}
+
+Tick
+System::flushAll(Tick now)
+{
+    Tick done = now;
+    for (auto &buf : logBufs)
+        done = std::max(done, buf->drainAll(now));
+    done = std::max(done, memory->flushAllDirty(now));
+    return done;
+}
+
+mem::BackingStore
+System::crashSnapshot(Tick at) const
+{
+    const auto &store = memory->nvram().store();
+    SNF_ASSERT(store.journalEnabled(),
+               "crashSnapshot requires PersistConfig::crashJournal");
+    return store.snapshotAt(at);
+}
+
+RunStats
+System::collectStats(Tick cycles) const
+{
+    RunStats s;
+    s.cycles = cycles;
+    s.committedTx = txnTracker.committed.value();
+    for (const auto &t : threads)
+        s.instr += t->context().instr;
+    if (cycles > 0) {
+        s.ipc = static_cast<double>(s.instr.total) /
+                static_cast<double>(cycles) /
+                static_cast<double>(cfg.numCores);
+        s.txPerMcycle = static_cast<double>(s.committedTx) * 1e6 /
+                        static_cast<double>(cycles);
+    }
+
+    const auto &nv = memory->nvram();
+    s.nvramReads = nv.reads.value();
+    s.nvramWrites = nv.writes.value();
+    s.nvramReadBytes = nv.readBytes.value();
+    s.nvramWriteBytes = nv.writeBytes.value();
+    const auto &dr = memory->dram();
+    s.dramReads = dr.reads.value();
+    s.dramWrites = dr.writes.value();
+
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        const auto &l1 = memory->l1(c);
+        s.l1Hits += l1.hits.value();
+        s.l1Misses += l1.misses.value();
+    }
+    s.l2Hits = memory->l2Cache().hits.value();
+    s.l2Misses = memory->l2Cache().misses.value();
+
+    for (const auto &region : logRegions) {
+        s.logRecords += region->appends.value();
+        s.logWraps += region->wraps.value();
+    }
+    for (const auto &buf : logBufs)
+        s.logBufferStalls += buf->stats().counterValue("stalls");
+    if (fwbEngine) {
+        s.fwbScans = fwbEngine->scans.value();
+        s.fwbWritebacks = fwbEngine->forcedWritebacks.value();
+    }
+
+    s.orderViolations = memory->monitor().orderViolations();
+    s.overwriteHazards = memory->monitor().overwriteHazards();
+
+    s.energy = energy::EnergyModel::compute(*memory, s.instr.total);
+    return s;
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    memory->stats().dump(os);
+    txnTracker.stats().dump(os);
+    for (auto &region : logRegions)
+        region->stats().dump(os);
+    for (auto &buf : logBufs)
+        buf->stats().dump(os);
+    if (hwlEngine)
+        hwlEngine->stats().dump(os);
+    if (swLogging)
+        swLogging->stats().dump(os);
+    if (fwbEngine)
+        fwbEngine->stats().dump(os);
+}
+
+} // namespace snf

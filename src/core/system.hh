@@ -1,0 +1,178 @@
+/**
+ * @file
+ * snf::System — the top-level facade binding the simulated machine
+ * together: cores/threads, cache hierarchy, memory devices, the
+ * circular NVRAM log, and the persistence machinery selected by
+ * PersistMode (HWL, FWB, or the software-logging baselines).
+ *
+ * Typical use:
+ * @code
+ *   snf::System sys(snf::SystemConfig::scaled(), snf::PersistMode::Fwb);
+ *   snf::Addr counter = sys.heap().alloc(8);
+ *   sys.spawn(0, [&](snf::Thread &t) -> snf::sim::Co<void> {
+ *       co_await t.txBegin();
+ *       co_await t.store64(counter, 42);
+ *       co_await t.txCommit();
+ *   });
+ *   snf::Tick end = sys.run();
+ *   snf::RunStats stats = sys.collectStats(end);
+ * @endcode
+ */
+
+#ifndef SNF_CORE_SYSTEM_HH
+#define SNF_CORE_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/pheap.hh"
+#include "core/system_config.hh"
+#include "core/thread_api.hh"
+#include "cpu/scheduler.hh"
+#include "energy/energy_model.hh"
+#include "mem/memory_system.hh"
+#include "persist/fwb_engine.hh"
+#include "persist/hwl_engine.hh"
+#include "persist/log_buffer.hh"
+#include "persist/log_region.hh"
+#include "persist/recovery.hh"
+#include "persist/sw_logging.hh"
+#include "persist/txn_tracker.hh"
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+
+namespace snf
+{
+
+/** Aggregated result statistics of one simulated run. */
+struct RunStats
+{
+    Tick cycles = 0;
+    std::uint64_t committedTx = 0;
+    cpu::InstructionCounts instr;
+    double ipc = 0.0;
+    double txPerMcycle = 0.0;
+
+    std::uint64_t nvramReads = 0;
+    std::uint64_t nvramWrites = 0;
+    std::uint64_t nvramReadBytes = 0;
+    std::uint64_t nvramWriteBytes = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+
+    std::uint64_t logRecords = 0;
+    std::uint64_t logWraps = 0;
+    std::uint64_t logBufferStalls = 0;
+    std::uint64_t fwbScans = 0;
+    std::uint64_t fwbWritebacks = 0;
+
+    std::uint64_t orderViolations = 0;
+    std::uint64_t overwriteHazards = 0;
+
+    energy::EnergyBreakdown energy;
+};
+
+/** See file comment. */
+class System
+{
+  public:
+    System(const SystemConfig &config, PersistMode mode);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    PersistMode mode() const { return persistMode; }
+
+    const SystemConfig &config() const { return cfg; }
+
+    mem::MemorySystem &mem() { return *memory; }
+
+    PersistentHeap &heap() { return *pheap; }
+
+    BumpAllocator &dramHeap() { return *dheap; }
+
+    persist::LogRegion &log() { return *logRegions[0]; }
+
+    /** Log partitions (1 unless PersistConfig::distributedLogs). */
+    std::size_t logPartitionCount() const { return logRegions.size(); }
+
+    persist::LogRegion &logPartition(std::size_t i)
+    {
+        return *logRegions[i];
+    }
+
+    persist::TxnTracker &txns() { return txnTracker; }
+
+    sim::EventQueue &events() { return eventQueue; }
+
+    Thread &thread(CoreId id) { return *threads[id]; }
+
+    std::uint32_t numCores() const { return cfg.numCores; }
+
+    /** Bind a workload coroutine to core @p id. */
+    void spawn(CoreId id,
+               const std::function<sim::Co<void>(Thread &)> &fn);
+
+    /**
+     * Run to completion of all spawned threads, or to @p stopAt
+     * (crash instant). @return the final simulated tick.
+     */
+    Tick run(Tick stopAt = kTickNever);
+
+    /** Write back all volatile state (graceful shutdown). */
+    Tick flushAll(Tick now);
+
+    /**
+     * Snapshot the NVRAM image as of @p at (requires
+     * PersistConfig::crashJournal).
+     */
+    mem::BackingStore crashSnapshot(Tick at) const;
+
+    /** Aggregate statistics as of tick @p cycles. */
+    RunStats collectStats(Tick cycles) const;
+
+    /** Dump every component's statistics. */
+    void dumpStats(std::ostream &os);
+
+    // --- internal accessors for Thread ---------------------------
+
+    persist::HwlEngine *hwl() { return hwlEngine.get(); }
+
+    persist::SwLogging *swlog() { return swLogging.get(); }
+
+    persist::FwbEngine *fwb() { return fwbEngine.get(); }
+
+    persist::LogBuffer *logBuffer()
+    {
+        return logBufs.empty() ? nullptr : logBufs[0].get();
+    }
+
+  private:
+    SystemConfig cfg;
+    PersistMode persistMode;
+    sim::EventQueue eventQueue;
+    std::unique_ptr<mem::MemorySystem> memory;
+    std::unique_ptr<PersistentHeap> pheap;
+    std::unique_ptr<BumpAllocator> dheap;
+    persist::TxnTracker txnTracker;
+    std::vector<std::unique_ptr<persist::LogRegion>> logRegions;
+    std::vector<std::unique_ptr<persist::LogBuffer>> logBufs;
+    std::unique_ptr<persist::HwlEngine> hwlEngine;
+    std::unique_ptr<persist::SwLogging> swLogging;
+    std::unique_ptr<persist::FwbEngine> fwbEngine;
+    cpu::Scheduler scheduler;
+    std::vector<std::unique_ptr<Thread>> threads;
+    std::vector<sim::Co<void>> rootCoros;
+};
+
+} // namespace snf
+
+#endif // SNF_CORE_SYSTEM_HH

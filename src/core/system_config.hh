@@ -1,0 +1,198 @@
+/**
+ * @file
+ * System configuration structures and the paper's Table II presets.
+ *
+ * All timing is expressed in core clock cycles at 2.5 GHz (0.4 ns per
+ * cycle), matching the paper's processor configuration.
+ */
+
+#ifndef SNF_CORE_SYSTEM_CONFIG_HH
+#define SNF_CORE_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace snf
+{
+
+/** The persistence scheme a run executes under (paper Section VI). */
+enum class PersistMode
+{
+    NonPers,    ///< no persistence, no logging (ideal bound)
+    UnsafeRedo, ///< software redo logging, no clwb (no guarantee)
+    UnsafeUndo, ///< software undo logging, no clwb (no guarantee)
+    RedoClwb,   ///< software redo logging + clwb + fences
+    UndoClwb,   ///< software undo logging + clwb at commit
+    HwRlog,     ///< hardware redo-only logging, no persistence guarantee
+    HwUlog,     ///< hardware undo-only logging, no persistence guarantee
+    Hwl,        ///< hardware undo+redo logging + software clwb at commit
+    Fwb,        ///< full design: HWL + hardware force write-back
+};
+
+/** Human-readable short name, matching the paper's legend. */
+const char *persistModeName(PersistMode mode);
+
+/** All modes in paper presentation order. */
+inline constexpr PersistMode kAllModes[] = {
+    PersistMode::NonPers,   PersistMode::UnsafeRedo,
+    PersistMode::UnsafeUndo, PersistMode::RedoClwb,
+    PersistMode::UndoClwb,  PersistMode::HwRlog,
+    PersistMode::HwUlog,    PersistMode::Hwl,
+    PersistMode::Fwb,
+};
+
+/** True for modes whose logging runs in hardware (HWL paths). */
+bool isHardwareLogging(PersistMode mode);
+
+/** True for modes that inject software logging instructions. */
+bool isSoftwareLogging(PersistMode mode);
+
+/** True for modes that issue clwb over the transaction write-set. */
+bool usesCommitClwb(PersistMode mode);
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t latency = 4; ///< access latency in cycles
+
+    std::uint32_t numLines() const { return sizeBytes / lineBytes; }
+
+    std::uint32_t numSets() const { return numLines() / ways; }
+};
+
+/** Timing/energy model of a memory device (DRAM or NVRAM DIMM). */
+struct MemDeviceConfig
+{
+    std::uint64_t sizeBytes = 8ULL << 30;
+    std::uint32_t banks = 8;
+    std::uint32_t rowBytes = 2048;
+    std::uint32_t rowHitLat = 90;        ///< 36 ns row-buffer hit
+    std::uint32_t readConflictLat = 250; ///< 100 ns read conflict
+    std::uint32_t writeConflictLat = 750;///< 300 ns write conflict
+    std::uint32_t burstCycles = 8;       ///< channel occupancy / 64B
+
+    // Energy coefficients, pJ per bit (paper Table II, PCM [44]).
+    double rowReadPjBit = 0.93;
+    double rowWritePjBit = 1.02;
+    double arrayReadPjBit = 2.47;
+    double arrayWritePjBit = 16.82;
+};
+
+/** Simulated core (timing model) parameters. */
+struct CoreConfig
+{
+    std::uint32_t issueWidth = 4;      ///< non-mem ops retired per cycle
+    std::uint32_t storeBufferEntries = 32;
+    std::uint32_t l1HitLat = 4;        ///< 1.6 ns at 2.5 GHz
+};
+
+/** Memory-controller queue model. */
+struct McConfig
+{
+    std::uint32_t readQueue = 64;
+    std::uint32_t writeQueue = 64;
+};
+
+/** Persistence machinery parameters (Sections III and IV). */
+struct PersistConfig
+{
+    std::uint64_t logBytes = 4ULL << 20;  ///< circular log size (4 MB)
+    std::uint32_t logBufferEntries = 15;  ///< volatile FIFO in the MC
+    std::uint32_t wcbEntries = 6;         ///< write-combining buffer
+    /**
+     * FWB scan period in cycles; 0 selects the automatic derivation
+     * from log size and NVRAM write bandwidth (Section IV-D).
+     */
+    Tick fwbPeriod = 0;
+    /** Cycles of cache-port busy time charged per scanned line. */
+    double fwbScanCostPerLine = 0.05;
+    /** Record write journal in NVRAM for crash snapshots. */
+    bool crashJournal = false;
+    /**
+     * Distributed per-thread logs (paper Section III-F): the log
+     * area is partitioned into one circular region per core, each
+     * with its own log buffer. Only meaningful for hardware-logging
+     * modes; software baselines stay centralized.
+     *
+     * Constraint: partitions recover independently, so persistent
+     * data written by transactions must be thread-private (the
+     * paper's one-transaction-stream-per-thread model, Figure 4);
+     * committed writes to shared addresses from different partitions
+     * have no recovery-time order without a global LSN.
+     */
+    bool distributedLogs = false;
+    /**
+     * Ablation only: drop the memory controller's FIFO ordering of
+     * log writes ahead of data write-backs. Violates the inherent
+     * log-before-data guarantee (bench/ablation_ordering).
+     */
+    bool disableWbBarrier = false;
+};
+
+/** Physical address map of the simulated machine. */
+struct AddressMap
+{
+    Addr dramBase = 0;
+    std::uint64_t dramSize = 1ULL << 30;
+    Addr nvramBase = 0x100000000ULL; ///< 4 GB boundary
+    std::uint64_t nvramSize = 8ULL << 30;
+    /** Log region lives at the bottom of NVRAM. */
+    std::uint64_t logSize = 4ULL << 20;
+    /** Number of log partitions (1 = centralized). */
+    std::uint32_t logPartitions = 1;
+
+    bool
+    isNvram(Addr a) const
+    {
+        return a >= nvramBase && a < nvramBase + nvramSize;
+    }
+
+    bool
+    isDram(Addr a) const
+    {
+        return a >= dramBase && a < dramBase + dramSize;
+    }
+
+    Addr logBase() const { return nvramBase; }
+
+    /** First heap address: NVRAM after the log region. */
+    Addr heapBase() const { return nvramBase + logSize; }
+};
+
+/** Complete configuration of one simulated system. */
+struct SystemConfig
+{
+    std::string name = "paper";
+    std::uint32_t numCores = 4;
+    double clockGhz = 2.5;
+
+    CoreConfig core;
+    CacheConfig l1;
+    CacheConfig l2;
+    McConfig mc;
+    MemDeviceConfig nvram;
+    MemDeviceConfig dram;
+    PersistConfig persist;
+    AddressMap map;
+
+    /** Paper Table II configuration (4 cores, 32 KB L1, 8 MB L2). */
+    static SystemConfig paper(std::uint32_t cores = 4);
+
+    /**
+     * Proportionally scaled-down configuration for fast tests and
+     * sweeps: smaller caches and log, same ratios and latencies.
+     */
+    static SystemConfig scaled(std::uint32_t cores = 4);
+
+    /** Validate internal consistency; fatal() on bad values. */
+    void validate() const;
+};
+
+} // namespace snf
+
+#endif // SNF_CORE_SYSTEM_CONFIG_HH

@@ -1,0 +1,263 @@
+#include "core/thread_api.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace snf
+{
+
+namespace
+{
+
+/** Library-call overhead of tx_begin/tx_commit, in instructions. */
+constexpr std::uint64_t kTxLibraryInstructions = 8;
+
+} // namespace
+
+Thread::Thread(CoreId id, System &system)
+    : ctx(id, system.config().core.issueWidth,
+          system.config().core.storeBufferEntries),
+      sys(system)
+{
+}
+
+std::uint64_t
+Thread::execLoad(Addr a, std::uint32_t size)
+{
+    ctx.instr.total += 1;
+    ctx.instr.loads += 1;
+    std::uint64_t v = 0;
+    auto r = sys.mem().load(ctx.id(), a, size, &v, ctx.localTime);
+    ctx.localTime = r.done;
+    return v;
+}
+
+void
+Thread::execStore(Addr a, std::uint32_t size, std::uint64_t v)
+{
+    ctx.instr.total += 1;
+    ctx.instr.stores += 1;
+
+    bool persistent = inTx && sys.config().map.isNvram(a);
+
+    if (persistent && sys.swlog()) {
+        // Software logging: injected instructions run before the
+        // data store (Figure 2(a)).
+        auto res = sys.swlog()->logStore(ctx.id(), txSeq, a, size, v,
+                                         ctx.localTime);
+        ctx.localTime = std::max(ctx.localTime, res.done);
+        ctx.instr.total += res.instructions;
+        ctx.instr.logStores += res.logStores;
+        ctx.instr.logLoads += res.logLoads;
+        ctx.instr.fences += res.fences;
+    }
+    if (persistent)
+        sys.txns().recordWrite(txSeq, sys.mem().lineOf(a));
+
+    mem::MemorySystem::StoreCtx sctx;
+    sctx.persistent = persistent;
+    sctx.txSeq = txSeq;
+    auto r = sys.mem().store(ctx.id(), a, size, &v, ctx.localTime, sctx);
+
+    // The core retires the store into the store buffer in one cycle;
+    // it only stalls when the buffer is full (or the HWL log buffer
+    // exerted back-pressure, folded into r.done).
+    ctx.localTime += 1;
+    ctx.noteStoreDrain(r.done);
+}
+
+void
+Thread::execCompute(std::uint64_t n)
+{
+    ctx.instr.total += n;
+    ctx.instr.compute += n;
+    ctx.retireCompute(n);
+}
+
+void
+Thread::execTxBegin()
+{
+    SNF_ASSERT(!inTx, "nested transaction on core %u", ctx.id());
+    inTx = true;
+    txSeq = sys.txns().begin(ctx.id());
+    ctx.instr.total += kTxLibraryInstructions;
+    ctx.instr.txOverhead += kTxLibraryInstructions;
+    ctx.retireCompute(kTxLibraryInstructions);
+}
+
+void
+Thread::execClwb(Addr a)
+{
+    ctx.instr.total += 1;
+    ctx.instr.clwbs += 1;
+    Tick persist = sys.mem().clwb(ctx.id(), a, ctx.localTime);
+    ctx.notePendingPersist(persist);
+    ctx.localTime += 2;
+}
+
+void
+Thread::execFence()
+{
+    ctx.instr.total += 1;
+    ctx.instr.fences += 1;
+    ctx.drainForFence();
+    ctx.localTime =
+        std::max(ctx.localTime, sys.mem().drainWcb(ctx.localTime));
+}
+
+void
+Thread::execTxCommit()
+{
+    SNF_ASSERT(inTx, "commit outside transaction on core %u",
+               ctx.id());
+
+    auto clwb_write_set = [&]() {
+        for (Addr line : sys.txns().writeSet(txSeq))
+            execClwb(line);
+        execFence();
+    };
+
+    switch (sys.mode()) {
+      case PersistMode::NonPers:
+        break;
+      case PersistMode::UnsafeRedo:
+      case PersistMode::UnsafeUndo: {
+        // Commit record only; no ordering enforcement ("unsafe").
+        auto res = sys.swlog()->logCommit(ctx.id(), txSeq,
+                                          ctx.localTime);
+        ctx.localTime = std::max(ctx.localTime, res.done);
+        ctx.instr.total += res.instructions;
+        ctx.instr.logStores += res.logStores;
+        break;
+      }
+      case PersistMode::RedoClwb: {
+        // Redo logging: the transaction commits once the log is
+        // durable; the write-set is then flushed so the log can be
+        // truncated (Section II-C).
+        auto res = sys.swlog()->logCommit(ctx.id(), txSeq,
+                                          ctx.localTime);
+        ctx.localTime = std::max(ctx.localTime, res.done);
+        ctx.instr.total += res.instructions;
+        ctx.instr.logStores += res.logStores;
+        execFence();
+        clwb_write_set();
+        break;
+      }
+      case PersistMode::UndoClwb: {
+        // Undo logging: the write-set must be durable before the
+        // commit record (Figure 1(a)).
+        clwb_write_set();
+        auto res = sys.swlog()->logCommit(ctx.id(), txSeq,
+                                          ctx.localTime);
+        ctx.localTime = std::max(ctx.localTime, res.done);
+        ctx.instr.total += res.instructions;
+        ctx.instr.logStores += res.logStores;
+        execFence();
+        break;
+      }
+      case PersistMode::HwRlog:
+      case PersistMode::HwUlog:
+      case PersistMode::Fwb: {
+        // Instant transaction commit (Section III-D): one hardware
+        // commit record, no flushes, no barriers.
+        Tick done =
+            sys.hwl()->onCommit(ctx.id(), txSeq, ctx.localTime);
+        ctx.localTime = std::max(ctx.localTime, done);
+        break;
+      }
+      case PersistMode::Hwl: {
+        // HWL without FWB: hardware logging, but the write-set is
+        // still flushed with clwb at commit (Section VI).
+        Tick done =
+            sys.hwl()->onCommit(ctx.id(), txSeq, ctx.localTime);
+        ctx.localTime = std::max(ctx.localTime, done);
+        clwb_write_set();
+        break;
+      }
+    }
+
+    sys.txns().commit(txSeq);
+    inTx = false;
+    txSeq = 0;
+    ctx.instr.total += kTxLibraryInstructions;
+    ctx.instr.txOverhead += kTxLibraryInstructions;
+    ctx.retireCompute(kTxLibraryInstructions);
+}
+
+std::uint64_t
+Thread::execCas(Addr a, std::uint64_t expected, std::uint64_t desired)
+{
+    ctx.instr.total += 1;
+    ctx.instr.atomics += 1;
+    std::uint64_t old_val = 0;
+    auto lr = sys.mem().load(ctx.id(), a, 8, &old_val, ctx.localTime);
+    ctx.localTime = lr.done;
+    if (old_val == expected) {
+        mem::MemorySystem::StoreCtx sctx;
+        sctx.persistent = inTx && sys.config().map.isNvram(a);
+        sctx.txSeq = txSeq;
+        if (sctx.persistent)
+            sys.txns().recordWrite(txSeq, sys.mem().lineOf(a));
+        auto sr =
+            sys.mem().store(ctx.id(), a, 8, &desired, ctx.localTime,
+                            sctx);
+        ctx.localTime += 1;
+        ctx.noteStoreDrain(sr.done);
+    }
+    return old_val;
+}
+
+sim::Co<void>
+Thread::loadBytes(Addr a, void *out, std::uint32_t len)
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(8 - (a % 8), len));
+        std::uint64_t v = co_await LoadOp(this, a, chunk);
+        std::memcpy(dst, &v, chunk);
+        a += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+sim::Co<void>
+Thread::storeBytes(Addr a, const void *in, std::uint32_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        std::uint32_t chunk = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(8 - (a % 8), len));
+        std::uint64_t v = 0;
+        std::memcpy(&v, src, chunk);
+        co_await StoreOp(this, a, v, chunk);
+        a += chunk;
+        src += chunk;
+        len -= chunk;
+    }
+}
+
+sim::Co<void>
+Thread::lockAcquire(Addr a)
+{
+    std::uint32_t backoff = 4;
+    while (true) {
+        std::uint64_t old_val = co_await cas64(a, 0, 1);
+        if (old_val == 0)
+            co_return;
+        co_await compute(backoff);
+        backoff = std::min<std::uint32_t>(backoff * 2, 256);
+    }
+}
+
+sim::Co<void>
+Thread::lockRelease(Addr a)
+{
+    co_await store64(a, 0);
+}
+
+} // namespace snf

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The workload-facing thread API: coroutine awaitables for simulated
+ * loads, stores, compute, atomics, and persistent-memory transactions
+ * (tx_begin / tx_commit of paper Section IV-A).
+ *
+ * Every awaited operation suspends the workload coroutine back to the
+ * scheduler, which executes it when this thread is globally earliest.
+ * Under software-logging modes the transaction operations expand into
+ * the extra logging instructions of Figure 2(a); under hardware modes
+ * they reduce to the register writes of Figure 2(b).
+ */
+
+#ifndef SNF_CORE_THREAD_API_HH
+#define SNF_CORE_THREAD_API_HH
+
+#include <cstdint>
+
+#include "cpu/thread_context.hh"
+#include "core/system_config.hh"
+#include "mem/memory_system.hh"
+#include "persist/hwl_engine.hh"
+#include "persist/sw_logging.hh"
+#include "persist/txn_tracker.hh"
+#include "sim/coro.hh"
+#include "sim/types.hh"
+
+namespace snf
+{
+
+class System;
+
+/** See file comment. */
+class Thread
+{
+  public:
+    Thread(CoreId id, System &system);
+
+    Thread(const Thread &) = delete;
+    Thread &operator=(const Thread &) = delete;
+
+    CoreId id() const { return ctx.id(); }
+
+    cpu::ThreadContext &context() { return ctx; }
+
+    bool inTransaction() const { return inTx; }
+
+    // ----- awaitable operations ----------------------------------
+
+    /** Common awaiter plumbing: parks the op and suspends. */
+    template <typename Derived, typename Result>
+    struct OpAwaiter : cpu::PendingOp
+    {
+        Thread *t;
+        Result result{};
+
+        explicit OpAwaiter(Thread *thread) : t(thread) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            t->ctx.pending = this;
+            t->ctx.resumePoint = h;
+        }
+
+        Result await_resume() const noexcept { return result; }
+
+        void
+        execute() override
+        {
+            static_cast<Derived *>(this)->run();
+        }
+    };
+
+    struct VoidAwaiter : cpu::PendingOp
+    {
+        Thread *t;
+
+        explicit VoidAwaiter(Thread *thread) : t(thread) {}
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            t->ctx.pending = this;
+            t->ctx.resumePoint = h;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct LoadOp : OpAwaiter<LoadOp, std::uint64_t>
+    {
+        Addr addr;
+        std::uint32_t size;
+
+        LoadOp(Thread *t, Addr a, std::uint32_t s)
+            : OpAwaiter(t), addr(a), size(s)
+        {
+        }
+
+        void run() { result = t->execLoad(addr, size); }
+    };
+
+    struct StoreOp : VoidAwaiter
+    {
+        Addr addr;
+        std::uint64_t value;
+        std::uint32_t size;
+
+        StoreOp(Thread *t, Addr a, std::uint64_t v, std::uint32_t s)
+            : VoidAwaiter(t), addr(a), value(v), size(s)
+        {
+        }
+
+        void execute() override { t->execStore(addr, size, value); }
+    };
+
+    struct ComputeOp : VoidAwaiter
+    {
+        std::uint64_t amount;
+
+        ComputeOp(Thread *t, std::uint64_t n)
+            : VoidAwaiter(t), amount(n)
+        {
+        }
+
+        void execute() override { t->execCompute(amount); }
+    };
+
+    struct TxBeginOp : VoidAwaiter
+    {
+        using VoidAwaiter::VoidAwaiter;
+
+        void execute() override { t->execTxBegin(); }
+    };
+
+    struct TxCommitOp : VoidAwaiter
+    {
+        using VoidAwaiter::VoidAwaiter;
+
+        void execute() override { t->execTxCommit(); }
+    };
+
+    struct ClwbOp : VoidAwaiter
+    {
+        Addr addr;
+
+        ClwbOp(Thread *t, Addr a) : VoidAwaiter(t), addr(a) {}
+
+        void execute() override { t->execClwb(addr); }
+    };
+
+    struct FenceOp : VoidAwaiter
+    {
+        using VoidAwaiter::VoidAwaiter;
+
+        void execute() override { t->execFence(); }
+    };
+
+    struct CasOp : OpAwaiter<CasOp, std::uint64_t>
+    {
+        Addr addr;
+        std::uint64_t expected;
+        std::uint64_t desired;
+
+        CasOp(Thread *t, Addr a, std::uint64_t e, std::uint64_t d)
+            : OpAwaiter(t), addr(a), expected(e), desired(d)
+        {
+        }
+
+        void run() { result = t->execCas(addr, expected, desired); }
+    };
+
+    LoadOp load64(Addr a) { return LoadOp(this, a, 8); }
+
+    LoadOp load32(Addr a) { return LoadOp(this, a, 4); }
+
+    StoreOp store64(Addr a, std::uint64_t v)
+    {
+        return StoreOp(this, a, v, 8);
+    }
+
+    StoreOp store32(Addr a, std::uint32_t v)
+    {
+        return StoreOp(this, a, v, 4);
+    }
+
+    /** Retire @p n generic (non-memory) instructions. */
+    ComputeOp compute(std::uint64_t n) { return ComputeOp(this, n); }
+
+    /** tx_begin(txid): open a persistent-memory transaction. */
+    TxBeginOp txBegin() { return TxBeginOp(this); }
+
+    /** tx_commit(): close the transaction (mode-dependent cost). */
+    TxCommitOp txCommit() { return TxCommitOp(this); }
+
+    /** Explicit cache-line write-back (clwb). */
+    ClwbOp clwb(Addr a) { return ClwbOp(this, a); }
+
+    /** Memory barrier (sfence-like). */
+    FenceOp fence() { return FenceOp(this); }
+
+    /** Atomic compare-and-swap; returns the old value. */
+    CasOp cas64(Addr a, std::uint64_t expected, std::uint64_t desired)
+    {
+        return CasOp(this, a, expected, desired);
+    }
+
+    /** Multi-word load into @p out (splits at 8-byte boundaries). */
+    sim::Co<void> loadBytes(Addr a, void *out, std::uint32_t len);
+
+    /** Multi-word store from @p in (splits at 8-byte boundaries). */
+    sim::Co<void> storeBytes(Addr a, const void *in, std::uint32_t len);
+
+    /** Spin until the 64-bit lock word at @p a is acquired. */
+    sim::Co<void> lockAcquire(Addr a);
+
+    /** Release the lock word at @p a. */
+    sim::Co<void> lockRelease(Addr a);
+
+  private:
+    friend class System;
+
+    std::uint64_t execLoad(Addr a, std::uint32_t size);
+    void execStore(Addr a, std::uint32_t size, std::uint64_t v);
+    void execCompute(std::uint64_t n);
+    void execTxBegin();
+    void execTxCommit();
+    void execClwb(Addr a);
+    void execFence();
+    std::uint64_t execCas(Addr a, std::uint64_t expected,
+                          std::uint64_t desired);
+
+    cpu::ThreadContext ctx;
+    System &sys;
+    bool inTx = false;
+    std::uint64_t txSeq = 0;
+};
+
+} // namespace snf
+
+#endif // SNF_CORE_THREAD_API_HH

@@ -1,0 +1,79 @@
+#include "cpu/scheduler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snf::cpu
+{
+
+Scheduler::Scheduler(sim::EventQueue &evq)
+    : events(evq)
+{
+}
+
+void
+Scheduler::addThread(ThreadContext *tc)
+{
+    threads.push_back(tc);
+}
+
+ThreadContext *
+Scheduler::pickNext() const
+{
+    ThreadContext *best = nullptr;
+    for (ThreadContext *t : threads) {
+        if (!t->runnable())
+            continue;
+        if (!best || t->localTime < best->localTime)
+            best = t;
+    }
+    return best;
+}
+
+bool
+Scheduler::allFinished() const
+{
+    return std::all_of(threads.begin(), threads.end(),
+                       [](const ThreadContext *t) {
+                           return t->finished;
+                       });
+}
+
+Tick
+Scheduler::run(Tick stopAt)
+{
+    while (ThreadContext *t = pickNext()) {
+        if (t->localTime >= stopAt)
+            break;
+
+        // Fire time-triggered machinery (FWB scans, monitors) that
+        // precedes this thread's next step.
+        events.runUntil(t->localTime);
+
+        if (!t->started) {
+            t->started = true;
+            SNF_ASSERT(t->rootHandle, "thread %u has no coroutine",
+                       t->id());
+            t->resumePoint = t->rootHandle;
+        } else {
+            SNF_ASSERT(t->pending != nullptr,
+                       "runnable thread %u without pending op",
+                       t->id());
+            PendingOp *op = t->pending;
+            t->pending = nullptr;
+            op->execute();
+        }
+
+        t->resumePoint.resume();
+        if (t->rootHandle.done())
+            t->finished = true;
+    }
+
+    Tick max_time = 0;
+    for (const ThreadContext *t : threads)
+        max_time = std::max(max_time, t->localTime);
+    return max_time;
+}
+
+} // namespace snf::cpu

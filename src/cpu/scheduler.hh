@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Conservative earliest-thread-first scheduler: repeatedly picks the
+ * runnable thread with the smallest local clock, drains time-triggered
+ * events (FWB scans) up to that instant, executes the thread's parked
+ * memory operation, and resumes its coroutine until the next
+ * operation. This yields a deterministic, causally-ordered global
+ * interleaving across cores.
+ */
+
+#ifndef SNF_CPU_SCHEDULER_HH
+#define SNF_CPU_SCHEDULER_HH
+
+#include <vector>
+
+#include "cpu/thread_context.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace snf::cpu
+{
+
+/** See file comment. */
+class Scheduler
+{
+  public:
+    explicit Scheduler(sim::EventQueue &events);
+
+    void addThread(ThreadContext *tc);
+
+    /**
+     * Run until every thread finishes or the earliest runnable thread
+     * reaches @p stopAt (crash modeling).
+     * @return the largest local clock among all threads.
+     */
+    Tick run(Tick stopAt = kTickNever);
+
+    /** True once every added thread has completed. */
+    bool allFinished() const;
+
+  private:
+    ThreadContext *pickNext() const;
+
+    sim::EventQueue &events;
+    std::vector<ThreadContext *> threads;
+};
+
+} // namespace snf::cpu
+
+#endif // SNF_CPU_SCHEDULER_HH

@@ -1,0 +1,67 @@
+#include "cpu/thread_context.hh"
+
+#include <algorithm>
+
+namespace snf::cpu
+{
+
+InstructionCounts &
+InstructionCounts::operator+=(const InstructionCounts &o)
+{
+    total += o.total;
+    loads += o.loads;
+    stores += o.stores;
+    compute += o.compute;
+    logStores += o.logStores;
+    logLoads += o.logLoads;
+    clwbs += o.clwbs;
+    fences += o.fences;
+    atomics += o.atomics;
+    txOverhead += o.txOverhead;
+    return *this;
+}
+
+ThreadContext::ThreadContext(CoreId core, std::uint32_t width,
+                             std::uint32_t storeBufferEntries)
+    : coreId(core), issueWidth(width), sbCapacity(storeBufferEntries)
+{
+}
+
+void
+ThreadContext::retireCompute(std::uint64_t n)
+{
+    localTime += (n + issueWidth - 1) / issueWidth;
+}
+
+void
+ThreadContext::noteStoreDrain(Tick done)
+{
+    // Retire entries that have already drained.
+    while (!storeBuffer.empty() && storeBuffer.front() <= localTime)
+        storeBuffer.pop_front();
+    if (storeBuffer.size() >= sbCapacity) {
+        // Full: the core stalls until the oldest entry drains.
+        localTime = std::max(localTime, storeBuffer.front());
+        storeBuffer.pop_front();
+    }
+    storeBuffer.push_back(done);
+}
+
+void
+ThreadContext::notePendingPersist(Tick done)
+{
+    pendingPersists.push_back(done);
+}
+
+void
+ThreadContext::drainForFence()
+{
+    for (Tick t : storeBuffer)
+        localTime = std::max(localTime, t);
+    storeBuffer.clear();
+    for (Tick t : pendingPersists)
+        localTime = std::max(localTime, t);
+    pendingPersists.clear();
+}
+
+} // namespace snf::cpu

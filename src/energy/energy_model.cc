@@ -1,0 +1,35 @@
+#include "energy/energy_model.hh"
+
+#include "mem/memory_system.hh"
+
+namespace snf::energy
+{
+
+EnergyBreakdown
+EnergyModel::compute(const mem::MemorySystem &memory,
+                     std::uint64_t instructions,
+                     const EnergyCoefficients &coeff)
+{
+    EnergyBreakdown e;
+
+    e.nvramReadPj = memory.nvram().readEnergyPj.value();
+    e.nvramWritePj = memory.nvram().writeEnergyPj.value();
+    e.dramPj = memory.dram().readEnergyPj.value() +
+               memory.dram().writeEnergyPj.value();
+
+    std::uint64_t l1_accesses = 0;
+    for (std::uint32_t c = 0; c < memory.config().numCores; ++c) {
+        const auto &l1 = memory.l1(c);
+        l1_accesses += l1.hits.value() + l1.misses.value();
+    }
+    const auto &l2 = memory.l2Cache();
+    std::uint64_t l2_accesses = l2.hits.value() + l2.misses.value();
+
+    e.l1Pj = static_cast<double>(l1_accesses) * coeff.l1AccessPj;
+    e.l2Pj = static_cast<double>(l2_accesses) * coeff.l2AccessPj;
+    e.corePj =
+        static_cast<double>(instructions) * coeff.perInstructionPj;
+    return e;
+}
+
+} // namespace snf::energy

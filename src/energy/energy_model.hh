@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Analytic dynamic-energy model (McPAT-lite). NVRAM energy comes
+ * straight from the device counters (paper Table II pJ/bit PCM
+ * coefficients); core and cache energy use per-event coefficients
+ * calibrated to the same order of magnitude as McPAT's output for an
+ * Intel-Core-i7-class 22 nm processor. The paper reports *relative*
+ * dynamic energy, which these coefficients preserve.
+ */
+
+#ifndef SNF_ENERGY_ENERGY_MODEL_HH
+#define SNF_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace snf::mem
+{
+class MemorySystem;
+} // namespace snf::mem
+
+namespace snf::energy
+{
+
+/** Per-event energy coefficients (picojoules). */
+struct EnergyCoefficients
+{
+    double perInstructionPj = 120.0; ///< core pipeline energy
+    double l1AccessPj = 22.0;
+    double l2AccessPj = 160.0;
+};
+
+/** Dynamic energy totals of one run, in picojoules. */
+struct EnergyBreakdown
+{
+    double nvramReadPj = 0;
+    double nvramWritePj = 0;
+    double dramPj = 0;
+    double l1Pj = 0;
+    double l2Pj = 0;
+    double corePj = 0;
+
+    /** Memory dynamic energy (the paper's Figure 8/10 metric). */
+    double
+    memoryDynamicPj() const
+    {
+        return nvramReadPj + nvramWritePj + dramPj;
+    }
+
+    double
+    processorDynamicPj() const
+    {
+        return corePj + l1Pj + l2Pj;
+    }
+
+    double
+    totalPj() const
+    {
+        return memoryDynamicPj() + processorDynamicPj();
+    }
+};
+
+/** See file comment. */
+class EnergyModel
+{
+  public:
+    static EnergyBreakdown
+    compute(const mem::MemorySystem &memory,
+            std::uint64_t instructions,
+            const EnergyCoefficients &coeff = EnergyCoefficients{});
+};
+
+} // namespace snf::energy
+
+#endif // SNF_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,127 @@
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snf::mem
+{
+
+BackingStore::BackingStore(Addr base, std::uint64_t size)
+    : rangeBase(base), rangeSize(size)
+{
+}
+
+const std::uint8_t *
+BackingStore::pagePtr(std::uint64_t pageIdx) const
+{
+    auto it = pages.find(pageIdx);
+    return it == pages.end() ? nullptr : it->second.data();
+}
+
+std::uint8_t *
+BackingStore::pagePtrMut(std::uint64_t pageIdx)
+{
+    auto &page = pages[pageIdx];
+    if (page.empty())
+        page.assign(kPageBytes, 0);
+    return page.data();
+}
+
+void
+BackingStore::read(Addr addr, std::uint64_t size, void *out) const
+{
+    SNF_ASSERT(contains(addr, size),
+               "read [%llx,+%llu) outside store range",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(size));
+    auto *dst = static_cast<std::uint8_t *>(out);
+    std::uint64_t off = addr - rangeBase;
+    while (size > 0) {
+        std::uint64_t page = off / kPageBytes;
+        std::uint64_t in_page = off % kPageBytes;
+        std::uint64_t n = std::min(size, kPageBytes - in_page);
+        const std::uint8_t *src = pagePtr(page);
+        if (src)
+            std::memcpy(dst, src + in_page, n);
+        else
+            std::memset(dst, 0, n);
+        dst += n;
+        off += n;
+        size -= n;
+    }
+}
+
+void
+BackingStore::rawWrite(Addr addr, std::uint64_t size, const void *in)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    std::uint64_t off = addr - rangeBase;
+    while (size > 0) {
+        std::uint64_t page = off / kPageBytes;
+        std::uint64_t in_page = off % kPageBytes;
+        std::uint64_t n = std::min(size, kPageBytes - in_page);
+        std::memcpy(pagePtrMut(page) + in_page, src, n);
+        src += n;
+        off += n;
+        size -= n;
+    }
+}
+
+void
+BackingStore::write(Addr addr, std::uint64_t size, const void *in,
+                    Tick doneTick)
+{
+    SNF_ASSERT(contains(addr, size),
+               "write [%llx,+%llu) outside store range",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(size));
+    rawWrite(addr, size, in);
+    if (journalOn) {
+        JournalEntry e;
+        e.done = doneTick;
+        e.addr = addr;
+        e.bytes.assign(static_cast<const std::uint8_t *>(in),
+                       static_cast<const std::uint8_t *>(in) + size);
+        journal.push_back(std::move(e));
+    }
+}
+
+std::uint64_t
+BackingStore::read64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    read(addr, sizeof(v), &v);
+    return v;
+}
+
+void
+BackingStore::write64(Addr addr, std::uint64_t v, Tick doneTick)
+{
+    write(addr, sizeof(v), &v, doneTick);
+}
+
+void
+BackingStore::enableJournal()
+{
+    SNF_ASSERT(!journalOn, "journal already enabled");
+    journalOn = true;
+    journalBase = pages;
+    journal.clear();
+}
+
+BackingStore
+BackingStore::snapshotAt(Tick tick) const
+{
+    SNF_ASSERT(journalOn, "snapshotAt without journaling");
+    BackingStore snap(rangeBase, rangeSize);
+    snap.pages = journalBase;
+    for (const auto &e : journal) {
+        if (e.done <= tick)
+            snap.rawWrite(e.addr, e.bytes.size(), e.bytes.data());
+    }
+    return snap;
+}
+
+} // namespace snf::mem

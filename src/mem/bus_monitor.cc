@@ -1,0 +1,80 @@
+#include "mem/bus_monitor.hh"
+
+namespace snf::mem
+{
+
+BusMonitor::BusMonitor()
+    : statGroup("bus_monitor"),
+      orderViol(statGroup.counter("order_violations")),
+      overwrite(statGroup.counter("overwrite_hazards")),
+      checkedWritebacks(statGroup.counter("checked_writebacks"))
+{
+}
+
+void
+BusMonitor::onLogAppend(Addr dataLine, Tick tick)
+{
+    pending[dataLine].push_back(PendingLog{tick, kTickNever});
+}
+
+void
+BusMonitor::onLogDrain(Addr dataLine, Tick appendTick, Tick drainTick)
+{
+    auto it = pending.find(dataLine);
+    if (it == pending.end())
+        return;
+    for (auto &p : it->second) {
+        if (p.append == appendTick && p.drain == kTickNever) {
+            p.drain = drainTick;
+            return;
+        }
+    }
+}
+
+Tick
+BusMonitor::lastWritebackOf(Addr dataLine) const
+{
+    auto it = lastWb.find(dataLine);
+    return it == lastWb.end() ? 0 : it->second;
+}
+
+void
+BusMonitor::onDataWriteback(Addr dataLine, Tick startTick, Tick doneTick)
+{
+    lastWb[dataLine] = doneTick;
+    auto it = pending.find(dataLine);
+    if (it == pending.end())
+        return;
+    checkedWritebacks.inc();
+    auto &dq = it->second;
+    for (auto p = dq.begin(); p != dq.end();) {
+        // Records appended before this write-back started must have
+        // drained by the time the data reaches NVRAM.
+        if (p->append <= startTick &&
+            (p->drain == kTickNever || p->drain > doneTick)) {
+            orderViol.inc();
+        }
+        if (p->drain != kTickNever && p->drain <= doneTick)
+            p = dq.erase(p);
+        else
+            ++p;
+    }
+    if (dq.empty())
+        pending.erase(it);
+}
+
+void
+BusMonitor::onLogOverwriteHazard()
+{
+    overwrite.inc();
+}
+
+void
+BusMonitor::reset()
+{
+    pending.clear();
+    lastWb.clear();
+    statGroup.resetAll();
+}
+
+} // namespace snf::mem

@@ -1,0 +1,105 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::mem
+{
+
+Cache::Cache(std::string name, const CacheConfig &config)
+    : cacheName(std::move(name)),
+      cfg(config),
+      statGroup(cacheName),
+      hits(statGroup.counter("hits")),
+      misses(statGroup.counter("misses")),
+      evictions(statGroup.counter("evictions")),
+      writebacks(statGroup.counter("writebacks"))
+{
+    lines.resize(cfg.numLines());
+    for (auto &l : lines)
+        l.data.assign(cfg.lineBytes, 0);
+}
+
+std::uint32_t
+Cache::setIndex(Addr lineAddr) const
+{
+    return static_cast<std::uint32_t>(
+        (lineAddr / cfg.lineBytes) & (cfg.numSets() - 1));
+}
+
+CacheLine *
+Cache::find(Addr lineAddr)
+{
+    std::uint32_t set = setIndex(lineAddr);
+    CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        CacheLine &l = base[w];
+        if (l.valid && l.lineAddr == lineAddr)
+            return &l;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+Cache::find(Addr lineAddr) const
+{
+    return const_cast<Cache *>(this)->find(lineAddr);
+}
+
+CacheLine *
+Cache::victimFor(Addr lineAddr)
+{
+    std::uint32_t set = setIndex(lineAddr);
+    CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
+    CacheLine *victim = nullptr;
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        CacheLine &l = base[w];
+        if (!l.valid)
+            return &l;
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    return victim;
+}
+
+void
+Cache::install(CacheLine *slot, Addr lineAddr)
+{
+    SNF_ASSERT(!slot->valid, "install over a valid line in %s",
+               cacheName.c_str());
+    SNF_ASSERT(lineOf(lineAddr) == lineAddr, "unaligned line address");
+    slot->lineAddr = lineAddr;
+    slot->valid = true;
+    slot->dirty = false;
+    slot->fwb = false;
+    touch(slot);
+}
+
+void
+Cache::touch(CacheLine *line)
+{
+    line->lastUse = ++useClock;
+}
+
+void
+Cache::invalidate(CacheLine *line)
+{
+    line->valid = false;
+    line->dirty = false;
+    line->fwb = false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &l : lines)
+        invalidate(&l);
+}
+
+void
+Cache::forEachLine(const std::function<void(CacheLine &)> &fn)
+{
+    for (auto &l : lines)
+        fn(l);
+}
+
+} // namespace snf::mem

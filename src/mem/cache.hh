@@ -1,0 +1,118 @@
+/**
+ * @file
+ * A set-associative cache array with per-line valid/dirty/fwb state.
+ *
+ * The cache is a passive container: the access protocol (fills,
+ * write-backs, coherence) lives in mem::MemorySystem, and the FWB
+ * state machine in persist::FwbEngine drives the fwb bits. This keeps
+ * the entire protocol in one auditable place.
+ */
+
+#ifndef SNF_MEM_CACHE_HH
+#define SNF_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+
+/** One cache line: tag state plus a byte-accurate data image. */
+struct CacheLine
+{
+    Addr lineAddr = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Force-write-back flag bit (paper Section IV-D). */
+    bool fwb = false;
+    std::uint64_t lastUse = 0;
+    std::vector<std::uint8_t> data;
+};
+
+/**
+ * A single cache level (array + tags + LRU), parameterized by
+ * CacheConfig. Timing is tracked with a port busy-until tick so FWB
+ * tag scans can delay demand accesses.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheConfig &config);
+
+    /** Look up @p lineAddr; nullptr on miss. Does not update LRU. */
+    CacheLine *find(Addr lineAddr);
+    const CacheLine *find(Addr lineAddr) const;
+
+    /**
+     * Pick the victim slot for installing @p lineAddr: an invalid way
+     * if available, else the LRU way. The returned slot may still hold
+     * a valid victim that the caller must write back / invalidate
+     * before calling install().
+     */
+    CacheLine *victimFor(Addr lineAddr);
+
+    /**
+     * Reset @p slot and bind it to @p lineAddr (valid, clean).
+     * The caller then fills slot->data.
+     */
+    void install(CacheLine *slot, Addr lineAddr);
+
+    /** Mark @p line most recently used. */
+    void touch(CacheLine *line);
+
+    /** Invalidate a line (also clears dirty/fwb). */
+    void invalidate(CacheLine *line);
+
+    /** Invalidate every line (crash model). */
+    void invalidateAll();
+
+    /** Apply @p fn to every line slot (valid or not). */
+    void forEachLine(const std::function<void(CacheLine &)> &fn);
+
+    std::uint32_t lineBytes() const { return cfg.lineBytes; }
+
+    std::uint32_t numLines() const { return cfg.numLines(); }
+
+    std::uint32_t latency() const { return cfg.latency; }
+
+    const std::string &name() const { return cacheName; }
+
+    Addr
+    lineOf(Addr a) const
+    {
+        return a & ~static_cast<Addr>(cfg.lineBytes - 1);
+    }
+
+    sim::StatGroup &stats() { return statGroup; }
+
+    /** Port contention: accesses may not start before this tick. */
+    Tick busyUntil = 0;
+
+  private:
+    std::string cacheName;
+    CacheConfig cfg;
+    sim::StatGroup statGroup; // must precede the counter references
+
+  public:
+    // Demand statistics, maintained by the protocol layer.
+    sim::Counter &hits;
+    sim::Counter &misses;
+    sim::Counter &evictions;
+    sim::Counter &writebacks;
+
+  private:
+    std::uint32_t setIndex(Addr lineAddr) const;
+
+    std::vector<CacheLine> lines;
+    std::uint64_t useClock = 0;
+};
+
+} // namespace snf::mem
+
+#endif // SNF_MEM_CACHE_HH

@@ -1,0 +1,202 @@
+#include "mem/mem_device.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace snf::mem
+{
+
+MemDevice::MemDevice(std::string name, const MemDeviceConfig &config,
+                     Addr base)
+    : devName(std::move(name)),
+      cfg(config),
+      baseAddr(base),
+      backing(base, config.sizeBytes),
+      banks(config.banks),
+      statGroup(devName),
+      reads(statGroup.counter("reads")),
+      writes(statGroup.counter("writes")),
+      readBytes(statGroup.counter("read_bytes")),
+      writeBytes(statGroup.counter("write_bytes")),
+      rowHits(statGroup.counter("row_hits")),
+      rowConflicts(statGroup.counter("row_conflicts")),
+      readEnergyPj(statGroup.scalar("read_energy_pj")),
+      writeEnergyPj(statGroup.scalar("write_energy_pj"))
+{
+}
+
+std::uint64_t
+MemDevice::rowOf(Addr addr) const
+{
+    return (addr - baseAddr) / cfg.rowBytes;
+}
+
+std::uint32_t
+MemDevice::bankOf(std::uint64_t row) const
+{
+    return static_cast<std::uint32_t>(row % cfg.banks);
+}
+
+MemDevice::Result
+MemDevice::access(bool write, Addr addr, std::uint64_t size,
+                  const void *wdata, void *rdata, Tick now,
+                  bool priorityWrite)
+{
+    SNF_ASSERT(size > 0, "zero-size device access");
+    std::uint64_t row = rowOf(addr);
+    Bank &bank = banks[bankOf(row)];
+
+    bool row_hit = bank.openRow == static_cast<std::int64_t>(row);
+    Tick start;
+    Tick lat;
+    if (!write) {
+        // Demand reads have priority over the write queue.
+        start = std::max({now, readChannelBusy, bank.readBusyUntil});
+        lat = row_hit ? cfg.rowHitLat : cfg.readConflictLat;
+    } else if (priorityWrite) {
+        // Ordering-critical log writes bypass queued data
+        // write-backs but yield to in-flight reads. The controller
+        // batches this sequential stream (FR-FCFS), so it gets
+        // streaming service: row-hit latency plus the per-row
+        // activation cost amortized over the row, independent of
+        // interleaved demand traffic's row state.
+        start = std::max({now, logChannelBusy,
+                          bank.logWriteBusyUntil,
+                          bank.readBusyUntil});
+        lat = sequentialWriteCycles(size) - cfg.burstCycles;
+        row_hit = true;
+    } else {
+        // Posted data write-backs drain behind everything else.
+        start = std::max({now, writeChannelBusy,
+                          bank.dataWriteBusyUntil,
+                          bank.logWriteBusyUntil,
+                          bank.readBusyUntil});
+        lat = row_hit ? cfg.rowHitLat : cfg.writeConflictLat;
+    }
+    Tick service_end = start + lat + cfg.burstCycles;
+    // Writes are persistent once accepted into the ADR-protected
+    // controller/DIMM queue (start + burst); the bank stays busy for
+    // the full cell-write latency, which is what bounds bandwidth.
+    // Reads must wait for the data: full latency.
+    Tick done = write ? start + cfg.burstCycles : service_end;
+
+    if (!write) {
+        bank.openRow = static_cast<std::int64_t>(row);
+        bank.readBusyUntil = service_end;
+        readChannelBusy = start + cfg.burstCycles;
+    } else if (priorityWrite) {
+        // Streaming log writes manage their own row locality and do
+        // not close the demand stream's open row.
+        bank.logWriteBusyUntil = service_end;
+        logChannelBusy = start + cfg.burstCycles;
+    } else {
+        bank.openRow = static_cast<std::int64_t>(row);
+        bank.dataWriteBusyUntil = service_end;
+        writeChannelBusy = start + cfg.burstCycles;
+    }
+
+    double bits = static_cast<double>(size) * 8.0;
+    if (write) {
+        writes.inc();
+        writeBytes.inc(size);
+        ++rowWrites[row];
+        // PCM cells are written from the row buffer; array write
+        // energy applies to the written bits, row-buffer energy to
+        // the access itself.
+        writeEnergyPj.add(bits *
+                          (cfg.rowWritePjBit + cfg.arrayWritePjBit));
+        if (wdata)
+            backing.write(addr, size, wdata, done);
+    } else {
+        reads.inc();
+        readBytes.inc(size);
+        readEnergyPj.add(bits * cfg.rowReadPjBit);
+        if (!row_hit)
+            readEnergyPj.add(bits * cfg.arrayReadPjBit);
+        if (rdata)
+            backing.read(addr, size, rdata);
+    }
+    if (row_hit)
+        rowHits.inc();
+    else
+        rowConflicts.inc();
+
+    return Result{done, row_hit};
+}
+
+void
+MemDevice::functionalRead(Addr addr, std::uint64_t size, void *out) const
+{
+    backing.read(addr, size, out);
+}
+
+void
+MemDevice::functionalWrite(Addr addr, std::uint64_t size, const void *in)
+{
+    backing.write(addr, size, in, 0);
+}
+
+Tick
+MemDevice::earliestDone(Addr addr, bool write, Tick now) const
+{
+    std::uint64_t row = rowOf(addr);
+    const Bank &bank = banks[bankOf(row)];
+    bool row_hit = bank.openRow == static_cast<std::int64_t>(row);
+    Tick start =
+        write ? std::max({now, writeChannelBusy,
+                          bank.dataWriteBusyUntil,
+                          bank.logWriteBusyUntil, bank.readBusyUntil})
+              : std::max({now, readChannelBusy, bank.readBusyUntil});
+    Tick lat = row_hit
+                   ? cfg.rowHitLat
+                   : (write ? cfg.writeConflictLat : cfg.readConflictLat);
+    return start + lat + cfg.burstCycles;
+}
+
+MemDevice::WearReport
+MemDevice::wearReport() const
+{
+    WearReport r;
+    for (const auto &[row, count] : rowWrites) {
+        r.totalWrites += count;
+        r.hottestRowWrites = std::max(r.hottestRowWrites, count);
+    }
+    r.rowsTouched = rowWrites.size();
+    if (r.rowsTouched > 0)
+        r.meanWritesPerTouchedRow =
+            static_cast<double>(r.totalWrites) /
+            static_cast<double>(r.rowsTouched);
+    return r;
+}
+
+double
+MemDevice::WearReport::hottestRowLifetimeSeconds(
+    std::uint64_t endurance, Tick elapsed, double clockGhz) const
+{
+    if (hottestRowWrites == 0 || elapsed == 0)
+        return std::numeric_limits<double>::infinity();
+    double writes_per_cycle = static_cast<double>(hottestRowWrites) /
+                              static_cast<double>(elapsed);
+    double cycles_to_wear =
+        static_cast<double>(endurance) / writes_per_cycle;
+    return cycles_to_wear / (clockGhz * 1e9);
+}
+
+Tick
+MemDevice::sequentialWriteCycles(std::uint64_t size) const
+{
+    // Streaming writes are posted into the open row buffer (SRAM
+    // latency, hidden behind the burst); the PCM array write is paid
+    // once per row close and amortizes over the row. This is the
+    // sustained sequential write bandwidth of the DIMM.
+    constexpr double row_buffer_cycles = 4.0;
+    double amortized_array =
+        static_cast<double>(cfg.writeConflictLat) *
+        static_cast<double>(size) / static_cast<double>(cfg.rowBytes);
+    return static_cast<Tick>(static_cast<double>(cfg.burstCycles) +
+                             row_buffer_cycles + amortized_array);
+}
+
+} // namespace snf::mem

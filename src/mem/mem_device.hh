@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Timing and energy model of a memory DIMM (DRAM or NVRAM/PCM) with
+ * banks, row buffers, and a shared channel, over a byte-accurate
+ * BackingStore (paper Table II, PCM parameters from [44]).
+ */
+
+#ifndef SNF_MEM_MEM_DEVICE_HH
+#define SNF_MEM_MEM_DEVICE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "mem/backing_store.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+
+/**
+ * One memory device on the processor-memory bus. Accesses reserve the
+ * channel and a bank; row-buffer hits are cheap, conflicts pay the
+ * full array latency. Writes also charge PCM array-write energy.
+ */
+class MemDevice
+{
+  public:
+    struct Result
+    {
+        Tick done;   ///< completion tick of the access
+        bool rowHit; ///< whether the access hit an open row
+    };
+
+    MemDevice(std::string name, const MemDeviceConfig &config,
+              Addr base);
+
+    /**
+     * Perform an access of @p size bytes at @p addr.
+     * For writes, @p wdata supplies the bytes (journaled with the
+     * completion tick); for reads, @p rdata receives them (may be
+     * nullptr for timing-only probes).
+     * @p priorityWrite marks ordering-critical log writes, which the
+     * controller services ahead of queued data write-backs.
+     */
+    Result access(bool write, Addr addr, std::uint64_t size,
+                  const void *wdata, void *rdata, Tick now,
+                  bool priorityWrite = false);
+
+    /** Functional, zero-time read (recovery / verification). */
+    void functionalRead(Addr addr, std::uint64_t size, void *out) const;
+
+    /** Functional, zero-time write (recovery). */
+    void functionalWrite(Addr addr, std::uint64_t size, const void *in);
+
+    BackingStore &store() { return backing; }
+    const BackingStore &store() const { return backing; }
+
+    /** Earliest tick a new access issued at @p now could complete. */
+    Tick earliestDone(Addr addr, bool write, Tick now) const;
+
+    /**
+     * Sustained write service time per access of @p size bytes,
+     * assuming sequential (row-hit) traffic. Used to derive the FWB
+     * frequency from NVRAM write bandwidth (Section IV-D).
+     */
+    Tick sequentialWriteCycles(std::uint64_t size) const;
+
+    /** Endurance / lifetime accounting (paper Section III-F). */
+    struct WearReport
+    {
+        std::uint64_t totalWrites = 0;
+        std::uint64_t rowsTouched = 0;
+        std::uint64_t hottestRowWrites = 0;
+        double meanWritesPerTouchedRow = 0.0;
+        /**
+         * Projected time (in simulated seconds) until the hottest
+         * cell wears out at the observed write rate, assuming the
+         * given cell endurance and NO wear leveling; the paper's
+         * argument is that this horizon is long enough for standard
+         * wear-leveling (Start-Gap etc.) to engage.
+         */
+        double hottestRowLifetimeSeconds(std::uint64_t endurance,
+                                         Tick elapsed,
+                                         double clockGhz) const;
+    };
+
+    WearReport wearReport() const;
+
+    Addr base() const { return baseAddr; }
+
+    const MemDeviceConfig &config() const { return cfg; }
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    /**
+     * Read-priority bank model: demand reads never queue behind
+     * posted writes (evictions, log drains, forced write-backs),
+     * which drain through the controller's write queue; writes wait
+     * for both earlier writes and in-flight reads. This mirrors the
+     * read-priority scheduling of the 64/64-entry read/write queue
+     * controller in Table II.
+     */
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Tick readBusyUntil = 0;
+        Tick logWriteBusyUntil = 0;
+        Tick dataWriteBusyUntil = 0;
+    };
+
+    std::string devName;
+    MemDeviceConfig cfg;
+    Addr baseAddr;
+    BackingStore backing;
+    std::vector<Bank> banks;
+    std::unordered_map<std::uint64_t, std::uint64_t> rowWrites;
+    Tick readChannelBusy = 0;
+    Tick writeChannelBusy = 0;
+    Tick logChannelBusy = 0;
+    sim::StatGroup statGroup; // must precede the counter references
+
+  public:
+    // Aggregate counters (public for the energy model and benches).
+    sim::Counter &reads;
+    sim::Counter &writes;
+    sim::Counter &readBytes;
+    sim::Counter &writeBytes;
+    sim::Counter &rowHits;
+    sim::Counter &rowConflicts;
+    sim::Scalar &readEnergyPj;
+    sim::Scalar &writeEnergyPj;
+
+  private:
+    std::uint64_t rowOf(Addr addr) const;
+    std::uint32_t bankOf(std::uint64_t row) const;
+};
+
+} // namespace snf::mem
+
+#endif // SNF_MEM_MEM_DEVICE_HH

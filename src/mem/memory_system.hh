@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The memory-system protocol layer: per-core write-back write-allocate
+ * L1 caches, a shared inclusive L2/LLC with a sharer directory, DRAM
+ * and NVRAM devices, and the uncacheable write-combining path.
+ *
+ * All fill/write-back/coherence/clwb logic is concentrated here; the
+ * Cache objects themselves are passive arrays. The persistence layer
+ * hooks stores through PersistentStoreHook (HWL, Section III-B) and
+ * drives FWB scans through fwbScanAll (Section IV-D).
+ */
+
+#ifndef SNF_MEM_MEMORY_SYSTEM_HH
+#define SNF_MEM_MEMORY_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "mem/bus_monitor.hh"
+#include "mem/cache.hh"
+#include "mem/mem_device.hh"
+#include "mem/write_combine_buffer.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+
+/**
+ * Interface the hardware-logging engine implements to observe every
+ * persistent store at the L1 (old value from the write-allocated
+ * line, new value from the in-flight store).
+ */
+class PersistentStoreHook
+{
+  public:
+    virtual ~PersistentStoreHook() = default;
+
+    /**
+     * Called for each persistent store inside a transaction.
+     * @return a tick the store must additionally wait for (log-buffer
+     *         back-pressure), or @p now if none.
+     */
+    virtual Tick onPersistentStore(CoreId core, std::uint64_t txSeq,
+                                   Addr addr, std::uint32_t size,
+                                   std::uint64_t oldVal,
+                                   std::uint64_t newVal, Tick now) = 0;
+};
+
+/** Which level serviced an access. */
+enum class HitLevel
+{
+    L1 = 1,
+    L2 = 2,
+    Memory = 3,
+};
+
+/** Outcome of a cacheable access. */
+struct AccessResult
+{
+    Tick done;
+    HitLevel level;
+};
+
+/** Aggregate outcome of one FWB scan pass. */
+struct FwbScanResult
+{
+    std::uint64_t linesScanned = 0;
+    std::uint64_t linesFlagged = 0;
+    std::uint64_t linesWrittenBack = 0;
+    Tick lastWritebackDone = 0;
+};
+
+/** See file comment. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const SystemConfig &config);
+
+    MemorySystem(const MemorySystem &) = delete;
+    MemorySystem &operator=(const MemorySystem &) = delete;
+
+    /**
+     * Cacheable load of @p size <= 8 bytes (single line).
+     */
+    AccessResult load(CoreId core, Addr addr, std::uint32_t size,
+                      void *out, Tick now);
+
+    /** Transactional context of a store, for the HWL hook. */
+    struct StoreCtx
+    {
+        bool persistent = false;
+        std::uint64_t txSeq = 0;
+    };
+
+    /**
+     * Cacheable store of @p size <= 8 bytes (single line), write-back
+     * write-allocate. Triggers the persistent-store hook when
+     * @p ctx.persistent and the address is in NVRAM.
+     */
+    AccessResult store(CoreId core, Addr addr, std::uint32_t size,
+                       const void *in, Tick now, const StoreCtx &ctx);
+
+    /** Non-transactional store (no HWL hook). */
+    AccessResult
+    store(CoreId core, Addr addr, std::uint32_t size, const void *in,
+          Tick now)
+    {
+        return store(core, addr, size, in, now, StoreCtx{});
+    }
+
+    /**
+     * Uncacheable store (software log write) through the WCB.
+     * @return tick at which the issuing core may proceed.
+     */
+    Tick uncacheableWrite(Addr addr, std::uint32_t size, const void *in,
+                          Tick now);
+
+    /** Drain the WCB (memory barrier); returns last completion tick. */
+    Tick drainWcb(Tick now);
+
+    /**
+     * clwb: force the line containing @p addr back to memory if dirty
+     * anywhere. The line stays valid (clean).
+     * @return the persist-completion tick the next fence must await.
+     */
+    Tick clwb(CoreId core, Addr addr, Tick now);
+
+    /**
+     * One FWB scan pass over every cache level: FLAG newly-dirty
+     * lines, force-write-back lines flagged on the previous pass
+     * (paper Figure 5). Only NVRAM-backed lines participate.
+     * Charges @p costPerLine cycles of port busy time per scanned
+     * line to each cache.
+     */
+    FwbScanResult fwbScanAll(Tick now, double costPerLine);
+
+    /** Write back every dirty line (graceful shutdown). */
+    Tick flushAllDirty(Tick now);
+
+    /** Drop all cached state and the WCB (crash model). */
+    void invalidateAllCaches();
+
+    /** True if any cache holds a dirty copy of @p lineAddr's line. */
+    bool isLineDirtyAnywhere(Addr addr) const;
+
+    void setStoreHook(PersistentStoreHook *h) { hook = h; }
+
+    /**
+     * Barrier invoked before any NVRAM data write-back is put on the
+     * memory bus. The hardware-logging configurations bind this to
+     * the log buffer's drain so log records issued earlier reach
+     * NVRAM first (the MC serializes its FIFO ahead of data writes,
+     * Section III-E step 5). Returns the tick the write may start.
+     */
+    using DataWbBarrier = std::function<Tick(Tick)>;
+
+    void setDataWbBarrier(DataWbBarrier b) { dataWbBarrier = std::move(b); }
+
+    std::uint32_t lineBytes() const { return cfg.l1.lineBytes; }
+
+    Addr
+    lineOf(Addr a) const
+    {
+        return a & ~static_cast<Addr>(cfg.l1.lineBytes - 1);
+    }
+
+    MemDevice &nvram() { return nvramDev; }
+    const MemDevice &nvram() const { return nvramDev; }
+    MemDevice &dram() { return dramDev; }
+    const MemDevice &dram() const { return dramDev; }
+    Cache &l1(CoreId c) { return *l1s[c]; }
+    const Cache &l1(CoreId c) const { return *l1s[c]; }
+    Cache &l2Cache() { return l2; }
+    const Cache &l2Cache() const { return l2; }
+    WriteCombineBuffer &wcb() { return wcbuf; }
+    BusMonitor &monitor() { return busMonitor; }
+
+    sim::StatGroup &stats() { return statGroup; }
+
+    const SystemConfig &config() const { return cfg; }
+
+  private:
+    struct FillResult
+    {
+        CacheLine *line;
+        Tick done;
+        bool hit;
+    };
+
+    MemDevice &deviceFor(Addr addr);
+
+    /** Bring a line into L2, evicting as needed. */
+    FillResult fillL2(Addr lineAddr, Tick now);
+
+    /** Evict a valid L2 line: recall L1 copies, write back if dirty. */
+    void evictL2Line(CacheLine *slot, Tick now);
+
+    /** Evict a valid L1 line of @p core into the (inclusive) L2. */
+    void evictL1Line(CoreId core, CacheLine *victim);
+
+    /** Write a dirty L1 line's data into L2 without invalidating. */
+    void writebackL1ToL2(CoreId core, CacheLine *line);
+
+    /**
+     * Get the line into core's L1 ready for a load or (exclusive)
+     * store.
+     */
+    FillResult ensureInL1(CoreId core, Addr lineAddr, Tick now,
+                          bool for_store, HitLevel &level);
+
+    std::uint64_t &sharersOf(Addr lineAddr);
+    void clearSharer(Addr lineAddr, CoreId core);
+
+    SystemConfig cfg;
+    sim::StatGroup statGroup;
+    std::vector<std::unique_ptr<Cache>> l1s;
+    Cache l2;
+    MemDevice nvramDev;
+    MemDevice dramDev;
+    WriteCombineBuffer wcbuf;
+    BusMonitor busMonitor;
+    /** lineAddr -> bitmask of L1 caches holding the line. */
+    std::unordered_map<Addr, std::uint64_t> directory;
+    PersistentStoreHook *hook = nullptr;
+    DataWbBarrier dataWbBarrier;
+
+    /** Apply the log-drain barrier for an NVRAM data write-back. */
+    Tick
+    barrierFor(Addr lineAddr, Tick now)
+    {
+        if (dataWbBarrier && cfg.map.isNvram(lineAddr))
+            return std::max(now, dataWbBarrier(now));
+        return now;
+    }
+
+    sim::Counter &coherenceInvalidations;
+    sim::Counter &cacheToCacheTransfers;
+};
+
+} // namespace snf::mem
+
+#endif // SNF_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Write-combining buffer for uncacheable stores (software log writes).
+ *
+ * Models the four-to-six entry cache-line-sized WCB of x86 processors
+ * that the paper's software logging schemes write their uncacheable
+ * log updates through (Sections II-B and III-A).
+ */
+
+#ifndef SNF_MEM_WRITE_COMBINE_BUFFER_HH
+#define SNF_MEM_WRITE_COMBINE_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "mem/mem_device.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+
+/**
+ * A small FIFO of line-sized write-combining entries draining to one
+ * memory device. Stores to an open line coalesce; allocating a new
+ * line when full evicts (flushes) the oldest entry.
+ */
+class WriteCombineBuffer
+{
+  public:
+    WriteCombineBuffer(MemDevice &device, std::uint32_t entries,
+                       std::uint32_t lineBytes);
+
+    /**
+     * Append an uncacheable store of @p size <= 8 bytes.
+     * @return the tick at which the issuing core may proceed (stalls
+     *         only when the buffer is full of in-flight flushes).
+     */
+    Tick append(Addr addr, std::uint32_t size, const void *data,
+                Tick now);
+
+    /** Flush everything (fence); returns the last completion tick. */
+    Tick drainAll(Tick now);
+
+    /** Drop all un-flushed contents (crash model). */
+    void dropAll();
+
+    std::size_t occupancy() const { return entries.size(); }
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Entry
+    {
+        Addr lineAddr;
+        std::uint32_t lo; ///< lowest dirty byte offset in line
+        std::uint32_t hi; ///< one past highest dirty byte offset
+        std::vector<std::uint8_t> data;
+    };
+
+    /** Flush the oldest entry; returns its completion tick. */
+    Tick flushOldest(Tick now);
+
+    MemDevice &dev;
+    std::uint32_t capacity;
+    std::uint32_t lineBytes;
+    std::deque<Entry> entries;
+    /** Completion ticks of issued flushes still in flight. */
+    std::deque<Tick> inflight;
+    Tick lastFlushDone = 0;
+    sim::StatGroup statGroup; // must precede the counter references
+
+  public:
+    sim::Counter &coalescedStores;
+    sim::Counter &flushes;
+};
+
+} // namespace snf::mem
+
+#endif // SNF_MEM_WRITE_COMBINE_BUFFER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The cache Force Write-Back (FWB) engine (paper Sections III-C and
+ * IV-D): a periodic tag scan over every cache level driving the
+ * IDLE -> FLAG -> FWB state machine per line, at a frequency derived
+ * from the log size and NVRAM write bandwidth so that no live log
+ * entry is ever overwritten while its working data is still volatile.
+ */
+
+#ifndef SNF_PERSIST_FWB_ENGINE_HH
+#define SNF_PERSIST_FWB_ENGINE_HH
+
+#include "core/system_config.hh"
+#include "mem/memory_system.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace snf::persist
+{
+
+/** See file comment. */
+class FwbEngine
+{
+  public:
+    FwbEngine(mem::MemorySystem &memory, sim::EventQueue &events,
+              const PersistConfig &config);
+
+    /** Begin periodic scanning (first scan after one period). */
+    void start(Tick now);
+
+    /** Stop scheduling further scans. */
+    void stop() { running = false; }
+
+    Tick period() const { return scanPeriod; }
+
+    /**
+     * Derive the scan period from log size and NVRAM write
+     * bandwidth (Section IV-D): the log can wrap no faster than
+     *     T_wrap = slots * t_entry_write,
+     * and a dirty line needs at most two scans per level across two
+     * levels (4 periods) to reach NVRAM, so with a 2x safety margin
+     *     period = T_wrap / 8.
+     */
+    static Tick derivePeriod(const SystemConfig &config);
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    void scheduleNext(Tick now);
+    void scan(Tick now);
+
+    mem::MemorySystem &mem;
+    sim::EventQueue &events;
+    PersistConfig cfg;
+    Tick scanPeriod;
+    bool running = false;
+    sim::StatGroup statGroup;
+
+  public:
+    sim::Counter &scans;
+    sim::Counter &flagged;
+    sim::Counter &forcedWritebacks;
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_FWB_ENGINE_HH

@@ -1,0 +1,74 @@
+#include "persist/hwl_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::persist
+{
+
+HwlEngine::HwlEngine(PersistMode m, std::vector<LogBuffer *> bufs,
+                     std::vector<LogRegion *> regs,
+                     TxnTracker &tracker)
+    : mode(m),
+      buffers(std::move(bufs)),
+      regions(std::move(regs)),
+      txns(tracker),
+      statGroup("hwl"),
+      updateRecords(statGroup.counter("update_records")),
+      commitRecords(statGroup.counter("commit_records"))
+{
+    SNF_ASSERT(isHardwareLogging(m), "HWL engine with mode %s",
+               persistModeName(m));
+    SNF_ASSERT(!buffers.empty() && buffers.size() == regions.size(),
+               "HWL engine needs matched buffer/region partitions");
+}
+
+LogBuffer &
+HwlEngine::bufferFor(CoreId core)
+{
+    return *buffers[core % buffers.size()];
+}
+
+LogRegion &
+HwlEngine::regionFor(CoreId core)
+{
+    return *regions[core % regions.size()];
+}
+
+Tick
+HwlEngine::onPersistentStore(CoreId core, std::uint64_t txSeq, Addr addr,
+                             std::uint32_t size, std::uint64_t oldVal,
+                             std::uint64_t newVal, Tick now)
+{
+    bool want_undo =
+        mode == PersistMode::HwUlog || mode == PersistMode::Hwl ||
+        mode == PersistMode::Fwb;
+    bool want_redo =
+        mode == PersistMode::HwRlog || mode == PersistMode::Hwl ||
+        mode == PersistMode::Fwb;
+
+    LogRecord rec = LogRecord::update(
+        static_cast<std::uint8_t>(core), TxnTracker::txIdOf(txSeq),
+        addr, static_cast<std::uint8_t>(size),
+        want_undo ? std::optional<std::uint64_t>(oldVal) : std::nullopt,
+        want_redo ? std::optional<std::uint64_t>(newVal)
+                  : std::nullopt);
+    LogBuffer &buf = bufferFor(core);
+    Tick proceed = buf.append(rec, now);
+    regionFor(core).bindSlotTx(buf.lastSlot(), txSeq);
+    updateRecords.inc();
+    return proceed;
+}
+
+Tick
+HwlEngine::onCommit(CoreId core, std::uint64_t txSeq, Tick now)
+{
+    LogRecord rec = LogRecord::commit(static_cast<std::uint8_t>(core),
+                                      TxnTracker::txIdOf(txSeq));
+    LogBuffer &buf = bufferFor(core);
+    Tick proceed = buf.append(rec, now);
+    regionFor(core).bindSlotTx(buf.lastSlot(), txSeq);
+    commitRecords.inc();
+    return proceed;
+}
+
+} // namespace snf::persist

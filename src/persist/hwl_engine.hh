@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Hardware Logging (HWL) engine (paper Section III-B).
+ *
+ * HWL observes every persistent store at the L1 — the old value comes
+ * from the write-allocated cache line, the new value from the
+ * in-flight store — and appends an undo and/or redo record to the log
+ * buffer, with zero instructions executed in the pipeline. Commits
+ * get a "free ride": a single commit record is appended, with no
+ * flushes or barriers (Section III-D).
+ */
+
+#ifndef SNF_PERSIST_HWL_ENGINE_HH
+#define SNF_PERSIST_HWL_ENGINE_HH
+
+#include <vector>
+
+#include "core/system_config.hh"
+#include "mem/memory_system.hh"
+#include "persist/log_buffer.hh"
+#include "persist/txn_tracker.hh"
+#include "sim/stats.hh"
+
+namespace snf::persist
+{
+
+/** See file comment. */
+class HwlEngine : public mem::PersistentStoreHook
+{
+  public:
+    /**
+     * @param buffers one (log buffer, region) pair per log
+     *        partition; with centralized logging the vectors have
+     *        one element, with distributed logs one per core
+     *        (records route by core id, Section III-F).
+     */
+    HwlEngine(PersistMode mode, std::vector<LogBuffer *> buffers,
+              std::vector<LogRegion *> regions, TxnTracker &txns);
+
+    /**
+     * Cache-triggered logging of one persistent store. Returns the
+     * tick the store may proceed at (log-buffer back-pressure).
+     */
+    Tick onPersistentStore(CoreId core, std::uint64_t txSeq, Addr addr,
+                           std::uint32_t size, std::uint64_t oldVal,
+                           std::uint64_t newVal, Tick now) override;
+
+    /** Append the commit record for @p txSeq. */
+    Tick onCommit(CoreId core, std::uint64_t txSeq, Tick now);
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    LogBuffer &bufferFor(CoreId core);
+    LogRegion &regionFor(CoreId core);
+
+    PersistMode mode;
+    std::vector<LogBuffer *> buffers;
+    std::vector<LogRegion *> regions;
+    TxnTracker &txns;
+    sim::StatGroup statGroup;
+
+  public:
+    sim::Counter &updateRecords;
+    sim::Counter &commitRecords;
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_HWL_ENGINE_HH

@@ -1,0 +1,161 @@
+#include "persist/log_buffer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mem/bus_monitor.hh"
+#include "mem/mem_device.hh"
+#include "sim/logging.hh"
+
+namespace snf::persist
+{
+
+LogBuffer::LogBuffer(LogRegion &logRegion, mem::MemDevice &dev,
+                     mem::BusMonitor *busMonitor, std::uint32_t entries,
+                     std::uint32_t nvramLineBytes, bool tornTestMode)
+    : region(logRegion),
+      nvram(dev),
+      monitor(busMonitor),
+      capacity(entries),
+      lineBytes(nvramLineBytes),
+      tornTest(tornTestMode),
+      statGroup("log_buffer"),
+      recordsAppended(statGroup.counter("records")),
+      groupsDrained(statGroup.counter("groups")),
+      bytesDrained(statGroup.counter("bytes")),
+      stalls(statGroup.counter("stalls")),
+      stallCycles(statGroup.counter("stall_cycles"))
+{
+}
+
+Tick
+LogBuffer::flushGroup(Tick now)
+{
+    SNF_ASSERT(hasOpen, "flush with no open group");
+    Tick issue = std::max(now, lastDrainDone);
+    Tick done;
+    if (tornTest) {
+        // Per-slot split drain with distinct completion ticks so a
+        // crash can land inside a record (torn-bit tests, I5). The
+        // payload bytes [8..32) are written before the header word
+        // [0..8) that carries the written marker and torn bit, so a
+        // partially-arrived record is never mistaken for a valid one.
+        done = issue;
+        std::uint32_t slot_bytes = LogRecord::kSlotBytes;
+        for (std::size_t s = 0; s * slot_bytes < open.bytes.size();
+             ++s) {
+            Addr slot_base = open.base + s * slot_bytes;
+            const std::uint8_t *src =
+                open.bytes.data() + s * slot_bytes;
+            auto r1 = nvram.access(true, slot_base + 8,
+                                   slot_bytes - 8, src + 8, nullptr,
+                                   done, true);
+            auto r2 = nvram.access(true, slot_base, 8, src, nullptr,
+                                   r1.done, true);
+            done = r2.done;
+        }
+    } else {
+        auto res = nvram.access(true, open.base, open.bytes.size(),
+                                open.bytes.data(), nullptr, issue,
+                                true);
+        done = res.done;
+    }
+    lastDrainDone = done;
+    groupsDrained.inc();
+    bytesDrained.inc(open.bytes.size());
+    if (monitor) {
+        for (auto &[dataLine, appendTick] : open.covered)
+            monitor->onLogDrain(dataLine, appendTick, done);
+    }
+    inflight.emplace_back(open.records, done);
+    hasOpen = false;
+    open = Group{};
+    return done;
+}
+
+std::size_t
+LogBuffer::occupancy(Tick now) const
+{
+    while (!inflight.empty() && inflight.front().second <= now)
+        inflight.pop_front();
+    std::size_t n = hasOpen ? open.records : 0;
+    for (auto &[records, done] : inflight)
+        n += records;
+    return n;
+}
+
+Tick
+LogBuffer::append(const LogRecord &rec, Tick now)
+{
+    auto reservation = region.reserve(rec, now);
+    lastReservedSlot = reservation.slot;
+
+    std::uint8_t slot_img[LogRecord::kSlotBytes];
+    rec.serialize(slot_img, reservation.torn);
+
+    Addr line = reservation.addr & ~static_cast<Addr>(lineBytes - 1);
+    bool contiguous =
+        hasOpen && line == open.lineAddr &&
+        reservation.addr == open.base + open.bytes.size();
+    if (hasOpen && !contiguous)
+        flushGroup(now);
+
+    if (!hasOpen) {
+        hasOpen = true;
+        open.lineAddr = line;
+        open.base = reservation.addr;
+    }
+    open.bytes.insert(open.bytes.end(), slot_img,
+                      slot_img + LogRecord::kSlotBytes);
+    open.records += 1;
+    recordsAppended.inc();
+
+    Addr data_line = rec.addr & ~static_cast<Addr>(lineBytes - 1);
+    if (monitor && !rec.isCommit) {
+        monitor->onLogAppend(data_line, now);
+        open.covered.emplace_back(data_line, now);
+    }
+
+    Tick proceed = now;
+    if (capacity == 0) {
+        // No log buffer: the record is forced onto the NVRAM bus and
+        // the store waits for the bus to accept it.
+        Tick issue = std::max(now, lastDrainDone);
+        flushGroup(now);
+        proceed = issue;
+        if (issue > now)
+            stalls.inc();
+    } else if (occupancy(now) > capacity) {
+        // FIFO full: stall the store until the oldest group retires.
+        if (hasOpen)
+            flushGroup(now);
+        while (occupancy(proceed) > capacity && !inflight.empty()) {
+            proceed = inflight.front().second;
+            inflight.pop_front();
+        }
+        if (proceed > now) {
+            stalls.inc();
+            stallCycles.inc(proceed - now);
+        }
+    }
+    return proceed;
+}
+
+Tick
+LogBuffer::drainAll(Tick now)
+{
+    Tick done = lastDrainDone;
+    if (hasOpen)
+        done = flushGroup(now);
+    return std::max(done, now);
+}
+
+void
+LogBuffer::dropAll()
+{
+    hasOpen = false;
+    open = Group{};
+    inflight.clear();
+}
+
+} // namespace snf::persist

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The optional volatile log buffer in the memory controller (paper
+ * Section IV-C): a small FIFO that receives HWL log records, coalesces
+ * records that fall into the same NVRAM line (consecutive slots), and
+ * drains them to the circular log region in order.
+ *
+ * With N entries, a record takes roughly N cycles to reach the NVRAM
+ * bus, so N is bounded by the minimum time a data store needs to
+ * traverse the cache hierarchy — this preserves the inherent
+ * log-before-data ordering guarantee (Section III-B).
+ */
+
+#ifndef SNF_PERSIST_LOG_BUFFER_HH
+#define SNF_PERSIST_LOG_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "persist/log_record.hh"
+#include "persist/log_region.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+class MemDevice;
+class BusMonitor;
+} // namespace snf::mem
+
+namespace snf::persist
+{
+
+/** See file comment. */
+class LogBuffer
+{
+  public:
+    /**
+     * @param entries FIFO capacity; 0 models "no log buffer": every
+     *        record is forced onto the NVRAM bus immediately and the
+     *        store stalls until the bus accepts it.
+     * @param tornTestMode drain records word-by-word with distinct
+     *        completion ticks so crash tests can observe torn records.
+     */
+    LogBuffer(LogRegion &region, mem::MemDevice &nvram,
+              mem::BusMonitor *monitor, std::uint32_t entries,
+              std::uint32_t nvramLineBytes, bool tornTestMode = false);
+
+    /**
+     * Append one record.
+     * @return the tick at which the triggering store may proceed
+     *         (== @p now unless the buffer exerts back-pressure).
+     */
+    Tick append(const LogRecord &rec, Tick now);
+
+    /** Reservation slot of the most recent append (for tx binding). */
+    std::uint64_t lastSlot() const { return lastReservedSlot; }
+
+    /** Flush everything; returns the last drain-completion tick. */
+    Tick drainAll(Tick now);
+
+    /** Drop buffered, un-drained records (crash model). */
+    void dropAll();
+
+    /** Records currently buffered or in flight at @p now. */
+    std::size_t occupancy(Tick now) const;
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Group
+    {
+        Addr lineAddr; ///< NVRAM line the group's slots fall in
+        Addr base;     ///< first byte address of the group
+        std::vector<std::uint8_t> bytes;
+        /** Data lines covered, for bus-monitor bookkeeping. */
+        std::vector<std::pair<Addr, Tick>> covered;
+        std::uint32_t records = 0;
+    };
+
+    /** Issue the open group to the NVRAM bus; returns completion. */
+    Tick flushGroup(Tick now);
+
+    LogRegion &region;
+    mem::MemDevice &nvram;
+    mem::BusMonitor *monitor;
+    std::uint32_t capacity;
+    std::uint32_t lineBytes;
+    bool tornTest;
+
+    Group open;
+    bool hasOpen = false;
+    Tick lastDrainDone = 0;
+    std::uint64_t lastReservedSlot = 0;
+    /** (recordCount, doneTick) of issued groups still in flight. */
+    mutable std::deque<std::pair<std::uint32_t, Tick>> inflight;
+
+    sim::StatGroup statGroup;
+
+  public:
+    sim::Counter &recordsAppended;
+    sim::Counter &groupsDrained;
+    sim::Counter &bytesDrained;
+    sim::Counter &stalls;
+    sim::Counter &stallCycles;
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_LOG_BUFFER_HH

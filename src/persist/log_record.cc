@@ -1,0 +1,111 @@
+#include "persist/log_record.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snf::persist
+{
+
+LogRecord
+LogRecord::update(std::uint8_t thread, std::uint16_t tx, Addr addr,
+                  std::uint8_t size,
+                  std::optional<std::uint64_t> undoVal,
+                  std::optional<std::uint64_t> redoVal)
+{
+    SNF_ASSERT(size > 0 && size <= 8, "log record size %u", size);
+    SNF_ASSERT(undoVal || redoVal, "log record without values");
+    LogRecord r;
+    r.thread = thread;
+    r.tx = tx;
+    r.addr = addr & 0x0000ffffffffffffULL;
+    r.size = size;
+    if (undoVal) {
+        r.hasUndo = true;
+        r.undo = *undoVal;
+    }
+    if (redoVal) {
+        r.hasRedo = true;
+        r.redo = *redoVal;
+    }
+    return r;
+}
+
+LogRecord
+LogRecord::commit(std::uint8_t thread, std::uint16_t tx)
+{
+    LogRecord r;
+    r.thread = thread;
+    r.tx = tx;
+    r.isCommit = true;
+    r.size = 0;
+    return r;
+}
+
+std::uint32_t
+LogRecord::payloadBytes() const
+{
+    std::uint32_t n = kHeaderBytes;
+    if (hasUndo)
+        n += 8;
+    if (hasRedo)
+        n += 8;
+    return n;
+}
+
+void
+LogRecord::serialize(std::uint8_t out[kSlotBytes], bool torn) const
+{
+    std::memset(out, 0, kSlotBytes);
+    std::uint8_t flags = kFlagWritten;
+    if (torn)
+        flags |= kFlagTorn;
+    if (hasUndo)
+        flags |= kFlagHasUndo;
+    if (hasRedo)
+        flags |= kFlagHasRedo;
+    if (isCommit)
+        flags |= kFlagCommit;
+    out[0] = flags;
+    out[1] = thread;
+    std::memcpy(out + 2, &tx, 2);
+    out[4] = size;
+    std::uint64_t a = addr & 0x0000ffffffffffffULL;
+    std::memcpy(out + 8, &a, 8);
+    std::uint32_t off = kHeaderBytes;
+    if (hasUndo) {
+        std::memcpy(out + off, &undo, 8);
+        off += 8;
+    }
+    if (hasRedo)
+        std::memcpy(out + off, &redo, 8);
+}
+
+std::optional<LogRecord>
+LogRecord::deserialize(const std::uint8_t in[kSlotBytes], bool &tornOut)
+{
+    std::uint8_t flags = in[0];
+    if (!(flags & kFlagWritten))
+        return std::nullopt;
+    tornOut = (flags & kFlagTorn) != 0;
+    LogRecord r;
+    r.thread = in[1];
+    std::memcpy(&r.tx, in + 2, 2);
+    r.size = in[4];
+    std::uint64_t a = 0;
+    std::memcpy(&a, in + 8, 8);
+    r.addr = a;
+    r.hasUndo = (flags & kFlagHasUndo) != 0;
+    r.hasRedo = (flags & kFlagHasRedo) != 0;
+    r.isCommit = (flags & kFlagCommit) != 0;
+    std::uint32_t off = kHeaderBytes;
+    if (r.hasUndo) {
+        std::memcpy(&r.undo, in + off, 8);
+        off += 8;
+    }
+    if (r.hasRedo)
+        std::memcpy(&r.redo, in + off, 8);
+    return r;
+}
+
+} // namespace snf::persist

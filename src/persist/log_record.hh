@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Undo+redo log record format (paper Figure 3(a)).
+ *
+ * A record carries a torn bit, a 16-bit transaction ID, an 8-bit
+ * thread ID, a 48-bit physical address, and word-sized undo and redo
+ * values. Records occupy fixed 32-byte slots in the circular log; the
+ * bytes actually written to NVRAM (and counted as traffic) depend on
+ * which values are present: 16 B header, plus 8 B per value.
+ */
+
+#ifndef SNF_PERSIST_LOG_RECORD_HH
+#define SNF_PERSIST_LOG_RECORD_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace snf::persist
+{
+
+/** One undo/redo/commit log record. */
+struct LogRecord
+{
+    static constexpr std::uint32_t kSlotBytes = 32;
+    static constexpr std::uint32_t kHeaderBytes = 16;
+
+    // Flag bits in the serialized header.
+    static constexpr std::uint8_t kFlagTorn = 1u << 0;
+    static constexpr std::uint8_t kFlagHasUndo = 1u << 1;
+    static constexpr std::uint8_t kFlagHasRedo = 1u << 2;
+    static constexpr std::uint8_t kFlagCommit = 1u << 3;
+    static constexpr std::uint8_t kFlagWritten = 1u << 7;
+
+    std::uint8_t thread = 0;
+    std::uint16_t tx = 0;
+    std::uint8_t size = 8; ///< store footprint in bytes (<= 8)
+    bool hasUndo = false;
+    bool hasRedo = false;
+    bool isCommit = false;
+    Addr addr = 0; ///< 48-bit physical address of the update
+    std::uint64_t undo = 0;
+    std::uint64_t redo = 0;
+
+    /** Make an update record. */
+    static LogRecord update(std::uint8_t thread, std::uint16_t tx,
+                            Addr addr, std::uint8_t size,
+                            std::optional<std::uint64_t> undoVal,
+                            std::optional<std::uint64_t> redoVal);
+
+    /** Make a transaction-commit record. */
+    static LogRecord commit(std::uint8_t thread, std::uint16_t tx);
+
+    /** Bytes of NVRAM traffic this record costs. */
+    std::uint32_t payloadBytes() const;
+
+    /**
+     * Serialize into a 32-byte slot image with the given torn-bit
+     * value. Unused tail bytes are zeroed.
+     */
+    void serialize(std::uint8_t out[kSlotBytes], bool torn) const;
+
+    /**
+     * Parse a slot image. Returns nullopt if the slot was never
+     * written (no written-marker). @p tornOut receives the torn bit.
+     */
+    static std::optional<LogRecord>
+    deserialize(const std::uint8_t in[kSlotBytes], bool &tornOut);
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_LOG_RECORD_HH

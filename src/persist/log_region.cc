@@ -1,0 +1,161 @@
+#include "persist/log_region.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mem/mem_device.hh"
+#include "sim/logging.hh"
+
+namespace snf::persist
+{
+
+LogRegion::LogRegion(Addr base, std::uint64_t size,
+                     mem::MemDevice &dev, const std::string &statName)
+    : regionBase(base),
+      regionSize(size),
+      nvram(dev),
+      slots((size - kHeaderBytes) / LogRecord::kSlotBytes),
+      meta(slots),
+      statGroup(statName),
+      appends(statGroup.counter("appends")),
+      wraps(statGroup.counter("wraps")),
+      reclaims(statGroup.counter("reclaims")),
+      hazards(statGroup.counter("overwrite_hazards")),
+      truncates(statGroup.counter("truncates"))
+{
+    SNF_ASSERT(slots > 2, "log too small: %llu slots",
+               static_cast<unsigned long long>(slots));
+}
+
+LogRegion::LogRegion(const AddressMap &addressMap, mem::MemDevice &dev)
+    : LogRegion(addressMap.logBase(), addressMap.logSize, dev)
+{
+}
+
+Addr
+LogRegion::slotAddr(std::uint64_t slot) const
+{
+    SNF_ASSERT(slot < slots, "slot %llu out of range",
+               static_cast<unsigned long long>(slot));
+    return regionBase + kHeaderBytes + slot * LogRecord::kSlotBytes;
+}
+
+void
+LogRegion::persistHeader(Tick now)
+{
+    std::uint8_t hdr[kHeaderBytes] = {};
+    std::memcpy(hdr, &kMagic, 8);
+    std::memcpy(hdr + 8, &slots, 8);
+    std::memcpy(hdr + 16, &pass, 8);
+    std::memcpy(hdr + 24, &tail, 8);
+    nvram.access(true, regionBase, kHeaderBytes, hdr, nullptr, now,
+                 true);
+}
+
+void
+LogRegion::create()
+{
+    tail = 0;
+    pass = 1;
+    for (auto &m : meta)
+        m = SlotMeta{};
+    persistHeader(0);
+}
+
+LogRegion::Reservation
+LogRegion::reserve(const LogRecord &rec, Tick now)
+{
+    std::uint64_t slot = tail;
+    SlotMeta &m = meta[slot];
+
+    if (m.valid) {
+        // Reclaiming the oldest live entry (the log has wrapped).
+        reclaims.inc();
+        bool hazard = false;
+        if (!m.isCommit) {
+            if (txActive && txActive(m.txSeq)) {
+                // An active transaction's record is being destroyed:
+                // the transaction can no longer be rolled back.
+                hazard = true;
+            } else if (persistedSince &&
+                       !persistedSince(m.addr, m.appendTick)) {
+                // The working data guarded by this record has not
+                // reached NVRAM since the record was appended.
+                hazard = true;
+            }
+        }
+        if (hazard) {
+            hazards.inc();
+            if (hazardSink)
+                hazardSink();
+        }
+    }
+
+    m.valid = true;
+    m.isCommit = rec.isCommit;
+    m.addr = rec.addr;
+    m.appendTick = now;
+    m.txSeq = 0;
+
+    Reservation res{slot, slotAddr(slot), currentTorn()};
+    appends.inc();
+    tail = (tail + 1) % slots;
+    if (tail == 0) {
+        ++pass;
+        wraps.inc();
+    }
+    return res;
+}
+
+void
+LogRegion::bindSlotTx(std::uint64_t slot, std::uint64_t txSeq)
+{
+    meta[slot].txSeq = txSeq;
+}
+
+void
+LogRegion::truncate(Tick now)
+{
+    tail = 0;
+    pass = 1;
+    for (auto &m : meta)
+        m = SlotMeta{};
+    // Clear the written markers of every slot. This keeps the
+    // torn-bit window scan sound: at any instant the slot array holds
+    // records of at most two adjacent passes. Truncation is rare
+    // (log_create and post-recovery), so the sequential-write cost is
+    // acceptable and is charged to the NVRAM device.
+    clearSlots(now);
+    persistHeader(now);
+    truncates.inc();
+}
+
+void
+LogRegion::clearSlots(Tick now)
+{
+    static constexpr std::uint64_t kChunk = 1024;
+    std::uint8_t zeros[kChunk] = {};
+    Addr begin = slotAddr(0);
+    std::uint64_t bytes = slots * LogRecord::kSlotBytes;
+    for (std::uint64_t off = 0; off < bytes; off += kChunk) {
+        std::uint64_t n = std::min(kChunk, bytes - off);
+        nvram.access(true, begin + off, n, zeros, nullptr, now,
+                     true);
+    }
+}
+
+void
+LogRegion::grow(std::uint64_t newBytes, Tick now)
+{
+    SNF_ASSERT(newBytes > kHeaderBytes + 2 * LogRecord::kSlotBytes,
+               "log_grow target too small");
+    regionSize = newBytes;
+    slots = (newBytes - kHeaderBytes) / LogRecord::kSlotBytes;
+    meta.assign(slots, SlotMeta{});
+    tail = 0;
+    pass = 1;
+    clearSlots(now);
+    persistHeader(now);
+}
+
+} // namespace snf::persist

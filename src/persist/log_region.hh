@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The single-producer single-consumer circular undo+redo log living in
+ * NVRAM (paper Section III-A), with Lamport-style concurrent append/
+ * truncate, torn-bit pass tracking, and reclamation hazard checks
+ * (invariant I4: no live log entry may be overwritten while the
+ * working data it protects is still volatile).
+ */
+
+#ifndef SNF_PERSIST_LOG_REGION_HH
+#define SNF_PERSIST_LOG_REGION_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "persist/log_record.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::mem
+{
+class MemDevice;
+} // namespace snf::mem
+
+namespace snf::persist
+{
+
+/**
+ * Manages slot allocation in the circular log. The volatile head and
+ * tail pointers model the special registers of Section IV-B; a small
+ * persisted header at the log base records the geometry (and is
+ * refreshed on truncation). The torn bit of each record flips on each
+ * pass over the log so recovery can find the window boundary without
+ * a persisted tail pointer (Section IV-F).
+ */
+class LogRegion
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x534e464c4f470001ULL;
+    static constexpr std::uint32_t kHeaderBytes = 64;
+
+    struct Reservation
+    {
+        std::uint64_t slot;
+        Addr addr;
+        bool torn;
+    };
+
+    /** A log region over [base, base+size) in NVRAM. */
+    LogRegion(Addr base, std::uint64_t size, mem::MemDevice &nvram,
+              const std::string &statName = "log");
+
+    /** Convenience: the (centralized) log region of an address map. */
+    LogRegion(const AddressMap &map, mem::MemDevice &nvram);
+
+    /** Write the persistent header (log_create()). */
+    void create();
+
+    /**
+     * Reserve the next slot for @p rec, reclaiming the oldest entry
+     * when the log has wrapped. @p now is the append tick, used for
+     * reclamation-hazard evaluation.
+     */
+    Reservation reserve(const LogRecord &rec, Tick now);
+
+    /**
+     * Truncate the whole log (log_truncate()): every entry becomes
+     * dead and the persisted header is refreshed.
+     */
+    void truncate(Tick now);
+
+    /**
+     * Resize the log (log_grow()). Only legal while no transaction is
+     * active; resets the log to empty.
+     */
+    void grow(std::uint64_t newBytes, Tick now);
+
+    std::uint64_t slotCount() const { return slots; }
+
+    std::uint64_t tailSlot() const { return tail; }
+
+    std::uint64_t passNumber() const { return pass; }
+
+    Addr slotAddr(std::uint64_t slot) const;
+
+    /** Current torn-bit value for new appends. */
+    bool currentTorn() const { return (pass & 1) != 0; }
+
+    /**
+     * Predicate: is the line containing this address persistent (was
+     * it written back to NVRAM after the given tick)? Wired by the
+     * System to the memory hierarchy + bus monitor.
+     */
+    using PersistedSincePred = std::function<bool(Addr, Tick)>;
+    using TxActivePred = std::function<bool(std::uint64_t)>;
+    using HazardSink = std::function<void()>;
+
+    void setPersistedSince(PersistedSincePred p) { persistedSince = p; }
+
+    void setTxActive(TxActivePred p) { txActive = p; }
+
+    void setHazardSink(HazardSink h) { hazardSink = h; }
+
+    /** Associate the just-reserved slot with a transaction sequence. */
+    void bindSlotTx(std::uint64_t slot, std::uint64_t txSeq);
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    sim::StatGroup statGroup; // must precede the counter references
+
+  public:
+    sim::Counter &appends;
+    sim::Counter &wraps;
+    sim::Counter &reclaims;
+    sim::Counter &hazards;
+    sim::Counter &truncates;
+
+  private:
+    /** Zero-fill the slot array's written markers in NVRAM. */
+    void clearSlots(Tick now);
+
+    struct SlotMeta
+    {
+        bool valid = false;
+        bool isCommit = false;
+        Addr addr = 0;
+        Tick appendTick = 0;
+        std::uint64_t txSeq = 0;
+    };
+
+    void persistHeader(Tick now);
+
+    Addr regionBase;
+    std::uint64_t regionSize;
+    mem::MemDevice &nvram;
+    std::uint64_t slots;
+    std::uint64_t tail = 0;
+    std::uint64_t pass = 1;
+    std::vector<SlotMeta> meta;
+
+    PersistedSincePred persistedSince;
+    TxActivePred txActive;
+    HazardSink hazardSink;
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_LOG_REGION_HH

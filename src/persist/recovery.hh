@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Post-crash recovery (paper Section IV-F): locate the valid log
+ * window via the torn-bit boundary scan, replay redo values of
+ * committed transactions in log order, roll back uncommitted
+ * transactions with undo values in reverse order, and truncate the
+ * log. All recovery writes bypass the (volatile, reset) caches and go
+ * directly to the NVRAM image.
+ */
+
+#ifndef SNF_PERSIST_RECOVERY_HH
+#define SNF_PERSIST_RECOVERY_HH
+
+#include <cstdint>
+
+#include "core/system_config.hh"
+#include "mem/backing_store.hh"
+#include "sim/types.hh"
+
+namespace snf::persist
+{
+
+/** Outcome summary of one recovery pass. */
+struct RecoveryReport
+{
+    bool headerValid = false;
+    std::uint64_t slotsScanned = 0;
+    std::uint64_t validRecords = 0;
+    std::uint64_t committedTxns = 0;
+    std::uint64_t uncommittedTxns = 0;
+    std::uint64_t redoApplied = 0;
+    std::uint64_t undoApplied = 0;
+};
+
+/** See file comment. */
+class Recovery
+{
+  public:
+    /**
+     * Recover the NVRAM image in place.
+     * @param image   the (crash-snapshot) NVRAM backing store
+     * @param map     the system's address map (log location)
+     * @param truncateLog clear the log window after replay (default),
+     *        matching the paper's Step 4; disable to test idempotence
+     *        of the replay itself.
+     */
+    static RecoveryReport run(mem::BackingStore &image,
+                              const AddressMap &map,
+                              bool truncateLog = true);
+
+    /** Recover one log region at [logBase, logBase+logSize). */
+    static RecoveryReport recoverRegion(mem::BackingStore &image,
+                                        Addr logBase,
+                                        std::uint64_t logSize,
+                                        bool truncateLog = true);
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_RECOVERY_HH

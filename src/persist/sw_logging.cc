@@ -1,0 +1,111 @@
+#include "persist/sw_logging.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snf::persist
+{
+
+SwLogging::SwLogging(PersistMode m, mem::MemorySystem &memory,
+                     LogRegion &logRegion)
+    : mode(m),
+      mem(memory),
+      region(logRegion),
+      statGroup("sw_log"),
+      updateRecords(statGroup.counter("update_records")),
+      commitRecords(statGroup.counter("commit_records")),
+      injectedInstructions(statGroup.counter("injected_instructions"))
+{
+    SNF_ASSERT(isSoftwareLogging(m), "SW logging with mode %s",
+               persistModeName(m));
+}
+
+void
+SwLogging::writeRecordViaWcb(const LogRecord &rec, std::uint64_t txSeq,
+                             Result &res, Tick now)
+{
+    auto reservation = region.reserve(rec, now);
+    region.bindSlotTx(reservation.slot, txSeq);
+
+    std::uint8_t img[LogRecord::kSlotBytes];
+    rec.serialize(img, reservation.torn);
+
+    // One uncacheable store per 8-byte word of the record payload.
+    std::uint32_t bytes = rec.payloadBytes();
+    Tick t = std::max(res.done, now);
+    for (std::uint32_t off = 0; off < bytes; off += 8) {
+        std::uint32_t n = std::min<std::uint32_t>(8, bytes - off);
+        t = std::max(t, mem.uncacheableWrite(reservation.addr + off, n,
+                                             img + off, t));
+        res.instructions += 1;
+        res.logStores += 1;
+    }
+    res.done = t;
+}
+
+namespace
+{
+// Software logging is a library call per store: log-pointer
+// arithmetic, bounds/overflow checks, record formatting (paper
+// Figure 2(a) micro-ops). These instructions retire alongside the
+// log loads/stores counted separately.
+constexpr std::uint32_t kLogMgmtInstrPerStore = 8;
+constexpr std::uint32_t kLogMgmtInstrPerCommit = 4;
+} // namespace
+
+SwLogging::Result
+SwLogging::logStore(CoreId core, std::uint64_t txSeq, Addr addr,
+                    std::uint32_t size, std::uint64_t newVal, Tick now)
+{
+    Result res;
+    res.done = now + kLogMgmtInstrPerStore / 4;
+    res.instructions += kLogMgmtInstrPerStore;
+
+    std::uint64_t old_val = 0;
+    if (wantsUndo()) {
+        // The undo value must be read from the cache hierarchy
+        // explicitly (extra load instruction and memory traffic).
+        auto lr = mem.load(core, addr, size, &old_val, res.done);
+        res.done = lr.done;
+        res.instructions += 1;
+        res.logLoads += 1;
+    }
+
+    LogRecord rec = LogRecord::update(
+        static_cast<std::uint8_t>(core), TxnTracker::txIdOf(txSeq),
+        addr, static_cast<std::uint8_t>(size),
+        wantsUndo() ? std::optional<std::uint64_t>(old_val)
+                    : std::nullopt,
+        wantsRedo() ? std::optional<std::uint64_t>(newVal)
+                    : std::nullopt);
+    writeRecordViaWcb(rec, txSeq, res, now);
+    updateRecords.inc();
+
+    if (needsPreStoreBarrier()) {
+        // Redo logging: the log entry must be durable before the
+        // in-place data write may proceed (Figure 1(b) dashed line).
+        res.done = std::max(res.done, mem.drainWcb(res.done));
+        res.instructions += 1;
+        res.fences += 1;
+    }
+
+    injectedInstructions.inc(res.instructions);
+    return res;
+}
+
+SwLogging::Result
+SwLogging::logCommit(CoreId core, std::uint64_t txSeq, Tick now)
+{
+    Result res;
+    res.done = now + kLogMgmtInstrPerCommit / 4;
+    res.instructions += kLogMgmtInstrPerCommit;
+    LogRecord rec = LogRecord::commit(static_cast<std::uint8_t>(core),
+                                      TxnTracker::txIdOf(txSeq));
+    writeRecordViaWcb(rec, txSeq, res, now);
+    commitRecords.inc();
+    injectedInstructions.inc(res.instructions);
+    return res;
+}
+
+} // namespace snf::persist

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Software logging runtime for the baseline persistence schemes
+ * (paper Figures 1 and 2): explicit logging instructions injected
+ * into the instruction stream, uncacheable log stores through the
+ * write-combining buffer, old-value loads for undo logging, and the
+ * memory barrier redo logging needs between the log write and the
+ * in-place data write.
+ */
+
+#ifndef SNF_PERSIST_SW_LOGGING_HH
+#define SNF_PERSIST_SW_LOGGING_HH
+
+#include "core/system_config.hh"
+#include "mem/memory_system.hh"
+#include "persist/log_region.hh"
+#include "persist/txn_tracker.hh"
+#include "sim/stats.hh"
+
+namespace snf::persist
+{
+
+/** See file comment. */
+class SwLogging
+{
+  public:
+    /** Cost of the injected logging work for one operation. */
+    struct Result
+    {
+        Tick done = 0;
+        std::uint32_t instructions = 0;
+        std::uint32_t logStores = 0;
+        std::uint32_t logLoads = 0;
+        std::uint32_t fences = 0;
+    };
+
+    SwLogging(PersistMode mode, mem::MemorySystem &memory,
+              LogRegion &region);
+
+    /**
+     * Log one persistent store about to be performed (must be called
+     * before the data write; undo logging reads the old value).
+     */
+    Result logStore(CoreId core, std::uint64_t txSeq, Addr addr,
+                    std::uint32_t size, std::uint64_t newVal, Tick now);
+
+    /** Write the commit record (no flushes; the caller orders them). */
+    Result logCommit(CoreId core, std::uint64_t txSeq, Tick now);
+
+    bool
+    wantsUndo() const
+    {
+        return mode == PersistMode::UnsafeUndo ||
+               mode == PersistMode::UndoClwb;
+    }
+
+    bool
+    wantsRedo() const
+    {
+        return mode == PersistMode::UnsafeRedo ||
+               mode == PersistMode::RedoClwb;
+    }
+
+    /** Redo logging needs a barrier before the in-place data write. */
+    bool
+    needsPreStoreBarrier() const
+    {
+        return mode == PersistMode::RedoClwb;
+    }
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    /**
+     * Write a serialized record into its reserved log slot as a
+     * sequence of <= 8-byte uncacheable stores through the WCB.
+     */
+    void writeRecordViaWcb(const LogRecord &rec, std::uint64_t txSeq,
+                           Result &res, Tick now);
+
+    PersistMode mode;
+    mem::MemorySystem &mem;
+    LogRegion &region;
+    sim::StatGroup statGroup;
+
+  public:
+    sim::Counter &updateRecords;
+    sim::Counter &commitRecords;
+    sim::Counter &injectedInstructions;
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_SW_LOGGING_HH

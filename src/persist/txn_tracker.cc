@@ -1,0 +1,65 @@
+#include "persist/txn_tracker.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::persist
+{
+
+TxnTracker::TxnTracker()
+    : statGroup("txn"),
+      begun(statGroup.counter("begun")),
+      committed(statGroup.counter("committed"))
+{
+}
+
+std::uint64_t
+TxnTracker::begin(CoreId thread)
+{
+    std::uint64_t seq = nextSeq++;
+    Txn t;
+    t.thread = thread;
+    active.emplace(seq, std::move(t));
+    begun.inc();
+    return seq;
+}
+
+void
+TxnTracker::commit(std::uint64_t seq)
+{
+    auto it = active.find(seq);
+    SNF_ASSERT(it != active.end(), "commit of unknown txn %llu",
+               static_cast<unsigned long long>(seq));
+    active.erase(it);
+    committed.inc();
+}
+
+void
+TxnTracker::abort(std::uint64_t seq)
+{
+    active.erase(seq);
+}
+
+bool
+TxnTracker::isActive(std::uint64_t seq) const
+{
+    return active.count(seq) != 0;
+}
+
+void
+TxnTracker::recordWrite(std::uint64_t seq, Addr lineAddr)
+{
+    auto it = active.find(seq);
+    SNF_ASSERT(it != active.end(), "write in unknown txn %llu",
+               static_cast<unsigned long long>(seq));
+    if (it->second.seen.insert(lineAddr).second)
+        it->second.writeLines.push_back(lineAddr);
+}
+
+const std::vector<Addr> &
+TxnTracker::writeSet(std::uint64_t seq) const
+{
+    auto it = active.find(seq);
+    return it == active.end() ? emptySet : it->second.writeLines;
+}
+
+} // namespace snf::persist

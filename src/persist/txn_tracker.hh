@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Bookkeeping for active persistent-memory transactions: physical
+ * transaction IDs (the 8-bit special register of Section IV-B),
+ * globally unique sequence numbers, and per-transaction write-sets
+ * (the lines that clwb-based commit modes must flush).
+ */
+
+#ifndef SNF_PERSIST_TXN_TRACKER_HH
+#define SNF_PERSIST_TXN_TRACKER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snf::persist
+{
+
+/** See file comment. */
+class TxnTracker
+{
+  public:
+    TxnTracker();
+
+    /** Begin a transaction on @p thread; returns its sequence. */
+    std::uint64_t begin(CoreId thread);
+
+    /** Commit the transaction with sequence @p seq. */
+    void commit(std::uint64_t seq);
+
+    /** Abort bookkeeping (crash modeling / tests). */
+    void abort(std::uint64_t seq);
+
+    /** Is the transaction with this sequence still active? */
+    bool isActive(std::uint64_t seq) const;
+
+    /** The 16-bit log-record transaction ID for a sequence. */
+    static TxId
+    txIdOf(std::uint64_t seq)
+    {
+        return static_cast<TxId>(seq & 0xffff);
+    }
+
+    /** Record a written line for the write-set. */
+    void recordWrite(std::uint64_t seq, Addr lineAddr);
+
+    /** Distinct lines written by the transaction, append order. */
+    const std::vector<Addr> &writeSet(std::uint64_t seq) const;
+
+    std::size_t activeCount() const { return active.size(); }
+
+    sim::StatGroup &stats() { return statGroup; }
+
+  private:
+    struct Txn
+    {
+        CoreId thread = 0;
+        std::vector<Addr> writeLines;
+        std::unordered_set<Addr> seen;
+    };
+
+    std::uint64_t nextSeq = 1;
+    std::unordered_map<std::uint64_t, Txn> active;
+    std::vector<Addr> emptySet;
+    sim::StatGroup statGroup; // must precede the counter references
+
+  public:
+    sim::Counter &begun;
+    sim::Counter &committed;
+};
+
+} // namespace snf::persist
+
+#endif // SNF_PERSIST_TXN_TRACKER_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Minimal lazy coroutine task type, Co<T>, used to express simulated
+ * workload threads in direct style.
+ *
+ * A workload thread is a Co<void> coroutine. Every simulated memory
+ * operation is an awaitable that suspends back to the cpu::Scheduler,
+ * which resumes the globally-earliest thread next. Nested Co<T> calls
+ * chain via symmetric transfer, so only memory-op awaiters escape to
+ * the scheduler.
+ */
+
+#ifndef SNF_SIM_CORO_HH
+#define SNF_SIM_CORO_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace snf::sim
+{
+
+template <typename T>
+class Co;
+
+namespace detail
+{
+
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+
+    struct FinalAwaiter
+    {
+        bool await_ready() noexcept { return false; }
+
+        template <typename P>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<P> h) noexcept
+        {
+            auto cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void unhandled_exception() { error = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    // Workload values are scalar-ish; default-construct + assign keeps
+    // the promise simple and avoids manual lifetime management.
+    T result{};
+
+    Co<T> get_return_object();
+
+    void return_value(T v) { result = std::move(v); }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Co<void> get_return_object();
+
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine producing a T. Awaiting a Co<T> starts it;
+ * when it completes, control transfers back to the awaiter.
+ */
+template <typename T>
+class [[nodiscard]] Co
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Co() = default;
+
+    explicit Co(Handle h) : handle(h) {}
+
+    Co(Co &&o) noexcept : handle(std::exchange(o.handle, {})) {}
+
+    Co &
+    operator=(Co &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            handle = std::exchange(o.handle, {});
+        }
+        return *this;
+    }
+
+    Co(const Co &) = delete;
+    Co &operator=(const Co &) = delete;
+
+    ~Co() { destroy(); }
+
+    bool valid() const { return static_cast<bool>(handle); }
+
+    bool done() const { return !handle || handle.done(); }
+
+    /** Raw handle (for the scheduler's root-resume path). */
+    Handle raw() const { return handle; }
+
+    /** Release ownership of the frame to the caller. */
+    Handle release() { return std::exchange(handle, {}); }
+
+    struct Awaiter
+    {
+        Handle handle;
+
+        bool await_ready() const noexcept { return false; }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            handle.promise().continuation = parent;
+            return handle; // symmetric transfer: start the child
+        }
+
+        T
+        await_resume()
+        {
+            auto &p = handle.promise();
+            if (p.error)
+                std::rethrow_exception(p.error);
+            if constexpr (!std::is_void_v<T>)
+                return std::move(p.result);
+        }
+    };
+
+    Awaiter operator co_await() && noexcept { return Awaiter{handle}; }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = {};
+        }
+    }
+
+    Handle handle;
+};
+
+namespace detail
+{
+
+template <typename T>
+Co<T>
+Promise<T>::get_return_object()
+{
+    return Co<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Co<void>
+Promise<void>::get_return_object()
+{
+    return Co<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace snf::sim
+
+#endif // SNF_SIM_CORO_HH

@@ -1,0 +1,28 @@
+#include "sim/event_queue.hh"
+
+namespace snf::sim
+{
+
+std::size_t
+EventQueue::runUntil(Tick now)
+{
+    std::size_t executed = 0;
+    while (!heap.empty() && heap.top().when <= now) {
+        // Copy out before pop so the callback may schedule new events.
+        Entry e = heap.top();
+        heap.pop();
+        e.cb(e.when);
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap.empty())
+        heap.pop();
+    nextSeq = 0;
+}
+
+} // namespace snf::sim

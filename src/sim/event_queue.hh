@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Discrete-event queue driving all time-triggered simulator activity
+ * (FWB scans, periodic monitors). Core/thread progress is driven by the
+ * cpu::Scheduler, which interleaves with this queue on a common tick.
+ */
+
+#ifndef SNF_SIM_EVENT_QUEUE_HH
+#define SNF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace snf::sim
+{
+
+/**
+ * A time-ordered queue of callbacks. Events scheduled for the same tick
+ * execute in scheduling order (FIFO), which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void(Tick)>;
+
+    /** Schedule @p cb to run at absolute tick @p when. */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        heap.push(Entry{when, nextSeq++, std::move(cb)});
+    }
+
+    /** Tick of the earliest pending event, or kTickNever if empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap.empty() ? kTickNever : heap.top().when;
+    }
+
+    bool empty() const { return heap.empty(); }
+
+    std::size_t size() const { return heap.size(); }
+
+    /**
+     * Execute every event with tick <= @p now.
+     * @return the number of events executed.
+     */
+    std::size_t runUntil(Tick now);
+
+    /** Drop all pending events (used between runs). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace snf::sim
+
+#endif // SNF_SIM_EVENT_QUEUE_HH

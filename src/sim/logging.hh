@@ -1,0 +1,56 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic, fatal, warn, inform.
+ *
+ * panic() is for internal simulator bugs (aborts), fatal() for user
+ * configuration errors (clean exit), warn()/inform() for status output.
+ */
+
+#ifndef SNF_SIM_LOGGING_HH
+#define SNF_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace snf
+{
+
+/** Printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal simulator bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+/**
+ * Assert a simulator invariant; panics with location info on failure.
+ */
+#define SNF_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::snf::panic("assertion '%s' failed at %s:%d: %s", #cond,      \
+                         __FILE__, __LINE__,                               \
+                         ::snf::strfmt(__VA_ARGS__).c_str());              \
+        }                                                                  \
+    } while (0)
+
+} // namespace snf
+
+#endif // SNF_SIM_LOGGING_HH

@@ -1,0 +1,123 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace snf::sim
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &w : s)
+        w = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    SNF_ASSERT(bound > 0, "Rng::below(0)");
+    // Rejection-free Lemire-style bounded draw is overkill here; modulo
+    // bias is negligible for workload generation with 64-bit draws.
+    return next() % bound;
+}
+
+std::uint64_t
+Rng::range(std::uint64_t lo, std::uint64_t hi)
+{
+    SNF_ASSERT(lo <= hi, "Rng::range lo > hi");
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::string
+Rng::str(std::size_t len)
+{
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out.push_back(alphabet[below(sizeof(alphabet) - 1)]);
+    return out;
+}
+
+Zipf::Zipf(std::uint64_t n, double t)
+    : numItems(n), theta(t)
+{
+    SNF_ASSERT(n > 0, "Zipf over empty set");
+    SNF_ASSERT(theta > 0.0 && theta < 1.0, "Zipf theta out of range");
+    double zeta2 = 0.0;
+    for (std::uint64_t i = 1; i <= 2 && i <= n; ++i)
+        zeta2 += 1.0 / std::pow(static_cast<double>(i), theta);
+    zetan = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    alpha = 1.0 / (1.0 - theta);
+    eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+          (1.0 - zeta2 / zetan);
+}
+
+std::uint64_t
+Zipf::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    double uz = u * zetan;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta))
+        return 1;
+    auto v = static_cast<std::uint64_t>(
+        static_cast<double>(numItems) *
+        std::pow(eta * u - eta + 1.0, alpha));
+    return v >= numItems ? numItems - 1 : v;
+}
+
+} // namespace snf::sim

@@ -1,0 +1,72 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::sim
+{
+
+StatGroup::StatGroup(std::string name)
+    : groupName(std::move(name))
+{
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars[name];
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    SNF_ASSERT(child != nullptr, "null child stat group");
+    children.push_back(child);
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::scalarValue(const std::string &name) const
+{
+    auto it = scalars.find(name);
+    return it == scalars.end() ? 0.0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters)
+        kv.second.reset();
+    for (auto &kv : scalars)
+        kv.second.reset();
+    for (auto *c : children)
+        c->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    std::string path =
+        prefix.empty() ? groupName : prefix + "." + groupName;
+    for (const auto &kv : counters)
+        os << path << "." << kv.first << " = " << kv.second.value()
+           << "\n";
+    for (const auto &kv : scalars)
+        os << path << "." << kv.first << " = " << kv.second.value()
+           << "\n";
+    for (const auto *c : children)
+        c->dump(os, path);
+}
+
+} // namespace snf::sim

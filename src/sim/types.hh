@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef SNF_SIM_TYPES_HH
+#define SNF_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace snf
+{
+
+/** Simulated time, measured in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** A physical address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Identifier of a simulated core (and, 1:1, of a workload thread). */
+using CoreId = std::uint32_t;
+
+/** Identifier of a persistent memory transaction (physical, 8-bit). */
+using TxId = std::uint16_t;
+
+/** Sentinel for "no tick scheduled / never". */
+constexpr Tick kTickNever = ~Tick{0};
+
+/** Sentinel transaction id meaning "not inside a transaction". */
+constexpr TxId kNoTx = 0xffff;
+
+} // namespace snf
+
+#endif // SNF_SIM_TYPES_HH

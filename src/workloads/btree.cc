@@ -1,0 +1,373 @@
+#include "workloads/btree.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+Addr
+BTree::allocNode(System &sys, bool leaf) const
+{
+    Addr n = sys.heap().alloc(nodeBytes(), 8);
+    sys.heap().prewrite64(n + kIsLeaf, leaf ? 1 : 0);
+    sys.heap().prewrite64(n + kNKeys, 0);
+    return n;
+}
+
+void
+BTree::setup(System &sys, const WorkloadParams &params)
+{
+    std::uint64_t elements =
+        params.footprint != 0 ? params.footprint : 2048;
+    nthreads = params.threads;
+    valueWords = params.stringValues ? 8 : 1;
+    keyspacePerThread = 2 * elements / nthreads;
+
+    headers = sys.heap().alloc(nthreads * 16, 64);
+
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        // Preload odd keys into leaves functionally, then build the
+        // internal levels bottom-up (half-full leaves).
+        std::uint64_t n_init = keyspacePerThread / 2;
+        std::vector<Addr> level;
+        std::vector<std::uint64_t> firsts;
+        std::uint64_t per_leaf = 4;
+        Addr prev_leaf = 0;
+        std::uint64_t count = 0;
+        for (std::uint64_t k = 0; k < n_init;) {
+            Addr leaf = allocNode(sys, true);
+            std::uint64_t n = std::min(per_leaf, n_init - k);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::uint64_t key = 2 * (k + i) + 1;
+                sys.heap().prewrite64(keyAddr(leaf, i), key);
+                for (std::uint64_t w = 0; w < valueWords; ++w)
+                    sys.heap().prewrite64(valueAddr(leaf, i) + w * 8,
+                                          key * 17 + w);
+            }
+            sys.heap().prewrite64(leaf + kNKeys, n);
+            sys.heap().prewrite64(nextAddr(leaf), 0);
+            if (prev_leaf != 0)
+                sys.heap().prewrite64(nextAddr(prev_leaf), leaf);
+            prev_leaf = leaf;
+            level.push_back(leaf);
+            firsts.push_back(2 * k + 1);
+            count += n;
+            k += n;
+        }
+        if (level.empty()) {
+            level.push_back(allocNode(sys, true));
+            firsts.push_back(0);
+        }
+
+        while (level.size() > 1) {
+            std::vector<Addr> parents;
+            std::vector<std::uint64_t> parent_firsts;
+            std::uint64_t fanout = 4;
+            for (std::uint64_t i = 0; i < level.size();) {
+                std::uint64_t n =
+                    std::min<std::uint64_t>(fanout, level.size() - i);
+                if (level.size() - i - n == 1)
+                    ++n; // avoid a single-child rightmost parent
+                Addr node = allocNode(sys, false);
+                sys.heap().prewrite64(node + kNKeys, n - 1);
+                for (std::uint64_t c = 0; c < n; ++c) {
+                    sys.heap().prewrite64(childAddr(node, c),
+                                          level[i + c]);
+                    if (c > 0)
+                        sys.heap().prewrite64(keyAddr(node, c - 1),
+                                              firsts[i + c]);
+                }
+                parents.push_back(node);
+                parent_firsts.push_back(firsts[i]);
+                i += n;
+            }
+            level = std::move(parents);
+            firsts = std::move(parent_firsts);
+        }
+
+        sys.heap().prewrite64(headerAddr(tid) + 0, level[0]);
+        sys.heap().prewrite64(headerAddr(tid) + 8, count);
+    }
+}
+
+sim::Co<BTree::SplitResult>
+BTree::insertRec(System &sys, Thread &t, Addr node, std::uint64_t key,
+                 sim::Rng &rng)
+{
+    SplitResult out;
+    bool is_leaf = (co_await t.load64(node + kIsLeaf)) != 0;
+    std::uint64_t n = co_await t.load64(node + kNKeys);
+
+    if (is_leaf) {
+        // Find position.
+        std::uint64_t pos = 0;
+        while (pos < n) {
+            std::uint64_t k = co_await t.load64(keyAddr(node, pos));
+            co_await t.compute(2);
+            if (k == key) {
+                // Already present: nothing to do (caller removes).
+                out.inserted = false;
+                co_return out;
+            }
+            if (k > key)
+                break;
+            ++pos;
+        }
+        // Shift keys and values right.
+        for (std::uint64_t i = n; i > pos; --i) {
+            std::uint64_t k = co_await t.load64(keyAddr(node, i - 1));
+            co_await t.store64(keyAddr(node, i), k);
+            for (std::uint64_t w = 0; w < valueWords; ++w) {
+                std::uint64_t v = co_await t.load64(
+                    valueAddr(node, i - 1) + w * 8);
+                co_await t.store64(valueAddr(node, i) + w * 8, v);
+            }
+        }
+        co_await t.store64(keyAddr(node, pos), key);
+        for (std::uint64_t w = 0; w < valueWords; ++w)
+            co_await t.store64(valueAddr(node, pos) + w * 8,
+                               rng.next());
+        ++n;
+        co_await t.store64(node + kNKeys, n);
+        out.inserted = true;
+
+        if (n > kMaxKeys) {
+            // Split the leaf: right half moves to a new node.
+            Addr right = sys.heap().alloc(nodeBytes(), 8);
+            std::uint64_t half = n / 2;
+            co_await t.store64(right + kIsLeaf, 1);
+            for (std::uint64_t i = half; i < n; ++i) {
+                std::uint64_t k =
+                    co_await t.load64(keyAddr(node, i));
+                co_await t.store64(keyAddr(right, i - half), k);
+                for (std::uint64_t w = 0; w < valueWords; ++w) {
+                    std::uint64_t v = co_await t.load64(
+                        valueAddr(node, i) + w * 8);
+                    co_await t.store64(
+                        valueAddr(right, i - half) + w * 8, v);
+                }
+            }
+            co_await t.store64(right + kNKeys, n - half);
+            co_await t.store64(node + kNKeys, half);
+            std::uint64_t next = co_await t.load64(nextAddr(node));
+            co_await t.store64(nextAddr(right), next);
+            co_await t.store64(nextAddr(node), right);
+            out.split = true;
+            out.key = co_await t.load64(keyAddr(right, 0));
+            out.right = right;
+        }
+        co_return out;
+    }
+
+    // Internal node: descend.
+    std::uint64_t pos = 0;
+    while (pos < n) {
+        std::uint64_t k = co_await t.load64(keyAddr(node, pos));
+        co_await t.compute(2);
+        if (key < k)
+            break;
+        ++pos;
+    }
+    Addr child = co_await t.load64(childAddr(node, pos));
+    SplitResult sub = co_await insertRec(sys, t, child, key, rng);
+    out.inserted = sub.inserted;
+    if (!sub.split)
+        co_return out;
+
+    // Insert (sub.key, sub.right) after position pos.
+    for (std::uint64_t i = n; i > pos; --i) {
+        std::uint64_t k = co_await t.load64(keyAddr(node, i - 1));
+        co_await t.store64(keyAddr(node, i), k);
+        Addr c = co_await t.load64(childAddr(node, i));
+        co_await t.store64(childAddr(node, i + 1), c);
+    }
+    co_await t.store64(keyAddr(node, pos), sub.key);
+    co_await t.store64(childAddr(node, pos + 1), sub.right);
+    ++n;
+    co_await t.store64(node + kNKeys, n);
+
+    if (n > kMaxKeys) {
+        // Split the internal node; the middle key moves up.
+        Addr right = sys.heap().alloc(nodeBytes(), 8);
+        std::uint64_t mid = n / 2;
+        co_await t.store64(right + kIsLeaf, 0);
+        std::uint64_t moved = n - mid - 1;
+        for (std::uint64_t i = 0; i < moved; ++i) {
+            std::uint64_t k =
+                co_await t.load64(keyAddr(node, mid + 1 + i));
+            co_await t.store64(keyAddr(right, i), k);
+        }
+        for (std::uint64_t i = 0; i <= moved; ++i) {
+            Addr c = co_await t.load64(childAddr(node, mid + 1 + i));
+            co_await t.store64(childAddr(right, i), c);
+        }
+        co_await t.store64(right + kNKeys, moved);
+        out.key = co_await t.load64(keyAddr(node, mid));
+        co_await t.store64(node + kNKeys, mid);
+        out.split = true;
+        out.right = right;
+    }
+    co_return out;
+}
+
+sim::Co<bool>
+BTree::removeFromLeaf(Thread &t, Addr node, std::uint64_t key)
+{
+    std::uint64_t n = co_await t.load64(node + kNKeys);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t k = co_await t.load64(keyAddr(node, i));
+        co_await t.compute(2);
+        if (k != key)
+            continue;
+        // Shift left (lazy deletion: no rebalancing).
+        for (std::uint64_t j = i + 1; j < n; ++j) {
+            std::uint64_t kk = co_await t.load64(keyAddr(node, j));
+            co_await t.store64(keyAddr(node, j - 1), kk);
+            for (std::uint64_t w = 0; w < valueWords; ++w) {
+                std::uint64_t v =
+                    co_await t.load64(valueAddr(node, j) + w * 8);
+                co_await t.store64(valueAddr(node, j - 1) + w * 8,
+                                   v);
+            }
+        }
+        co_await t.store64(node + kNKeys, n - 1);
+        co_return true;
+    }
+    co_return false;
+}
+
+sim::Co<void>
+BTree::thread(System &sys, Thread &t, const WorkloadParams &params)
+{
+    sim::Rng rng(params.seed * 31337 + t.id());
+    Addr hdr = headerAddr(t.id());
+
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        std::uint64_t key = rng.below(keyspacePerThread) + 1;
+
+        co_await t.txBegin();
+        co_await t.compute(10);
+
+        // Descend to the leaf for `key`.
+        Addr root = co_await t.load64(hdr + 0);
+        Addr node = root;
+        while ((co_await t.load64(node + kIsLeaf)) == 0) {
+            std::uint64_t nk = co_await t.load64(node + kNKeys);
+            std::uint64_t pos = 0;
+            while (pos < nk) {
+                std::uint64_t k =
+                    co_await t.load64(keyAddr(node, pos));
+                co_await t.compute(2);
+                if (key < k)
+                    break;
+                ++pos;
+            }
+            node = co_await t.load64(childAddr(node, pos));
+        }
+
+        bool removed = co_await removeFromLeaf(t, node, key);
+        if (removed) {
+            std::uint64_t count = co_await t.load64(hdr + 8);
+            co_await t.store64(hdr + 8, count - 1);
+        } else {
+            SplitResult res =
+                co_await insertRec(sys, t, root, key, rng);
+            if (res.split) {
+                // Grow a new root.
+                Addr new_root = sys.heap().alloc(nodeBytes(), 8);
+                co_await t.store64(new_root + kIsLeaf, 0);
+                co_await t.store64(new_root + kNKeys, 1);
+                co_await t.store64(keyAddr(new_root, 0), res.key);
+                co_await t.store64(childAddr(new_root, 0), root);
+                co_await t.store64(childAddr(new_root, 1),
+                                   res.right);
+                co_await t.store64(hdr + 0, new_root);
+            }
+            if (res.inserted) {
+                std::uint64_t count = co_await t.load64(hdr + 8);
+                co_await t.store64(hdr + 8, count + 1);
+            }
+        }
+        co_await t.txCommit();
+    }
+}
+
+int
+BTree::checkNode(const mem::BackingStore &nvram, Addr node,
+                 std::uint64_t lo, std::uint64_t hi,
+                 std::uint64_t &leafKeys, std::string *why) const
+{
+    bool is_leaf = nvram.read64(node + kIsLeaf) != 0;
+    std::uint64_t n = nvram.read64(node + kNKeys);
+    if (n > kMaxKeys) {
+        if (why)
+            *why = strfmt("node with %llu keys",
+                          static_cast<unsigned long long>(n));
+        return -1;
+    }
+    std::uint64_t prev = lo;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t k = nvram.read64(keyAddr(node, i));
+        if (k < prev || k >= hi || (i > 0 && k == prev)) {
+            if (why)
+                *why = strfmt("key order violated (key %llu)",
+                              static_cast<unsigned long long>(k));
+            return -1;
+        }
+        prev = k;
+    }
+    if (is_leaf) {
+        leafKeys += n;
+        return 1;
+    }
+    int depth = -2;
+    for (std::uint64_t c = 0; c <= n; ++c) {
+        Addr child = nvram.read64(childAddr(node, c));
+        if (child == 0) {
+            if (why)
+                *why = "null child in internal node";
+            return -1;
+        }
+        std::uint64_t c_lo =
+            c == 0 ? lo : nvram.read64(keyAddr(node, c - 1));
+        std::uint64_t c_hi =
+            c == n ? hi : nvram.read64(keyAddr(node, c));
+        int d = checkNode(nvram, child, c_lo, c_hi, leafKeys, why);
+        if (d < 0)
+            return -1;
+        if (depth == -2)
+            depth = d;
+        else if (d != depth) {
+            if (why)
+                *why = "non-uniform leaf depth";
+            return -1;
+        }
+    }
+    return depth + 1;
+}
+
+bool
+BTree::verify(const mem::BackingStore &nvram, std::string *why) const
+{
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        Addr hdr = headerAddr(tid);
+        Addr root = nvram.read64(hdr + 0);
+        std::uint64_t expected = nvram.read64(hdr + 8);
+        std::uint64_t leaf_keys = 0;
+        if (checkNode(nvram, root, 0, ~0ULL, leaf_keys, why) < 0)
+            return false;
+        if (leaf_keys != expected) {
+            if (why)
+                *why = strfmt("tree %u: %llu keys but count %llu",
+                              tid,
+                              static_cast<unsigned long long>(
+                                  leaf_keys),
+                              static_cast<unsigned long long>(
+                                  expected));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,170 @@
+#include "workloads/hash.hh"
+
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+std::uint64_t
+OpenChainHashBase::mixKey(std::uint64_t key)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return key;
+}
+
+void
+OpenChainHashBase::setup(System &sys, const WorkloadParams &params)
+{
+    std::uint64_t elements =
+        params.footprint != 0 ? params.footprint : 4096;
+    nthreads = params.threads;
+    valueWords = params.stringValues ? 8 : 1;
+    nbuckets = std::max<std::uint64_t>(elements / 4, nthreads * 4);
+    // Keep per-thread bucket shares equal.
+    nbuckets -= nbuckets % nthreads;
+    keyspacePerThread = 2 * elements / nthreads;
+
+    buckets = sys.heap().alloc(nbuckets * kBucketBytes, 64);
+    for (std::uint64_t b = 0; b < nbuckets; ++b) {
+        sys.heap().prewrite64(bucketAddr(b), 0);
+        sys.heap().prewrite64(bucketAddr(b) + 8, 0);
+    }
+
+    // Preload half of each thread's keyspace functionally, so the
+    // run starts with populated chains (~50% hit rate).
+    std::uint64_t share = nbuckets / nthreads;
+    sim::Rng rng(params.seed);
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        for (std::uint64_t k = 0; k < keyspacePerThread; k += 2) {
+            std::uint64_t key =
+                (static_cast<std::uint64_t>(tid) << 48) | (k + 1);
+            std::uint64_t b =
+                tid * share + mixKey(key) % share;
+            Addr node = sys.heap().alloc(nodeBytes(), 8);
+            sys.heap().prewrite64(node + kKeyOff, key);
+            sys.heap().prewrite64(node + kNextOff,
+                                  sys.heap().peek64(bucketAddr(b)));
+            for (std::uint64_t w = 0; w < valueWords; ++w)
+                sys.heap().prewrite64(node + kValueOff + w * 8,
+                                      rng.next());
+            sys.heap().prewrite64(bucketAddr(b), node);
+            sys.heap().prewrite64(bucketAddr(b) + 8,
+                                  sys.heap().peek64(bucketAddr(b) + 8) +
+                                      1);
+        }
+    }
+}
+
+sim::Co<void>
+OpenChainHashBase::thread(System &sys, Thread &t,
+                          const WorkloadParams &params)
+{
+    sim::Rng rng(params.seed * 7919 + t.id());
+    std::uint64_t share = nbuckets / nthreads;
+    std::uint64_t bucket_lo = t.id() * share;
+
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(t.id()) << 48) |
+            (rng.below(keyspacePerThread) + 1);
+        std::uint64_t b = bucket_lo + mixKey(key) % share;
+        bool lookup_only = rng.chance(lookupFraction());
+
+        co_await t.txBegin();
+        co_await t.compute(20); // hashing the key
+
+        // Chain search.
+        Addr prev = 0;
+        Addr cur = co_await t.load64(bucketAddr(b));
+        bool found = false;
+        while (cur != 0) {
+            std::uint64_t k = co_await t.load64(cur + kKeyOff);
+            co_await t.compute(3);
+            if (k == key) {
+                found = true;
+                break;
+            }
+            prev = cur;
+            cur = co_await t.load64(cur + kNextOff);
+        }
+
+        if (lookup_only) {
+            if (found) {
+                // Read the value (consume it).
+                for (std::uint64_t w = 0; w < valueWords; ++w)
+                    co_await t.load64(cur + kValueOff + w * 8);
+            }
+        } else if (found) {
+            // Remove: unlink and decrement the chain count.
+            std::uint64_t next = co_await t.load64(cur + kNextOff);
+            if (prev == 0)
+                co_await t.store64(bucketAddr(b), next);
+            else
+                co_await t.store64(prev + kNextOff, next);
+            std::uint64_t cnt = co_await t.load64(bucketAddr(b) + 8);
+            co_await t.store64(bucketAddr(b) + 8, cnt - 1);
+        } else {
+            // Insert at head (allocation is modeled functionally;
+            // node initialization is transactional).
+            Addr node = sys.heap().alloc(nodeBytes(), 8);
+            co_await t.store64(node + kKeyOff, key);
+            std::uint64_t head = co_await t.load64(bucketAddr(b));
+            co_await t.store64(node + kNextOff, head);
+            for (std::uint64_t w = 0; w < valueWords; ++w)
+                co_await t.store64(node + kValueOff + w * 8,
+                                   rng.next());
+            co_await t.store64(bucketAddr(b), node);
+            std::uint64_t cnt = co_await t.load64(bucketAddr(b) + 8);
+            co_await t.store64(bucketAddr(b) + 8, cnt + 1);
+        }
+        co_await t.txCommit();
+    }
+}
+
+bool
+OpenChainHashBase::verify(const mem::BackingStore &nvram,
+                          std::string *why) const
+{
+    for (std::uint64_t b = 0; b < nbuckets; ++b) {
+        std::uint64_t expected = nvram.read64(bucketAddr(b) + 8);
+        std::uint64_t walked = 0;
+        std::unordered_set<std::uint64_t> keys;
+        Addr cur = nvram.read64(bucketAddr(b));
+        while (cur != 0) {
+            if (++walked > expected + 8) {
+                if (why)
+                    *why = strfmt("bucket %llu: chain longer than "
+                                  "count %llu (cycle or torn link)",
+                                  static_cast<unsigned long long>(b),
+                                  static_cast<unsigned long long>(
+                                      expected));
+                return false;
+            }
+            std::uint64_t key = nvram.read64(cur + kKeyOff);
+            if (key == 0 || !keys.insert(key).second) {
+                if (why)
+                    *why = strfmt("bucket %llu: bad or duplicate key",
+                                  static_cast<unsigned long long>(b));
+                return false;
+            }
+            cur = nvram.read64(cur + kNextOff);
+        }
+        if (walked != expected) {
+            if (why)
+                *why = strfmt("bucket %llu: chain length %llu != "
+                              "count %llu",
+                              static_cast<unsigned long long>(b),
+                              static_cast<unsigned long long>(walked),
+                              static_cast<unsigned long long>(
+                                  expected));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,508 @@
+#include "workloads/rbtree.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+namespace
+{
+constexpr std::uint64_t kRed = 1;
+constexpr std::uint64_t kBlack = 0;
+} // namespace
+
+Addr
+RbTree::prealloc(System &sys, Addr nil, std::uint64_t key) const
+{
+    Addr n = sys.heap().alloc(nodeBytes(), 8);
+    sys.heap().prewrite64(n + kKey, key);
+    sys.heap().prewrite64(n + kColor, kBlack);
+    sys.heap().prewrite64(n + kLeft, nil);
+    sys.heap().prewrite64(n + kRight, nil);
+    sys.heap().prewrite64(n + kParent, nil);
+    for (std::uint64_t w = 0; w < valueWords; ++w)
+        sys.heap().prewrite64(n + kValue + w * 8, key * 31 + w);
+    return n;
+}
+
+void
+RbTree::setup(System &sys, const WorkloadParams &params)
+{
+    std::uint64_t elements =
+        params.footprint != 0 ? params.footprint : 2048;
+    nthreads = params.threads;
+    valueWords = params.stringValues ? 8 : 1;
+    keyspacePerThread = 2 * elements / nthreads;
+
+    headers = sys.heap().alloc(nthreads * kHeaderBytes, 64);
+    sim::Rng rng(params.seed);
+
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        Addr nil = prealloc(sys, 0, 0);
+        sys.heap().prewrite64(nil + kLeft, nil);
+        sys.heap().prewrite64(nil + kRight, nil);
+        sys.heap().prewrite64(nil + kParent, nil);
+
+        // Build a balanced initial tree functionally: insert a
+        // sorted key sample as a perfectly balanced BST, all black
+        // (which satisfies every red-black invariant).
+        std::uint64_t n_init = keyspacePerThread / 2;
+        std::vector<std::uint64_t> keys;
+        keys.reserve(n_init);
+        for (std::uint64_t k = 0; k < n_init; ++k)
+            keys.push_back(2 * k + 1); // odd keys preloaded
+
+        struct Range
+        {
+            std::uint64_t lo, hi;
+            Addr parent;
+            bool left;
+            std::uint32_t depth;
+        };
+        // The deepest (possibly incomplete) level is painted red so
+        // every root-to-nil path has the same black count; all other
+        // levels are black.
+        std::uint32_t max_depth = 0; // floor(log2(n))
+        for (std::uint64_t s = keys.size(); s > 1; s >>= 1)
+            ++max_depth;
+
+        Addr root = nil;
+        std::vector<Range> stack;
+        if (!keys.empty())
+            stack.push_back({0, keys.size(), nil, false, 0});
+        std::uint64_t count = 0;
+        while (!stack.empty()) {
+            Range r = stack.back();
+            stack.pop_back();
+            if (r.lo >= r.hi)
+                continue;
+            std::uint64_t mid = (r.lo + r.hi) / 2;
+            Addr node = prealloc(sys, nil, keys[mid]);
+            ++count;
+            if (r.depth == max_depth)
+                sys.heap().prewrite64(node + kColor, 1 /* red */);
+            sys.heap().prewrite64(node + kParent, r.parent);
+            if (r.parent == nil)
+                root = node;
+            else
+                sys.heap().prewrite64(
+                    r.parent + (r.left ? kLeft : kRight), node);
+            stack.push_back({r.lo, mid, node, true, r.depth + 1});
+            stack.push_back(
+                {mid + 1, r.hi, node, false, r.depth + 1});
+        }
+
+        sys.heap().prewrite64(headerAddr(tid) + 0, root);
+        sys.heap().prewrite64(headerAddr(tid) + 8, count);
+        sys.heap().prewrite64(headerAddr(tid) + 16, nil);
+    }
+    (void)rng;
+}
+
+sim::Co<void>
+RbTree::leftRotate(Thread &t, Addr hdr, Addr nil, Addr x)
+{
+    Addr y = co_await t.load64(x + kRight);
+    Addr yl = co_await t.load64(y + kLeft);
+    co_await t.store64(x + kRight, yl);
+    if (yl != nil)
+        co_await t.store64(yl + kParent, x);
+    Addr xp = co_await t.load64(x + kParent);
+    co_await t.store64(y + kParent, xp);
+    if (xp == nil) {
+        co_await t.store64(hdr + 0, y);
+    } else {
+        Addr xpl = co_await t.load64(xp + kLeft);
+        if (x == xpl)
+            co_await t.store64(xp + kLeft, y);
+        else
+            co_await t.store64(xp + kRight, y);
+    }
+    co_await t.store64(y + kLeft, x);
+    co_await t.store64(x + kParent, y);
+}
+
+sim::Co<void>
+RbTree::rightRotate(Thread &t, Addr hdr, Addr nil, Addr x)
+{
+    Addr y = co_await t.load64(x + kLeft);
+    Addr yr = co_await t.load64(y + kRight);
+    co_await t.store64(x + kLeft, yr);
+    if (yr != nil)
+        co_await t.store64(yr + kParent, x);
+    Addr xp = co_await t.load64(x + kParent);
+    co_await t.store64(y + kParent, xp);
+    if (xp == nil) {
+        co_await t.store64(hdr + 0, y);
+    } else {
+        Addr xpr = co_await t.load64(xp + kRight);
+        if (x == xpr)
+            co_await t.store64(xp + kRight, y);
+        else
+            co_await t.store64(xp + kLeft, y);
+    }
+    co_await t.store64(y + kRight, x);
+    co_await t.store64(x + kParent, y);
+}
+
+sim::Co<void>
+RbTree::insertFixup(Thread &t, Addr hdr, Addr nil, Addr z)
+{
+    while (true) {
+        Addr zp = co_await t.load64(z + kParent);
+        if (zp == nil ||
+            (co_await t.load64(zp + kColor)) != kRed)
+            break;
+        Addr zpp = co_await t.load64(zp + kParent);
+        Addr zppl = co_await t.load64(zpp + kLeft);
+        if (zp == zppl) {
+            Addr y = co_await t.load64(zpp + kRight);
+            if (y != nil &&
+                (co_await t.load64(y + kColor)) == kRed) {
+                co_await t.store64(zp + kColor, kBlack);
+                co_await t.store64(y + kColor, kBlack);
+                co_await t.store64(zpp + kColor, kRed);
+                z = zpp;
+            } else {
+                Addr zpr = co_await t.load64(zp + kRight);
+                if (z == zpr) {
+                    z = zp;
+                    co_await leftRotate(t, hdr, nil, z);
+                    zp = co_await t.load64(z + kParent);
+                    zpp = co_await t.load64(zp + kParent);
+                }
+                co_await t.store64(zp + kColor, kBlack);
+                co_await t.store64(zpp + kColor, kRed);
+                co_await rightRotate(t, hdr, nil, zpp);
+            }
+        } else {
+            Addr y = zppl;
+            if (y != nil &&
+                (co_await t.load64(y + kColor)) == kRed) {
+                co_await t.store64(zp + kColor, kBlack);
+                co_await t.store64(y + kColor, kBlack);
+                co_await t.store64(zpp + kColor, kRed);
+                z = zpp;
+            } else {
+                Addr zpl = co_await t.load64(zp + kLeft);
+                if (z == zpl) {
+                    z = zp;
+                    co_await rightRotate(t, hdr, nil, z);
+                    zp = co_await t.load64(z + kParent);
+                    zpp = co_await t.load64(zp + kParent);
+                }
+                co_await t.store64(zp + kColor, kBlack);
+                co_await t.store64(zpp + kColor, kRed);
+                co_await leftRotate(t, hdr, nil, zpp);
+            }
+        }
+    }
+    Addr root = co_await t.load64(hdr + 0);
+    co_await t.store64(root + kColor, kBlack);
+}
+
+sim::Co<void>
+RbTree::transplant(Thread &t, Addr hdr, Addr nil, Addr u, Addr v)
+{
+    Addr up = co_await t.load64(u + kParent);
+    if (up == nil) {
+        co_await t.store64(hdr + 0, v);
+    } else {
+        Addr upl = co_await t.load64(up + kLeft);
+        if (u == upl)
+            co_await t.store64(up + kLeft, v);
+        else
+            co_await t.store64(up + kRight, v);
+    }
+    co_await t.store64(v + kParent, up);
+}
+
+sim::Co<Addr>
+RbTree::treeMinimum(Thread &t, Addr nil, Addr x)
+{
+    while (true) {
+        Addr l = co_await t.load64(x + kLeft);
+        if (l == nil)
+            co_return x;
+        x = l;
+    }
+}
+
+sim::Co<void>
+RbTree::deleteFixup(Thread &t, Addr hdr, Addr nil, Addr x)
+{
+    while (true) {
+        Addr root = co_await t.load64(hdr + 0);
+        if (x == root ||
+            (co_await t.load64(x + kColor)) == kRed)
+            break;
+        Addr xp = co_await t.load64(x + kParent);
+        Addr xpl = co_await t.load64(xp + kLeft);
+        if (x == xpl) {
+            Addr w = co_await t.load64(xp + kRight);
+            if ((co_await t.load64(w + kColor)) == kRed) {
+                co_await t.store64(w + kColor, kBlack);
+                co_await t.store64(xp + kColor, kRed);
+                co_await leftRotate(t, hdr, nil, xp);
+                w = co_await t.load64(xp + kRight);
+            }
+            Addr wl = co_await t.load64(w + kLeft);
+            Addr wr = co_await t.load64(w + kRight);
+            bool wl_black =
+                (co_await t.load64(wl + kColor)) == kBlack;
+            bool wr_black =
+                (co_await t.load64(wr + kColor)) == kBlack;
+            if (wl_black && wr_black) {
+                co_await t.store64(w + kColor, kRed);
+                x = xp;
+            } else {
+                if (wr_black) {
+                    co_await t.store64(wl + kColor, kBlack);
+                    co_await t.store64(w + kColor, kRed);
+                    co_await rightRotate(t, hdr, nil, w);
+                    w = co_await t.load64(xp + kRight);
+                }
+                std::uint64_t xp_color =
+                    co_await t.load64(xp + kColor);
+                co_await t.store64(w + kColor, xp_color);
+                co_await t.store64(xp + kColor, kBlack);
+                Addr wr2 = co_await t.load64(w + kRight);
+                co_await t.store64(wr2 + kColor, kBlack);
+                co_await leftRotate(t, hdr, nil, xp);
+                x = co_await t.load64(hdr + 0);
+            }
+        } else {
+            Addr w = co_await t.load64(xp + kLeft);
+            if ((co_await t.load64(w + kColor)) == kRed) {
+                co_await t.store64(w + kColor, kBlack);
+                co_await t.store64(xp + kColor, kRed);
+                co_await rightRotate(t, hdr, nil, xp);
+                w = co_await t.load64(xp + kLeft);
+            }
+            Addr wl = co_await t.load64(w + kLeft);
+            Addr wr = co_await t.load64(w + kRight);
+            bool wl_black =
+                (co_await t.load64(wl + kColor)) == kBlack;
+            bool wr_black =
+                (co_await t.load64(wr + kColor)) == kBlack;
+            if (wl_black && wr_black) {
+                co_await t.store64(w + kColor, kRed);
+                x = xp;
+            } else {
+                if (wl_black) {
+                    co_await t.store64(wr + kColor, kBlack);
+                    co_await t.store64(w + kColor, kRed);
+                    co_await leftRotate(t, hdr, nil, w);
+                    w = co_await t.load64(xp + kLeft);
+                }
+                std::uint64_t xp_color =
+                    co_await t.load64(xp + kColor);
+                co_await t.store64(w + kColor, xp_color);
+                co_await t.store64(xp + kColor, kBlack);
+                Addr wl2 = co_await t.load64(w + kLeft);
+                co_await t.store64(wl2 + kColor, kBlack);
+                co_await rightRotate(t, hdr, nil, xp);
+                x = co_await t.load64(hdr + 0);
+            }
+        }
+    }
+    co_await t.store64(x + kColor, kBlack);
+}
+
+sim::Co<void>
+RbTree::insertNode(System &sys, Thread &t, Addr hdr, Addr nil,
+                   std::uint64_t key, sim::Rng &rng)
+{
+    Addr z = sys.heap().alloc(nodeBytes(), 8);
+    co_await t.store64(z + kKey, key);
+    for (std::uint64_t w = 0; w < valueWords; ++w)
+        co_await t.store64(z + kValue + w * 8, rng.next());
+
+    Addr y = nil;
+    Addr x = co_await t.load64(hdr + 0);
+    while (x != nil) {
+        y = x;
+        std::uint64_t xk = co_await t.load64(x + kKey);
+        co_await t.compute(2);
+        x = co_await t.load64(x + (key < xk ? kLeft : kRight));
+    }
+    co_await t.store64(z + kParent, y);
+    if (y == nil) {
+        co_await t.store64(hdr + 0, z);
+    } else {
+        std::uint64_t yk = co_await t.load64(y + kKey);
+        co_await t.store64(y + (key < yk ? kLeft : kRight), z);
+    }
+    co_await t.store64(z + kLeft, nil);
+    co_await t.store64(z + kRight, nil);
+    co_await t.store64(z + kColor, kRed);
+    co_await insertFixup(t, hdr, nil, z);
+
+    std::uint64_t count = co_await t.load64(hdr + 8);
+    co_await t.store64(hdr + 8, count + 1);
+}
+
+sim::Co<void>
+RbTree::deleteNode(Thread &t, Addr hdr, Addr nil, Addr z)
+{
+    Addr y = z;
+    std::uint64_t y_orig = co_await t.load64(y + kColor);
+    Addr x;
+    Addr zl = co_await t.load64(z + kLeft);
+    Addr zr = co_await t.load64(z + kRight);
+    if (zl == nil) {
+        x = zr;
+        co_await transplant(t, hdr, nil, z, zr);
+    } else if (zr == nil) {
+        x = zl;
+        co_await transplant(t, hdr, nil, z, zl);
+    } else {
+        y = co_await treeMinimum(t, nil, zr);
+        y_orig = co_await t.load64(y + kColor);
+        x = co_await t.load64(y + kRight);
+        Addr yp = co_await t.load64(y + kParent);
+        if (yp == z) {
+            co_await t.store64(x + kParent, y);
+        } else {
+            Addr yr = co_await t.load64(y + kRight);
+            co_await transplant(t, hdr, nil, y, yr);
+            co_await t.store64(y + kRight, zr);
+            co_await t.store64(zr + kParent, y);
+        }
+        co_await transplant(t, hdr, nil, z, y);
+        co_await t.store64(y + kLeft, zl);
+        co_await t.store64(zl + kParent, y);
+        std::uint64_t zc = co_await t.load64(z + kColor);
+        co_await t.store64(y + kColor, zc);
+    }
+    if (y_orig == kBlack)
+        co_await deleteFixup(t, hdr, nil, x);
+
+    std::uint64_t count = co_await t.load64(hdr + 8);
+    co_await t.store64(hdr + 8, count - 1);
+}
+
+sim::Co<void>
+RbTree::thread(System &sys, Thread &t, const WorkloadParams &params)
+{
+    sim::Rng rng(params.seed * 104729 + t.id());
+    Addr hdr = headerAddr(t.id());
+    Addr nil = sys.heap().peek64(hdr + 16);
+
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        std::uint64_t key = rng.below(keyspacePerThread) + 1;
+
+        co_await t.txBegin();
+        co_await t.compute(10);
+
+        // Search.
+        Addr cur = co_await t.load64(hdr + 0);
+        Addr found = 0;
+        while (cur != nil) {
+            std::uint64_t k = co_await t.load64(cur + kKey);
+            co_await t.compute(2);
+            if (k == key) {
+                found = cur;
+                break;
+            }
+            cur = co_await t.load64(cur + (key < k ? kLeft : kRight));
+        }
+
+        if (found != 0)
+            co_await deleteNode(t, hdr, nil, found);
+        else
+            co_await insertNode(sys, t, hdr, nil, key, rng);
+
+        co_await t.txCommit();
+    }
+}
+
+int
+RbTree::checkSubtree(const mem::BackingStore &nvram, Addr nil,
+                     Addr node, Addr parent, std::uint64_t lo,
+                     std::uint64_t hi, std::uint64_t &count,
+                     std::string *why) const
+{
+    if (node == nil)
+        return 1;
+    if (count > (1u << 22)) {
+        if (why)
+            *why = "node count explosion (cycle?)";
+        return -1;
+    }
+    std::uint64_t key = nvram.read64(node + kKey);
+    std::uint64_t color = nvram.read64(node + kColor);
+    Addr left = nvram.read64(node + kLeft);
+    Addr right = nvram.read64(node + kRight);
+    Addr par = nvram.read64(node + kParent);
+
+    if (par != parent) {
+        if (why)
+            *why = strfmt("bad parent pointer at key %llu",
+                          static_cast<unsigned long long>(key));
+        return -1;
+    }
+    if (key <= lo || key >= hi) {
+        if (why)
+            *why = strfmt("BST order violated at key %llu",
+                          static_cast<unsigned long long>(key));
+        return -1;
+    }
+    if (color == kRed) {
+        if ((left != nil && nvram.read64(left + kColor) == kRed) ||
+            (right != nil && nvram.read64(right + kColor) == kRed)) {
+            if (why)
+                *why = strfmt("red-red violation at key %llu",
+                              static_cast<unsigned long long>(key));
+            return -1;
+        }
+    }
+    ++count;
+    int bh_l =
+        checkSubtree(nvram, nil, left, node, lo, key, count, why);
+    if (bh_l < 0)
+        return -1;
+    int bh_r =
+        checkSubtree(nvram, nil, right, node, key, hi, count, why);
+    if (bh_r < 0)
+        return -1;
+    if (bh_l != bh_r) {
+        if (why)
+            *why = strfmt("black-height mismatch at key %llu",
+                          static_cast<unsigned long long>(key));
+        return -1;
+    }
+    return bh_l + (color == kBlack ? 1 : 0);
+}
+
+bool
+RbTree::verify(const mem::BackingStore &nvram, std::string *why) const
+{
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        Addr hdr = headerAddr(tid);
+        Addr root = nvram.read64(hdr + 0);
+        std::uint64_t expected = nvram.read64(hdr + 8);
+        Addr nil = nvram.read64(hdr + 16);
+        if (root != nil && nvram.read64(root + kColor) != kBlack) {
+            if (why)
+                *why = strfmt("tree %u: red root", tid);
+            return false;
+        }
+        std::uint64_t count = 0;
+        if (checkSubtree(nvram, nil, root, nil, 0, ~0ULL, count,
+                         why) < 0)
+            return false;
+        if (count != expected) {
+            if (why)
+                *why = strfmt("tree %u: %llu nodes but count %llu",
+                              tid,
+                              static_cast<unsigned long long>(count),
+                              static_cast<unsigned long long>(
+                                  expected));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,99 @@
+#include "workloads/sps.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+void
+Sps::setup(System &sys, const WorkloadParams &params)
+{
+    count = params.footprint != 0 ? params.footprint : 4096;
+    // String variant: each element is a 64-byte value (one line);
+    // integer variant: one word.
+    wordsPerElement = params.stringValues ? 8 : 1;
+    base = sys.heap().alloc(count * wordsPerElement * 8, 64);
+
+    expectedSum = 0;
+    expectedXor = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        // Every word of an element carries the element's value so the
+        // invariant covers multi-word swaps.
+        for (std::uint64_t w = 0; w < wordsPerElement; ++w)
+            sys.heap().prewrite64(base + (i * wordsPerElement + w) * 8,
+                                  i + 1);
+        expectedSum += i + 1;
+        expectedXor ^= i + 1;
+    }
+}
+
+sim::Co<void>
+Sps::thread(System &sys, Thread &t, const WorkloadParams &params)
+{
+    (void)sys;
+    sim::Rng rng(params.seed * 1000003 + t.id());
+    // Threads swap within disjoint partitions: the multiset invariant
+    // must hold without inter-thread synchronization, exactly as the
+    // one-transaction-per-thread pattern of paper Figure 4.
+    std::uint64_t share = count / params.threads;
+    SNF_ASSERT(share > 1, "sps partition too small");
+    std::uint64_t lo = t.id() * share;
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        std::uint64_t i = lo + rng.below(share);
+        std::uint64_t j = lo + rng.below(share);
+        Addr ai = base + i * wordsPerElement * 8;
+        Addr aj = base + j * wordsPerElement * 8;
+
+        co_await t.txBegin();
+        co_await t.compute(12); // index arithmetic, bounds checks
+        for (std::uint64_t w = 0; w < wordsPerElement; ++w) {
+            std::uint64_t vi = co_await t.load64(ai + w * 8);
+            std::uint64_t vj = co_await t.load64(aj + w * 8);
+            co_await t.store64(ai + w * 8, vj);
+            co_await t.store64(aj + w * 8, vi);
+        }
+        co_await t.txCommit();
+    }
+}
+
+bool
+Sps::verify(const mem::BackingStore &nvram, std::string *why) const
+{
+    std::uint64_t sum = 0;
+    std::uint64_t x = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t first =
+            nvram.read64(base + i * wordsPerElement * 8);
+        sum += first;
+        x ^= first;
+        // All words of one element must agree (swap atomicity).
+        for (std::uint64_t w = 1; w < wordsPerElement; ++w) {
+            std::uint64_t v =
+                nvram.read64(base + (i * wordsPerElement + w) * 8);
+            if (v != first) {
+                if (why)
+                    *why = strfmt("element %llu word %llu: %llu != "
+                                  "%llu (torn swap)",
+                                  static_cast<unsigned long long>(i),
+                                  static_cast<unsigned long long>(w),
+                                  static_cast<unsigned long long>(v),
+                                  static_cast<unsigned long long>(
+                                      first));
+                return false;
+            }
+        }
+    }
+    if (sum != expectedSum || x != expectedXor) {
+        if (why)
+            *why = strfmt("aggregate mismatch: sum %llu/%llu xor "
+                          "%llu/%llu",
+                          static_cast<unsigned long long>(sum),
+                          static_cast<unsigned long long>(expectedSum),
+                          static_cast<unsigned long long>(x),
+                          static_cast<unsigned long long>(expectedXor));
+        return false;
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,188 @@
+#include "workloads/whisper_ctree.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+void
+WhisperCtree::setup(System &sys, const WorkloadParams &params)
+{
+    std::uint64_t elements =
+        params.footprint != 0 ? params.footprint : 2048;
+    nthreads = params.threads;
+    valueWords = params.stringValues ? 8 : 1;
+    keyspacePerThread = 2 * elements / nthreads;
+
+    headers = sys.heap().alloc(nthreads * 16, 64);
+    sim::Rng rng(params.seed);
+
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        // Preload odd keys in random order to get a bushy BST.
+        std::uint64_t n_init = keyspacePerThread / 2;
+        std::vector<std::uint64_t> keys;
+        keys.reserve(n_init);
+        for (std::uint64_t k = 0; k < n_init; ++k)
+            keys.push_back(2 * k + 1);
+        for (std::uint64_t k = n_init; k > 1; --k)
+            std::swap(keys[k - 1], keys[rng.below(k)]);
+
+        Addr root = 0;
+        std::uint64_t count = 0;
+        for (std::uint64_t key : keys) {
+            Addr node = sys.heap().alloc(nodeBytes(), 8);
+            sys.heap().prewrite64(node + kKey, key);
+            sys.heap().prewrite64(node + kLeft, 0);
+            sys.heap().prewrite64(node + kRight, 0);
+            for (std::uint64_t w = 0; w < valueWords; ++w)
+                sys.heap().prewrite64(node + kValue + w * 8,
+                                      key * 13 + w);
+            if (root == 0) {
+                root = node;
+            } else {
+                Addr cur = root;
+                while (true) {
+                    std::uint64_t ck =
+                        sys.heap().peek64(cur + kKey);
+                    Addr next = sys.heap().peek64(
+                        cur + (key < ck ? kLeft : kRight));
+                    if (next == 0) {
+                        sys.heap().prewrite64(
+                            cur + (key < ck ? kLeft : kRight), node);
+                        break;
+                    }
+                    cur = next;
+                }
+            }
+            ++count;
+        }
+        sys.heap().prewrite64(headerAddr(tid) + 0, root);
+        sys.heap().prewrite64(headerAddr(tid) + 8, count);
+    }
+}
+
+sim::Co<void>
+WhisperCtree::thread(System &sys, Thread &t,
+                     const WorkloadParams &params)
+{
+    sim::Rng rng(params.seed * 48611 + t.id());
+    Addr hdr = headerAddr(t.id());
+
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        std::uint64_t key = rng.below(keyspacePerThread) + 1;
+
+        co_await t.txBegin();
+        co_await t.compute(8);
+
+        // Search, remembering the parent link.
+        Addr parent_link = hdr + 0; // address of the pointer to cur
+        Addr cur = co_await t.load64(hdr + 0);
+        Addr found = 0;
+        while (cur != 0) {
+            std::uint64_t k = co_await t.load64(cur + kKey);
+            co_await t.compute(2);
+            if (k == key) {
+                found = cur;
+                break;
+            }
+            parent_link = cur + (key < k ? kLeft : kRight);
+            cur = co_await t.load64(parent_link);
+        }
+
+        if (found == 0) {
+            // Insert at the found null link.
+            Addr node = sys.heap().alloc(nodeBytes(), 8);
+            co_await t.store64(node + kKey, key);
+            co_await t.store64(node + kLeft, 0);
+            co_await t.store64(node + kRight, 0);
+            for (std::uint64_t w = 0; w < valueWords; ++w)
+                co_await t.store64(node + kValue + w * 8,
+                                   rng.next());
+            co_await t.store64(parent_link, node);
+            std::uint64_t count = co_await t.load64(hdr + 8);
+            co_await t.store64(hdr + 8, count + 1);
+        } else {
+            // BST delete.
+            Addr left = co_await t.load64(found + kLeft);
+            Addr right = co_await t.load64(found + kRight);
+            if (left == 0 || right == 0) {
+                co_await t.store64(parent_link,
+                                   left != 0 ? left : right);
+            } else {
+                // Replace with the successor (min of right subtree).
+                Addr succ_link = found + kRight;
+                Addr succ = right;
+                while (true) {
+                    Addr sl = co_await t.load64(succ + kLeft);
+                    if (sl == 0)
+                        break;
+                    succ_link = succ + kLeft;
+                    succ = sl;
+                }
+                if (succ != right) {
+                    Addr succ_right =
+                        co_await t.load64(succ + kRight);
+                    co_await t.store64(succ_link, succ_right);
+                    co_await t.store64(succ + kRight, right);
+                }
+                co_await t.store64(succ + kLeft, left);
+                co_await t.store64(parent_link, succ);
+            }
+            std::uint64_t count = co_await t.load64(hdr + 8);
+            co_await t.store64(hdr + 8, count - 1);
+        }
+        co_await t.txCommit();
+    }
+}
+
+bool
+WhisperCtree::checkSubtree(const mem::BackingStore &nvram, Addr node,
+                           std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t &count,
+                           std::string *why) const
+{
+    if (node == 0)
+        return true;
+    if (++count > (1u << 22)) {
+        if (why)
+            *why = "node explosion (cycle?)";
+        return false;
+    }
+    std::uint64_t key = nvram.read64(node + kKey);
+    if (key <= lo || key >= hi) {
+        if (why)
+            *why = strfmt("BST order violated at key %llu",
+                          static_cast<unsigned long long>(key));
+        return false;
+    }
+    return checkSubtree(nvram, nvram.read64(node + kLeft), lo, key,
+                        count, why) &&
+           checkSubtree(nvram, nvram.read64(node + kRight), key, hi,
+                        count, why);
+}
+
+bool
+WhisperCtree::verify(const mem::BackingStore &nvram,
+                     std::string *why) const
+{
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        Addr hdr = headerAddr(tid);
+        std::uint64_t expected = nvram.read64(hdr + 8);
+        std::uint64_t count = 0;
+        if (!checkSubtree(nvram, nvram.read64(hdr + 0), 0, ~0ULL,
+                          count, why))
+            return false;
+        if (count != expected) {
+            if (why)
+                *why = strfmt("tree %u: %llu nodes but count %llu",
+                              tid,
+                              static_cast<unsigned long long>(count),
+                              static_cast<unsigned long long>(
+                                  expected));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,96 @@
+#include "workloads/whisper_echo.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+void
+WhisperEcho::setup(System &sys, const WorkloadParams &params)
+{
+    nthreads = params.threads;
+    perThread = params.txPerThread;
+    heads = sys.heap().alloc(nthreads * 8, 64);
+    connState = sys.dramHeap().alloc(nthreads * 4096, 64);
+    slots = sys.heap().alloc(nthreads * perThread * kMsgBytes, 64);
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid)
+        sys.heap().prewrite64(queueHeadAddr(tid), 0);
+}
+
+sim::Co<void>
+WhisperEcho::thread(System &sys, Thread &t,
+                    const WorkloadParams &params)
+{
+    (void)sys;
+    sim::Rng rng(params.seed * 15013 + t.id());
+
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        // Parse and checksum the message against volatile
+        // connection state before the persistent append.
+        co_await t.load64(connState + t.id() * 4096 +
+                          (n * 64) % 4096);
+        co_await t.load64(connState + t.id() * 4096 +
+                          ((n * 192 + 64) % 4096));
+        co_await t.load64(connState + t.id() * 4096 +
+                          ((n * 320 + 128) % 4096));
+        co_await t.compute(1200); // epoch + allocation + hashing
+
+        co_await t.txBegin();
+
+        std::uint64_t head =
+            co_await t.load64(queueHeadAddr(t.id()));
+        Addr msg = msgAddr(t.id(), head);
+
+        std::uint64_t body0 = rng.next();
+        std::uint64_t body1 = rng.next();
+        std::uint64_t body2 = rng.next();
+        co_await t.store64(msg + 0, head + 1); // seq stamp
+        co_await t.store64(msg + 8, body0);
+        co_await t.store64(msg + 16, body1);
+        co_await t.store64(msg + 24, body2);
+        co_await t.store64(msg + 32, body0 ^ body1 ^ body2);
+        co_await t.store64(queueHeadAddr(t.id()), head + 1);
+
+        co_await t.txCommit();
+    }
+}
+
+bool
+WhisperEcho::verify(const mem::BackingStore &nvram,
+                    std::string *why) const
+{
+    for (std::uint32_t tid = 0; tid < nthreads; ++tid) {
+        std::uint64_t head = nvram.read64(queueHeadAddr(tid));
+        if (head > perThread) {
+            if (why)
+                *why = strfmt("queue %u: head %llu out of range", tid,
+                              static_cast<unsigned long long>(head));
+            return false;
+        }
+        for (std::uint64_t i = 0; i < head; ++i) {
+            Addr msg = msgAddr(tid, i);
+            std::uint64_t seq = nvram.read64(msg + 0);
+            std::uint64_t b0 = nvram.read64(msg + 8);
+            std::uint64_t b1 = nvram.read64(msg + 16);
+            std::uint64_t b2 = nvram.read64(msg + 24);
+            std::uint64_t sum = nvram.read64(msg + 32);
+            if (seq != i + 1 || sum != (b0 ^ b1 ^ b2)) {
+                if (why)
+                    *why = strfmt("queue %u msg %llu: torn append",
+                                  tid,
+                                  static_cast<unsigned long long>(i));
+                return false;
+            }
+        }
+        // The slot past the head must be unstamped.
+        if (head < perThread &&
+            nvram.read64(msgAddr(tid, head)) != 0) {
+            if (why)
+                *why = strfmt("queue %u: phantom message", tid);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

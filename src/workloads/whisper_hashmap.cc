@@ -1,0 +1,7 @@
+// WhisperHashmap is header-only over OpenChainHashBase; this
+// translation unit exists to anchor the vtable.
+#include "workloads/whisper_hashmap.hh"
+
+namespace snf::workloads
+{
+} // namespace snf::workloads

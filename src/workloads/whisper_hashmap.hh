@@ -1,0 +1,29 @@
+/**
+ * @file
+ * WHISPER "hashmap" workload (N-store hashmap equivalent): the same
+ * open-chain hash engine as the Hash microbenchmark, but with the
+ * read-heavy operation mix of a key-value cache (70% lookups, 30%
+ * mutations).
+ */
+
+#ifndef SNF_WORKLOADS_WHISPER_HASHMAP_HH
+#define SNF_WORKLOADS_WHISPER_HASHMAP_HH
+
+#include "workloads/hash.hh"
+
+namespace snf::workloads
+{
+
+/** See file comment. */
+class WhisperHashmap : public OpenChainHashBase
+{
+  public:
+    std::string name() const override { return "hashmap"; }
+
+  protected:
+    double lookupFraction() const override { return 0.7; }
+};
+
+} // namespace snf::workloads
+
+#endif // SNF_WORKLOADS_WHISPER_HASHMAP_HH

@@ -1,0 +1,150 @@
+#include "workloads/whisper_vacation.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+void
+WhisperVacation::setup(System &sys, const WorkloadParams &params)
+{
+    nthreads = params.threads;
+    nresources = params.footprint != 0 ? params.footprint : 256;
+    ncustomers = 8 * nthreads;
+
+    resources = sys.heap().alloc(nresources * kResourceBytes, 64);
+    customers = sys.heap().alloc(ncustomers * kCustomerBytes, 64);
+    locks = sys.dramHeap().alloc(nresources * 8, 64);
+    searchCache = sys.dramHeap().alloc(nresources * 32, 64);
+
+    sim::Rng rng(params.seed);
+    for (std::uint64_t r = 0; r < nresources; ++r) {
+        std::uint64_t total = rng.range(50, 200);
+        sys.heap().prewrite64(resourceAddr(r) + 0, total);
+        sys.heap().prewrite64(resourceAddr(r) + 8, total);
+        sys.heap().prewrite64(resourceAddr(r) + 16,
+                              rng.range(50, 500));
+    }
+    for (std::uint64_t c = 0; c < ncustomers; ++c)
+        sys.heap().prewrite64(customerAddr(c), 0);
+}
+
+sim::Co<void>
+WhisperVacation::thread(System &sys, Thread &t,
+                        const WorkloadParams &params)
+{
+    (void)sys;
+    sim::Rng rng(params.seed * 9176 + t.id());
+    sim::Zipf zipf(nresources, 0.7);
+    std::uint64_t cust_per_thread = ncustomers / nthreads;
+    std::uint64_t cust_lo = t.id() * cust_per_thread;
+
+    for (std::uint64_t n = 0; n < params.txPerThread; ++n) {
+        std::uint64_t c = cust_lo + rng.below(cust_per_thread);
+        Addr cust = customerAddr(c);
+        bool reserve = rng.chance(0.75);
+
+        if (reserve) {
+            std::uint64_t r = zipf.sample(rng);
+            Addr res = resourceAddr(r);
+            // Itinerary search over the volatile price cache.
+            for (int probe = 0; probe < 4; ++probe)
+                co_await t.load64(searchCache +
+                                  ((r + probe * 37) % nresources) *
+                                      32);
+            co_await t.compute(90);
+            co_await t.lockAcquire(locks + r * 8);
+            co_await t.txBegin();
+            co_await t.compute(25); // final pricing
+
+            std::uint64_t avail = co_await t.load64(res + 8);
+            std::uint64_t count = co_await t.load64(cust);
+            co_await t.load64(res + 16); // price
+            if (avail > 0 && count < kMaxReservations) {
+                co_await t.store64(res + 8, avail - 1);
+                co_await t.store64(cust + 8 + count * 8, r + 1);
+                co_await t.store64(cust, count + 1);
+            }
+            co_await t.txCommit();
+            co_await t.lockRelease(locks + r * 8);
+        } else {
+            // Cancel the customer's most recent reservation.
+            std::uint64_t count =
+                sys.heap().peek64(cust); // pre-probe for lock choice
+            if (count == 0)
+                continue;
+            std::uint64_t rid =
+                sys.heap().peek64(cust + 8 + (count - 1) * 8);
+            if (rid == 0)
+                continue;
+            std::uint64_t r = rid - 1;
+            Addr res = resourceAddr(r);
+            co_await t.lockAcquire(locks + r * 8);
+            co_await t.txBegin();
+            co_await t.compute(15);
+
+            std::uint64_t cur_count = co_await t.load64(cust);
+            if (cur_count > 0) {
+                std::uint64_t cur_rid = co_await t.load64(
+                    cust + 8 + (cur_count - 1) * 8);
+                if (cur_rid == rid) {
+                    std::uint64_t avail = co_await t.load64(res + 8);
+                    co_await t.store64(res + 8, avail + 1);
+                    co_await t.store64(
+                        cust + 8 + (cur_count - 1) * 8, 0);
+                    co_await t.store64(cust, cur_count - 1);
+                }
+            }
+            co_await t.txCommit();
+            co_await t.lockRelease(locks + r * 8);
+        }
+    }
+}
+
+bool
+WhisperVacation::verify(const mem::BackingStore &nvram,
+                        std::string *why) const
+{
+    std::vector<std::uint64_t> held(nresources, 0);
+    for (std::uint64_t c = 0; c < ncustomers; ++c) {
+        std::uint64_t count = nvram.read64(customerAddr(c));
+        if (count > kMaxReservations) {
+            if (why)
+                *why = strfmt("customer %llu: count %llu",
+                              static_cast<unsigned long long>(c),
+                              static_cast<unsigned long long>(count));
+            return false;
+        }
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::uint64_t rid =
+                nvram.read64(customerAddr(c) + 8 + i * 8);
+            if (rid == 0 || rid > nresources) {
+                if (why)
+                    *why = strfmt("customer %llu entry %llu: bad "
+                                  "resource id",
+                                  static_cast<unsigned long long>(c),
+                                  static_cast<unsigned long long>(i));
+                return false;
+            }
+            ++held[rid - 1];
+        }
+    }
+    for (std::uint64_t r = 0; r < nresources; ++r) {
+        std::uint64_t total = nvram.read64(resourceAddr(r) + 0);
+        std::uint64_t avail = nvram.read64(resourceAddr(r) + 8);
+        if (avail + held[r] != total) {
+            if (why)
+                *why = strfmt("resource %llu: %llu available + %llu "
+                              "held != %llu total",
+                              static_cast<unsigned long long>(r),
+                              static_cast<unsigned long long>(avail),
+                              static_cast<unsigned long long>(
+                                  held[r]),
+                              static_cast<unsigned long long>(total));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * WHISPER "vacation" workload equivalent (STAMP vacation): a travel
+ * reservation system with persistent resource tables (cars, rooms,
+ * flights) and customer records. A reservation transaction decrements
+ * a resource's availability and appends the reservation to the
+ * customer's record; a cancellation does the reverse.
+ *
+ * Conservation invariant: for every resource,
+ *   total == available + (reservations held across all customers),
+ * which any torn reservation breaks.
+ */
+
+#ifndef SNF_WORKLOADS_WHISPER_VACATION_HH
+#define SNF_WORKLOADS_WHISPER_VACATION_HH
+
+#include "workloads/workload.hh"
+
+namespace snf::workloads
+{
+
+/** See file comment. */
+class WhisperVacation : public Workload
+{
+  public:
+    std::string name() const override { return "vacation"; }
+
+    void setup(System &sys, const WorkloadParams &params) override;
+
+    sim::Co<void> thread(System &sys, Thread &t,
+                         const WorkloadParams &params) override;
+
+    bool verify(const mem::BackingStore &nvram,
+                std::string *why) const override;
+
+  private:
+    static constexpr std::uint64_t kMaxReservations = 64;
+
+    // Resource: total(8) | available(8) | price(8).
+    static constexpr std::uint64_t kResourceBytes = 24;
+    // Customer: count(8) | entries[kMaxReservations](8) — resource id
+    // + 1 per entry.
+    static constexpr std::uint64_t kCustomerBytes =
+        8 + kMaxReservations * 8;
+
+    Addr resourceAddr(std::uint64_t r) const
+    {
+        return resources + r * kResourceBytes;
+    }
+
+    Addr customerAddr(std::uint64_t c) const
+    {
+        return customers + c * kCustomerBytes;
+    }
+
+    Addr resources = 0;
+    Addr customers = 0;
+    Addr locks = 0; ///< DRAM spinlock per resource
+    Addr searchCache = 0; ///< DRAM itinerary price cache
+    std::uint64_t nresources = 0;
+    std::uint64_t ncustomers = 0;
+    std::uint32_t nthreads = 1;
+};
+
+} // namespace snf::workloads
+
+#endif // SNF_WORKLOADS_WHISPER_VACATION_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload framework: the interface every benchmark implements
+ * (functional setup, a per-thread transaction coroutine, and a
+ * post-run/post-recovery consistency check over the NVRAM image),
+ * plus the by-name factory used by tests and benches.
+ */
+
+#ifndef SNF_WORKLOADS_WORKLOAD_HH
+#define SNF_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/coro.hh"
+#include "sim/rng.hh"
+
+namespace snf::workloads
+{
+
+/** Knobs shared by all workloads. */
+struct WorkloadParams
+{
+    std::uint32_t threads = 1;
+    std::uint64_t txPerThread = 200;
+    std::uint64_t seed = 1;
+    /** String variant: multi-line values instead of one word. */
+    bool stringValues = false;
+    /** Elements in the initial structure; 0 = workload default. */
+    std::uint64_t footprint = 0;
+};
+
+/** See file comment. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Functionally preload the initial data structure into the
+     * persistent heap (models data that existed before the run).
+     */
+    virtual void setup(System &sys, const WorkloadParams &params) = 0;
+
+    /** The transaction loop executed by thread @p t. */
+    virtual sim::Co<void> thread(System &sys, Thread &t,
+                                 const WorkloadParams &params) = 0;
+
+    /**
+     * Check structural consistency of the NVRAM image (after a
+     * graceful flush, or after crash + recovery).
+     * @param why receives a diagnostic when the check fails.
+     */
+    virtual bool verify(const mem::BackingStore &nvram,
+                        std::string *why) const = 0;
+};
+
+/** Instantiate a workload by name; fatal() on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+/** Names of the five paper microbenchmarks (Table III). */
+const std::vector<std::string> &microbenchNames();
+
+/** Names of the WHISPER-like workloads. */
+const std::vector<std::string> &whisperNames();
+
+/** All workload names. */
+std::vector<std::string> allWorkloadNames();
+
+} // namespace snf::workloads
+
+#endif // SNF_WORKLOADS_WORKLOAD_HH

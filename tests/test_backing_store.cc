@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the sparse backing store and its crash journal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+using namespace snf;
+using namespace snf::mem;
+
+TEST(BackingStore, ZeroFilledByDefault)
+{
+    BackingStore bs(0x1000, 1 << 20);
+    std::uint8_t buf[16] = {0xff};
+    bs.read(0x2000, sizeof(buf), buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(BackingStore, ReadBackWrites)
+{
+    BackingStore bs(0, 1 << 20);
+    const char msg[] = "hello, nvram";
+    bs.write(123, sizeof(msg), msg);
+    char out[sizeof(msg)] = {};
+    bs.read(123, sizeof(msg), out);
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    BackingStore bs(0, 1 << 20);
+    std::vector<std::uint8_t> data(10000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    bs.write(4000, data.size(), data.data()); // spans 3+ pages
+    std::vector<std::uint8_t> out(data.size());
+    bs.read(4000, out.size(), out.data());
+    EXPECT_EQ(out, data);
+}
+
+TEST(BackingStore, Read64Write64)
+{
+    BackingStore bs(0x100000000ULL, 1 << 20);
+    bs.write64(0x100000040ULL, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(bs.read64(0x100000040ULL), 0xdeadbeefcafef00dULL);
+}
+
+TEST(BackingStore, ContainsChecksBounds)
+{
+    BackingStore bs(0x1000, 0x1000);
+    EXPECT_TRUE(bs.contains(0x1000, 1));
+    EXPECT_TRUE(bs.contains(0x1fff, 1));
+    EXPECT_FALSE(bs.contains(0x1fff, 2));
+    EXPECT_FALSE(bs.contains(0xfff, 1));
+}
+
+TEST(BackingStoreJournal, SnapshotExcludesLaterWrites)
+{
+    BackingStore bs(0, 1 << 20);
+    bs.write64(0, 1, 0);
+    bs.enableJournal();
+    bs.write64(8, 2, 100);
+    bs.write64(16, 3, 200);
+    bs.write64(8, 4, 300); // overwrites the tick-100 value
+
+    BackingStore snap = bs.snapshotAt(250);
+    EXPECT_EQ(snap.read64(0), 1u);  // pre-journal base
+    EXPECT_EQ(snap.read64(8), 2u);  // tick-100 write visible
+    EXPECT_EQ(snap.read64(16), 3u); // tick-200 write visible
+    EXPECT_EQ(bs.read64(8), 4u);    // live store has the newest
+}
+
+TEST(BackingStoreJournal, SnapshotAtZeroIsBaseImage)
+{
+    BackingStore bs(0, 1 << 20);
+    bs.write64(0, 42, 0);
+    bs.enableJournal();
+    bs.write64(0, 43, 10);
+    BackingStore snap = bs.snapshotAt(5);
+    EXPECT_EQ(snap.read64(0), 42u);
+}
+
+TEST(BackingStoreJournal, OrderedReplayOfSameAddress)
+{
+    BackingStore bs(0, 1 << 20);
+    bs.enableJournal();
+    for (std::uint64_t t = 1; t <= 10; ++t)
+        bs.write64(64, t, t * 10);
+    for (std::uint64_t t = 1; t <= 10; ++t)
+        EXPECT_EQ(bs.snapshotAt(t * 10).read64(64), t);
+}
+
+TEST(BackingStoreJournal, JournalSizeCounts)
+{
+    BackingStore bs(0, 1 << 20);
+    bs.enableJournal();
+    EXPECT_EQ(bs.journalSize(), 0u);
+    bs.write64(0, 1, 1);
+    bs.write64(8, 2, 2);
+    EXPECT_EQ(bs.journalSize(), 2u);
+}

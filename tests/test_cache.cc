@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the passive cache array: lookup, install, LRU
+ * victim selection, invalidation, and the fwb tag bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace snf;
+using namespace snf::mem;
+
+namespace
+{
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024; // 16 lines
+    cfg.ways = 4;         // 4 sets
+    cfg.lineBytes = 64;
+    cfg.latency = 4;
+    return cfg;
+}
+
+void
+installLine(Cache &c, Addr lineAddr)
+{
+    CacheLine *slot = c.victimFor(lineAddr);
+    if (slot->valid)
+        c.invalidate(slot);
+    c.install(slot, lineAddr);
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache c("t", smallConfig());
+    EXPECT_EQ(c.find(0x1000), nullptr);
+    installLine(c, 0x1000);
+    ASSERT_NE(c.find(0x1000), nullptr);
+    EXPECT_EQ(c.find(0x1000)->lineAddr, 0x1000u);
+}
+
+TEST(Cache, LineOfMasksOffset)
+{
+    Cache c("t", smallConfig());
+    EXPECT_EQ(c.lineOf(0x1234), 0x1200u);
+    EXPECT_EQ(c.lineOf(0x1240), 0x1240u);
+}
+
+TEST(Cache, InstallStartsCleanAndValid)
+{
+    Cache c("t", smallConfig());
+    installLine(c, 0x40);
+    CacheLine *l = c.find(0x40);
+    EXPECT_TRUE(l->valid);
+    EXPECT_FALSE(l->dirty);
+    EXPECT_FALSE(l->fwb);
+}
+
+TEST(Cache, LruVictimIsLeastRecentlyTouched)
+{
+    Cache c("t", smallConfig());
+    // Fill one set: set index = (addr/64) % 4; use set 0.
+    Addr lines[4] = {0 * 256, 1 * 256, 2 * 256, 3 * 256};
+    for (Addr a : lines)
+        installLine(c, a);
+    // Touch all but lines[2].
+    c.touch(c.find(lines[0]));
+    c.touch(c.find(lines[1]));
+    c.touch(c.find(lines[3]));
+    CacheLine *victim = c.victimFor(4 * 256);
+    EXPECT_EQ(victim->lineAddr, lines[2]);
+}
+
+TEST(Cache, VictimPrefersInvalidWay)
+{
+    Cache c("t", smallConfig());
+    installLine(c, 0);
+    installLine(c, 256);
+    CacheLine *victim = c.victimFor(512);
+    EXPECT_FALSE(victim->valid);
+}
+
+TEST(Cache, InvalidateClearsAllState)
+{
+    Cache c("t", smallConfig());
+    installLine(c, 0x80);
+    CacheLine *l = c.find(0x80);
+    l->dirty = true;
+    l->fwb = true;
+    c.invalidate(l);
+    EXPECT_FALSE(l->valid);
+    EXPECT_FALSE(l->dirty);
+    EXPECT_FALSE(l->fwb);
+    EXPECT_EQ(c.find(0x80), nullptr);
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c("t", smallConfig());
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        installLine(c, a);
+    c.invalidateAll();
+    for (Addr a = 0; a < 16 * 64; a += 64)
+        EXPECT_EQ(c.find(a), nullptr);
+}
+
+TEST(Cache, ForEachLineVisitsAllSlots)
+{
+    Cache c("t", smallConfig());
+    std::size_t n = 0;
+    c.forEachLine([&](CacheLine &) { ++n; });
+    EXPECT_EQ(n, 16u);
+}
+
+TEST(Cache, SetsDoNotAlias)
+{
+    Cache c("t", smallConfig());
+    installLine(c, 0);   // set 0
+    installLine(c, 64);  // set 1
+    installLine(c, 128); // set 2
+    installLine(c, 192); // set 3
+    EXPECT_NE(c.find(0), nullptr);
+    EXPECT_NE(c.find(64), nullptr);
+    EXPECT_NE(c.find(128), nullptr);
+    EXPECT_NE(c.find(192), nullptr);
+}
+
+TEST(Cache, DataSizedToLine)
+{
+    Cache c("t", smallConfig());
+    installLine(c, 0);
+    EXPECT_EQ(c.find(0)->data.size(), 64u);
+}

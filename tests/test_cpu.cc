@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the CPU layer: thread-context timing helpers (store
+ * buffer, fences, retire width), the earliest-thread-first scheduler
+ * (ordering, determinism, crash stop), and event-queue interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.hh"
+#include "cpu/scheduler.hh"
+#include "cpu/thread_context.hh"
+#include "sim/rng.hh"
+
+using namespace snf;
+using namespace snf::cpu;
+
+TEST(ThreadContext, RetireComputeUsesIssueWidth)
+{
+    ThreadContext tc(0, /*width=*/4, /*sb=*/8);
+    tc.retireCompute(8);
+    EXPECT_EQ(tc.localTime, 2u);
+    tc.retireCompute(1);
+    EXPECT_EQ(tc.localTime, 3u); // rounds up
+}
+
+TEST(ThreadContext, StoreBufferAbsorbsUntilFull)
+{
+    ThreadContext tc(0, 4, /*sb=*/2);
+    tc.localTime = 10;
+    tc.noteStoreDrain(100);
+    tc.noteStoreDrain(200);
+    EXPECT_EQ(tc.localTime, 10u); // buffered, no stall
+    tc.noteStoreDrain(300);       // full: stall to oldest drain
+    EXPECT_EQ(tc.localTime, 100u);
+}
+
+TEST(ThreadContext, DrainedEntriesRetireSilently)
+{
+    ThreadContext tc(0, 4, 2);
+    tc.noteStoreDrain(5);
+    tc.noteStoreDrain(6);
+    tc.localTime = 50; // both entries have drained by now
+    tc.noteStoreDrain(60);
+    EXPECT_EQ(tc.localTime, 50u); // no stall
+}
+
+TEST(ThreadContext, FenceWaitsForStoresAndPersists)
+{
+    ThreadContext tc(0, 4, 8);
+    tc.localTime = 10;
+    tc.noteStoreDrain(500);
+    tc.notePendingPersist(900);
+    tc.drainForFence();
+    EXPECT_EQ(tc.localTime, 900u);
+    // A second fence has nothing left to wait for.
+    tc.drainForFence();
+    EXPECT_EQ(tc.localTime, 900u);
+}
+
+namespace
+{
+
+struct CountOp : PendingOp
+{
+    std::vector<int> *order;
+    int id;
+    ThreadContext *tc;
+    Tick advance;
+
+    void
+    execute() override
+    {
+        order->push_back(id);
+        tc->localTime += advance;
+    }
+};
+
+// A coroutine that parks `ops` operations, one at a time.
+sim::Co<void>
+opLoop(ThreadContext *tc, CountOp *op, int times)
+{
+    struct Await
+    {
+        ThreadContext *tc;
+        CountOp *op;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            tc->pending = op;
+            tc->resumePoint = h;
+        }
+
+        void await_resume() const noexcept {}
+    };
+    for (int i = 0; i < times; ++i)
+        co_await Await{tc, op};
+}
+
+} // namespace
+
+TEST(Scheduler, ExecutesEarliestThreadFirst)
+{
+    sim::EventQueue evq;
+    Scheduler sched(evq);
+    ThreadContext a(0, 4, 8), b(1, 4, 8);
+    std::vector<int> order;
+
+    CountOp opA{};
+    opA.order = &order;
+    opA.id = 0;
+    opA.tc = &a;
+    opA.advance = 100; // thread a is slow
+    CountOp opB{};
+    opB.order = &order;
+    opB.id = 1;
+    opB.tc = &b;
+    opB.advance = 30; // thread b is fast
+
+    sim::Co<void> ca = opLoop(&a, &opA, 2);
+    sim::Co<void> cb = opLoop(&b, &opB, 6);
+    a.rootHandle = ca.raw();
+    b.rootHandle = cb.raw();
+    sched.addThread(&a);
+    sched.addThread(&b);
+    Tick end = sched.run();
+
+    EXPECT_TRUE(sched.allFinished());
+    EXPECT_EQ(end, 200u);
+    // b at times 0,30,60,90 runs before a's second op at 100, etc.
+    std::vector<int> expected{0, 1, 1, 1, 1, 0, 1, 1};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(Scheduler, StopsAtCrashTick)
+{
+    sim::EventQueue evq;
+    Scheduler sched(evq);
+    ThreadContext a(0, 4, 8);
+    std::vector<int> order;
+    CountOp op{};
+    op.order = &order;
+    op.id = 0;
+    op.tc = &a;
+    op.advance = 50;
+    sim::Co<void> ca = opLoop(&a, &op, 100);
+    a.rootHandle = ca.raw();
+    sched.addThread(&a);
+    sched.run(/*stopAt=*/175);
+    EXPECT_FALSE(sched.allFinished());
+    // Ops at local times 0,50,100,150 executed; 200 >= 175 stops.
+    EXPECT_EQ(order.size(), 4u);
+}
+
+TEST(Scheduler, DrainsEventsBeforeThreadSteps)
+{
+    sim::EventQueue evq;
+    Scheduler sched(evq);
+    ThreadContext a(0, 4, 8);
+    std::vector<int> order;
+    CountOp op{};
+    op.order = &order;
+    op.id = 7;
+    op.tc = &a;
+    op.advance = 100;
+    std::vector<Tick> event_ticks;
+    evq.schedule(150, [&](Tick when) { event_ticks.push_back(when); });
+    sim::Co<void> ca = opLoop(&a, &op, 3);
+    a.rootHandle = ca.raw();
+    sched.addThread(&a);
+    sched.run();
+    // The event fired between the thread's 100-tick and 200-tick ops.
+    ASSERT_EQ(event_ticks.size(), 1u);
+    EXPECT_EQ(event_ticks[0], 150u);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        System sys(cfg, PersistMode::Fwb);
+        Addr a = sys.heap().alloc(4096, 64);
+        for (CoreId c = 0; c < 4; ++c) {
+            sys.spawn(c, [&, c](Thread &t) -> sim::Co<void> {
+                return [](Thread &t, Addr base,
+                          CoreId core) -> sim::Co<void> {
+                    sim::Rng rng(core + 1);
+                    for (int i = 0; i < 100; ++i) {
+                        co_await t.txBegin();
+                        Addr slot =
+                            base + (rng.below(64) + core * 64) * 8;
+                        std::uint64_t v =
+                            co_await t.load64(slot);
+                        co_await t.store64(slot, v + 1);
+                        co_await t.txCommit();
+                    }
+                }(t, a, c);
+            });
+        }
+        return sys.run();
+    };
+    Tick t1 = run_once();
+    Tick t2 = run_once();
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(InstructionCounts, AccumulateAcrossClasses)
+{
+    InstructionCounts a, b;
+    a.total = 10;
+    a.loads = 3;
+    b.total = 5;
+    b.stores = 2;
+    a += b;
+    EXPECT_EQ(a.total, 15u);
+    EXPECT_EQ(a.loads, 3u);
+    EXPECT_EQ(a.stores, 2u);
+}

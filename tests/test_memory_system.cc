@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Unit tests for the memory-system protocol layer: hierarchy fills,
+ * write-allocate, coherence between private L1s, clwb, the FWB scan
+ * state machine, eviction write-backs, and the persistent-store hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+
+using namespace snf;
+using namespace snf::mem;
+
+namespace
+{
+
+SystemConfig
+cfg4()
+{
+    return SystemConfig::scaled(4);
+}
+
+struct RecordingHook : PersistentStoreHook
+{
+    struct Event
+    {
+        CoreId core;
+        std::uint64_t txSeq;
+        Addr addr;
+        std::uint64_t oldVal;
+        std::uint64_t newVal;
+    };
+
+    std::vector<Event> events;
+
+    Tick
+    onPersistentStore(CoreId core, std::uint64_t txSeq, Addr addr,
+                      std::uint32_t, std::uint64_t oldVal,
+                      std::uint64_t newVal, Tick now) override
+    {
+        events.push_back({core, txSeq, addr, oldVal, newVal});
+        return now;
+    }
+};
+
+} // namespace
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    MemorySystemTest() : ms(cfg4()), nv(ms.config().map.nvramBase) {}
+
+    MemorySystem ms;
+    Addr nv; ///< first NVRAM address (log base; fine for raw tests)
+};
+
+TEST_F(MemorySystemTest, StoreThenLoadRoundTrip)
+{
+    std::uint64_t v = 0xabcdef;
+    ms.store(0, nv + 8, 8, &v, 0);
+    std::uint64_t out = 0;
+    auto r = ms.load(0, nv + 8, 8, &out, 100);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(r.level, HitLevel::L1);
+}
+
+TEST_F(MemorySystemTest, FirstAccessMissesToMemory)
+{
+    std::uint64_t out = 0;
+    auto r = ms.load(0, nv + 4096, 8, &out, 0);
+    EXPECT_EQ(r.level, HitLevel::Memory);
+    EXPECT_GT(r.done, 200u); // paid the NVRAM conflict read
+}
+
+TEST_F(MemorySystemTest, SecondCoreHitsInL2)
+{
+    std::uint64_t v = 5;
+    ms.store(0, nv + 4096, 8, &v, 0);
+    // Evict nothing; core 1 misses L1 but the line sits in L2.
+    std::uint64_t out = 0;
+    // Write-back of core 0's dirty copy happens via cache-to-cache.
+    auto r = ms.load(1, nv + 4096, 8, &out, 1000);
+    EXPECT_EQ(out, 5u);
+    EXPECT_EQ(r.level, HitLevel::L2);
+}
+
+TEST_F(MemorySystemTest, DirtyCopyMigratesBetweenCores)
+{
+    std::uint64_t v = 7;
+    ms.store(0, nv + 8192, 8, &v, 0);
+    std::uint64_t out = 0;
+    ms.load(1, nv + 8192, 8, &out, 100);
+    EXPECT_EQ(out, 7u);
+    // Now core 1 stores: core 0's copy must be invalidated.
+    std::uint64_t v2 = 9;
+    ms.store(1, nv + 8192, 8, &v2, 200);
+    ms.load(0, nv + 8192, 8, &out, 300);
+    EXPECT_EQ(out, 9u);
+}
+
+TEST_F(MemorySystemTest, StoreExclusivityNoTwoDirtyCopies)
+{
+    std::uint64_t v = 1;
+    ms.store(0, nv + 256, 8, &v, 0);
+    v = 2;
+    ms.store(1, nv + 256, 8, &v, 100);
+    v = 3;
+    ms.store(0, nv + 256, 8, &v, 200); // would assert on 2 dirty
+    std::uint64_t out = 0;
+    ms.load(3, nv + 256, 8, &out, 300);
+    EXPECT_EQ(out, 3u);
+}
+
+TEST_F(MemorySystemTest, ClwbPersistsDirtyLine)
+{
+    std::uint64_t v = 0x77;
+    Addr a = nv + 16384;
+    ms.store(0, a, 8, &v, 0);
+    EXPECT_TRUE(ms.isLineDirtyAnywhere(a));
+    Tick done = ms.clwb(0, a, 100);
+    EXPECT_GT(done, 100u);
+    EXPECT_FALSE(ms.isLineDirtyAnywhere(a));
+    // The device now has the data.
+    std::uint64_t out = 0;
+    ms.nvram().functionalRead(a, 8, &out);
+    EXPECT_EQ(out, 0x77u);
+}
+
+TEST_F(MemorySystemTest, ClwbKeepsLineValid)
+{
+    std::uint64_t v = 3;
+    Addr a = nv + 16384;
+    ms.store(0, a, 8, &v, 0);
+    ms.clwb(0, a, 100);
+    std::uint64_t out = 0;
+    auto r = ms.load(0, a, 8, &out, 200);
+    EXPECT_EQ(r.level, HitLevel::L1);
+    EXPECT_EQ(out, 3u);
+}
+
+TEST_F(MemorySystemTest, ClwbOnCleanLineIsCheap)
+{
+    std::uint64_t out = 0;
+    Addr a = nv + 32768;
+    ms.load(0, a, 8, &out, 0);
+    Tick done = ms.clwb(0, a, 1000);
+    EXPECT_LT(done, 1100u); // no device write needed
+}
+
+TEST_F(MemorySystemTest, FwbScanFlagsThenWritesBack)
+{
+    std::uint64_t v = 0x1234;
+    Addr a = nv + 65536;
+    ms.store(0, a, 8, &v, 0);
+
+    auto s1 = ms.fwbScanAll(1000, 0.0);
+    EXPECT_GE(s1.linesFlagged, 1u);
+    EXPECT_TRUE(ms.isLineDirtyAnywhere(a)); // only flagged so far
+
+    auto s2 = ms.fwbScanAll(2000, 0.0);
+    EXPECT_GE(s2.linesWrittenBack, 1u);
+    // After L1 FWB the line is dirty in L2; two more scans push it
+    // to NVRAM.
+    ms.fwbScanAll(3000, 0.0);
+    ms.fwbScanAll(4000, 0.0);
+    EXPECT_FALSE(ms.isLineDirtyAnywhere(a));
+    std::uint64_t out = 0;
+    ms.nvram().functionalRead(a, 8, &out);
+    EXPECT_EQ(out, 0x1234u);
+}
+
+TEST_F(MemorySystemTest, FwbIgnoresDramLines)
+{
+    std::uint64_t v = 9;
+    Addr d = ms.config().map.dramBase + 4096;
+    ms.store(0, d, 8, &v, 0);
+    for (int i = 0; i < 4; ++i)
+        ms.fwbScanAll(1000 * (i + 1), 0.0);
+    // DRAM line is still dirty: FWB only guards NVRAM data.
+    EXPECT_TRUE(ms.isLineDirtyAnywhere(d));
+}
+
+TEST_F(MemorySystemTest, FwbScanChargesPortBusyTime)
+{
+    ms.fwbScanAll(100, 1.0);
+    EXPECT_GT(ms.l1(0).busyUntil, 100u);
+    EXPECT_GT(ms.l2Cache().busyUntil, 100u);
+}
+
+TEST_F(MemorySystemTest, WriteAllocatePreservesNeighbours)
+{
+    // Preload the full line in NVRAM, store one word, check the
+    // neighbouring bytes survived the write-allocate.
+    Addr line = nv + 131072;
+    std::uint64_t a = 0x1111, b = 0x2222;
+    ms.nvram().functionalWrite(line, 8, &a);
+    ms.nvram().functionalWrite(line + 8, 8, &b);
+    std::uint64_t v = 0x3333;
+    ms.store(0, line, 8, &v, 0);
+    std::uint64_t out = 0;
+    ms.load(0, line + 8, 8, &out, 100);
+    EXPECT_EQ(out, 0x2222u);
+}
+
+TEST_F(MemorySystemTest, HookSeesOldAndNewValues)
+{
+    RecordingHook hook;
+    ms.setStoreHook(&hook);
+    Addr a = nv + 262144;
+    std::uint64_t init = 10;
+    ms.nvram().functionalWrite(a, 8, &init);
+
+    MemorySystem::StoreCtx ctx;
+    ctx.persistent = true;
+    ctx.txSeq = 77;
+    std::uint64_t v = 20;
+    ms.store(2, a, 8, &v, 0, ctx);
+
+    ASSERT_EQ(hook.events.size(), 1u);
+    EXPECT_EQ(hook.events[0].core, 2u);
+    EXPECT_EQ(hook.events[0].txSeq, 77u);
+    EXPECT_EQ(hook.events[0].oldVal, 10u);
+    EXPECT_EQ(hook.events[0].newVal, 20u);
+}
+
+TEST_F(MemorySystemTest, HookSkipsNonPersistentAndDram)
+{
+    RecordingHook hook;
+    ms.setStoreHook(&hook);
+    std::uint64_t v = 1;
+    ms.store(0, nv + 512, 8, &v, 0); // non-persistent ctx
+    MemorySystem::StoreCtx ctx;
+    ctx.persistent = true;
+    ctx.txSeq = 1;
+    ms.store(0, ms.config().map.dramBase + 64, 8, &v, 0, ctx);
+    EXPECT_TRUE(hook.events.empty());
+}
+
+TEST_F(MemorySystemTest, InvalidateAllModelsCrash)
+{
+    std::uint64_t v = 123;
+    Addr a = nv + 524288;
+    ms.store(0, a, 8, &v, 0);
+    ms.invalidateAllCaches();
+    EXPECT_FALSE(ms.isLineDirtyAnywhere(a));
+    // The store never reached NVRAM: the device still reads zero.
+    std::uint64_t out = 99;
+    ms.nvram().functionalRead(a, 8, &out);
+    EXPECT_EQ(out, 0u);
+}
+
+TEST_F(MemorySystemTest, FlushAllDirtyPersistsEverything)
+{
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 50; ++i)
+        addrs.push_back(nv + 1048576 + 64 * i);
+    std::uint64_t v = 0;
+    for (Addr a : addrs) {
+        ++v;
+        ms.store(0, a, 8, &v, 0);
+    }
+    ms.flushAllDirty(10000);
+    v = 0;
+    for (Addr a : addrs) {
+        std::uint64_t out = 0;
+        ms.nvram().functionalRead(a, 8, &out);
+        EXPECT_EQ(out, ++v);
+    }
+}
+
+TEST_F(MemorySystemTest, EvictionWritesBackThroughHierarchy)
+{
+    // Stream enough lines through one L1 set to force evictions all
+    // the way out, then check data integrity via another core.
+    SystemConfig c = cfg4();
+    std::uint64_t stride =
+        c.l1.numSets() * c.l1.lineBytes; // same L1 set
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        std::uint64_t v = i + 1;
+        ms.store(0, nv + 2097152 + i * stride, 8, &v, i * 10);
+    }
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        std::uint64_t out = 0;
+        ms.load(1, nv + 2097152 + i * stride, 8, &out, 100000 + i);
+        EXPECT_EQ(out, i + 1);
+    }
+}
+
+TEST_F(MemorySystemTest, UncacheableWritesReachDeviceOnDrain)
+{
+    std::uint64_t v = 0x55;
+    Addr a = nv + 64; // log region area; raw device range
+    ms.uncacheableWrite(a, 8, &v, 0);
+    Tick done = ms.drainWcb(100);
+    EXPECT_GE(done, 100u);
+    std::uint64_t out = 0;
+    ms.nvram().functionalRead(a, 8, &out);
+    EXPECT_EQ(out, 0x55u);
+}
+
+TEST_F(MemorySystemTest, LoadsTrackHitLevels)
+{
+    Addr a = nv + 4194304;
+    std::uint64_t out = 0;
+    EXPECT_EQ(ms.load(0, a, 8, &out, 0).level, HitLevel::Memory);
+    EXPECT_EQ(ms.load(0, a, 8, &out, 1000).level, HitLevel::L1);
+    EXPECT_EQ(ms.load(1, a, 8, &out, 2000).level, HitLevel::L2);
+}

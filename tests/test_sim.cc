@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, PRNG, stats,
+ * and the coroutine task type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/coro.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+using namespace snf;
+using namespace snf::sim;
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    EXPECT_EQ(q.nextEventTick(), 10u);
+    EXPECT_EQ(q.runUntil(25), 2u);
+    EXPECT_EQ(q.runUntil(100), 1u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&, i](Tick) { order.push_back(i); });
+    q.runUntil(5);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackMayReschedule)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void(Tick)> tick = [&](Tick when) {
+        if (++fired < 5)
+            q.schedule(when + 10, tick);
+    };
+    q.schedule(0, tick);
+    q.runUntil(1000);
+    EXPECT_EQ(fired, 5);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&](Tick) { ++fired; });
+    q.clear();
+    q.runUntil(100);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(q.nextEventTick(), kTickNever);
+}
+
+TEST(EventQueue, EventsReceiveTheirScheduledTick)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(42, [&](Tick when) { seen = when; });
+    q.runUntil(100);
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        all_equal &= (va == b.next());
+        any_diff_seed |= (va != c.next());
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = rng.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, StrLengthAndCharset)
+{
+    Rng rng(13);
+    std::string s = rng.str(64);
+    EXPECT_EQ(s.size(), 64u);
+    for (char c : s)
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+}
+
+TEST(Zipf, SkewsTowardsSmallKeys)
+{
+    Rng rng(17);
+    Zipf zipf(1000, 0.9);
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        std::uint64_t k = zipf.sample(rng);
+        ASSERT_LT(k, 1000u);
+        if (k < 10)
+            ++low;
+    }
+    // The 1% hottest keys should draw far more than 1% of samples.
+    EXPECT_GT(low, total / 10);
+}
+
+TEST(Stats, CountersAndScalars)
+{
+    StatGroup g("test");
+    g.counter("events").inc();
+    g.counter("events").inc(4);
+    g.scalar("energy").add(2.5);
+    EXPECT_EQ(g.counterValue("events"), 5u);
+    EXPECT_DOUBLE_EQ(g.scalarValue("energy"), 2.5);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+}
+
+TEST(Stats, DumpIncludesChildren)
+{
+    StatGroup parent("mem");
+    StatGroup child("l1");
+    parent.addChild(&child);
+    child.counter("hits").inc(3);
+    std::ostringstream os;
+    parent.dump(os);
+    EXPECT_NE(os.str().find("mem.l1.hits = 3"), std::string::npos);
+}
+
+TEST(Stats, ResetAllClearsRecursively)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    parent.addChild(&child);
+    parent.counter("x").inc(2);
+    child.scalar("y").set(9);
+    parent.resetAll();
+    EXPECT_EQ(parent.counterValue("x"), 0u);
+    EXPECT_DOUBLE_EQ(child.scalarValue("y"), 0.0);
+}
+
+TEST(Logging, Strfmt)
+{
+    EXPECT_EQ(strfmt("a%db", 7), "a7b");
+    EXPECT_EQ(strfmt("%s-%s", "x", "y"), "x-y");
+}
+
+namespace
+{
+
+Co<int>
+leaf(int v)
+{
+    co_return v * 2;
+}
+
+Co<int>
+branch(int v)
+{
+    int a = co_await leaf(v);
+    int b = co_await leaf(v + 1);
+    co_return a + b;
+}
+
+struct ManualResume
+{
+    std::coroutine_handle<> handle;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) noexcept
+    {
+        handle = h;
+    }
+
+    void await_resume() const noexcept {}
+};
+
+} // namespace
+
+namespace
+{
+
+// Coroutine arguments are copied into the frame, so pointer/reference
+// parameters are the safe way to observe state (capturing-lambda
+// coroutines dangle once the closure dies).
+Co<void>
+nestedRoot(int *result)
+{
+    *result = co_await branch(10);
+}
+
+Co<void>
+gatedRoot(ManualResume *gate, int *stage)
+{
+    *stage = 1;
+    co_await *gate;
+    *stage = 2;
+}
+
+Co<int>
+thrower()
+{
+    throw std::runtime_error("boom");
+    co_return 0;
+}
+
+Co<void>
+catcher(bool *caught)
+{
+    try {
+        co_await thrower();
+    } catch (const std::runtime_error &) {
+        *caught = true;
+    }
+}
+
+} // namespace
+
+TEST(Coro, NestedValueTasks)
+{
+    int result = 0;
+    Co<void> root = nestedRoot(&result);
+    root.raw().resume();
+    EXPECT_TRUE(root.done());
+    EXPECT_EQ(result, 20 + 22);
+}
+
+TEST(Coro, SuspendAndResumeThroughAwaiter)
+{
+    ManualResume gate;
+    int stage = 0;
+    Co<void> root = gatedRoot(&gate, &stage);
+    EXPECT_EQ(stage, 0); // lazy start
+    root.raw().resume();
+    EXPECT_EQ(stage, 1);
+    EXPECT_FALSE(root.done());
+    gate.handle.resume();
+    EXPECT_EQ(stage, 2);
+    EXPECT_TRUE(root.done());
+}
+
+TEST(Coro, ExceptionPropagatesToAwaiter)
+{
+    bool caught = false;
+    Co<void> root = catcher(&caught);
+    root.raw().resume();
+    EXPECT_TRUE(caught);
+}

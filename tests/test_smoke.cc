@@ -1,0 +1,89 @@
+/**
+ * @file
+ * End-to-end smoke tests: the SPS workload runs and verifies under
+ * every persistence mode, with one and with several threads, and
+ * survives a mid-run crash with recovery under the guaranteed modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/driver.hh"
+
+using namespace snf;
+using namespace snf::workloads;
+
+namespace
+{
+
+RunSpec
+smokeSpec(PersistMode mode, std::uint32_t threads)
+{
+    RunSpec spec;
+    spec.workload = "sps";
+    spec.mode = mode;
+    spec.params.threads = threads;
+    spec.params.txPerThread = 100;
+    spec.params.footprint = 512;
+    spec.sys = SystemConfig::scaled(threads);
+    return spec;
+}
+
+} // namespace
+
+class SmokeAllModes
+    : public ::testing::TestWithParam<PersistMode>
+{
+};
+
+TEST_P(SmokeAllModes, SingleThreadRunsAndVerifies)
+{
+    auto outcome = runWorkload(smokeSpec(GetParam(), 1));
+    EXPECT_TRUE(outcome.verified) << outcome.verifyMessage;
+    EXPECT_EQ(outcome.stats.committedTx, 100u);
+    EXPECT_GT(outcome.stats.cycles, 0u);
+    EXPECT_GT(outcome.stats.instr.total, 0u);
+}
+
+TEST_P(SmokeAllModes, FourThreadsRunAndVerify)
+{
+    auto outcome = runWorkload(smokeSpec(GetParam(), 4));
+    EXPECT_TRUE(outcome.verified) << outcome.verifyMessage;
+    EXPECT_EQ(outcome.stats.committedTx, 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SmokeAllModes, ::testing::ValuesIn(kAllModes),
+    [](const auto &info) {
+        std::string n = persistModeName(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(SmokeCrash, FwbRecoversAfterMidRunCrash)
+{
+    RunSpec spec = smokeSpec(PersistMode::Fwb, 2);
+    spec.sys.persist.crashJournal = true;
+    spec.params.txPerThread = 4000;
+    spec.crashAt = 100000;
+    auto outcome = runWorkload(spec);
+    ASSERT_TRUE(outcome.crashed) << "crash tick never reached";
+    EXPECT_TRUE(outcome.verified) << outcome.verifyMessage;
+    EXPECT_GT(outcome.recovery.validRecords, 0u);
+}
+
+TEST(SmokeOrdering, HardwareModesKeepLogBeforeData)
+{
+    for (PersistMode m : {PersistMode::Hwl, PersistMode::Fwb}) {
+        auto outcome = runWorkload(smokeSpec(m, 2));
+        EXPECT_EQ(outcome.stats.orderViolations, 0u)
+            << persistModeName(m);
+    }
+}
+
+TEST(SmokeFwb, NoOverwriteHazards)
+{
+    auto outcome = runWorkload(smokeSpec(PersistMode::Fwb, 1));
+    EXPECT_EQ(outcome.stats.overwriteHazards, 0u);
+}

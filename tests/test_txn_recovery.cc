@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for transaction tracking and post-crash recovery:
+ * redo of committed transactions, undo of uncommitted ones, the
+ * torn-bit window scan across wraps, torn-record rejection, recovery
+ * idempotence (invariant I6), and log truncation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+#include "persist/log_record.hh"
+#include "persist/log_region.hh"
+#include "persist/recovery.hh"
+#include "persist/txn_tracker.hh"
+
+using namespace snf;
+using namespace snf::persist;
+
+// --------------------------- TxnTracker --------------------------
+
+TEST(TxnTracker, BeginCommitLifecycle)
+{
+    TxnTracker t;
+    std::uint64_t a = t.begin(0);
+    std::uint64_t b = t.begin(1);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(t.isActive(a));
+    t.commit(a);
+    EXPECT_FALSE(t.isActive(a));
+    EXPECT_TRUE(t.isActive(b));
+    EXPECT_EQ(t.begun.value(), 2u);
+    EXPECT_EQ(t.committed.value(), 1u);
+}
+
+TEST(TxnTracker, WriteSetDeduplicatesLines)
+{
+    TxnTracker t;
+    std::uint64_t seq = t.begin(0);
+    t.recordWrite(seq, 0x100);
+    t.recordWrite(seq, 0x140);
+    t.recordWrite(seq, 0x100);
+    EXPECT_EQ(t.writeSet(seq).size(), 2u);
+    EXPECT_EQ(t.writeSet(seq)[0], 0x100u);
+}
+
+TEST(TxnTracker, TxIdTruncatesSequence)
+{
+    EXPECT_EQ(TxnTracker::txIdOf(0x12345), 0x2345);
+}
+
+TEST(TxnTracker, AbortRemovesTxn)
+{
+    TxnTracker t;
+    std::uint64_t seq = t.begin(2);
+    t.abort(seq);
+    EXPECT_FALSE(t.isActive(seq));
+    EXPECT_EQ(t.committed.value(), 0u);
+}
+
+// ---------------------------- Recovery ---------------------------
+
+namespace
+{
+
+/** In-image log writer used to fabricate crash states. */
+class ImageLog
+{
+  public:
+    ImageLog(mem::BackingStore &image, const AddressMap &map)
+        : image(image), map(map)
+    {
+        slots = (map.logSize - LogRegion::kHeaderBytes) /
+                LogRecord::kSlotBytes;
+        std::uint64_t magic = LogRegion::kMagic;
+        image.write(map.logBase(), 8, &magic);
+        image.write(map.logBase() + 8, 8, &slots);
+    }
+
+    void
+    append(const LogRecord &rec)
+    {
+        std::uint8_t img[LogRecord::kSlotBytes];
+        rec.serialize(img, (pass & 1) != 0);
+        image.write(slotAddr(tail), sizeof(img), img);
+        tail = (tail + 1) % slots;
+        if (tail == 0)
+            ++pass;
+    }
+
+    /** Write only the payload (a torn record: header missing). */
+    void
+    appendTorn(const LogRecord &rec)
+    {
+        std::uint8_t img[LogRecord::kSlotBytes];
+        rec.serialize(img, (pass & 1) != 0);
+        image.write(slotAddr(tail) + 8, sizeof(img) - 8, img + 8);
+        tail = (tail + 1) % slots;
+        if (tail == 0)
+            ++pass;
+    }
+
+    Addr
+    slotAddr(std::uint64_t slot) const
+    {
+        return map.logBase() + LogRegion::kHeaderBytes +
+               slot * LogRecord::kSlotBytes;
+    }
+
+    std::uint64_t slots = 0;
+
+  private:
+    mem::BackingStore &image;
+    AddressMap map;
+    std::uint64_t tail = 0;
+    std::uint64_t pass = 1;
+};
+
+struct Fixture
+{
+    AddressMap map;
+    mem::BackingStore image;
+    ImageLog log;
+
+    Fixture()
+        : map(makeMap()), image(map.nvramBase, 1 << 22),
+          log(image, map)
+    {
+    }
+
+    static AddressMap
+    makeMap()
+    {
+        AddressMap m;
+        m.nvramSize = 1 << 22;
+        m.logSize = 4096;
+        return m;
+    }
+
+    Addr data(std::uint64_t i) const { return map.heapBase() + i * 8; }
+};
+
+} // namespace
+
+TEST(Recovery, EmptyLogIsNoop)
+{
+    Fixture f;
+    f.image.write64(f.data(0), 42);
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_TRUE(report.headerValid);
+    EXPECT_EQ(report.validRecords, 0u);
+    EXPECT_EQ(f.image.read64(f.data(0)), 42u);
+}
+
+TEST(Recovery, InvalidHeaderIsRejected)
+{
+    Fixture f;
+    f.image.write64(f.map.logBase(), 0x1234); // corrupt magic
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_FALSE(report.headerValid);
+}
+
+TEST(Recovery, RedoAppliesCommittedTx)
+{
+    Fixture f;
+    f.image.write64(f.data(0), 1); // stale value in NVRAM
+    f.log.append(LogRecord::update(0, 10, f.data(0), 8, 1, 99));
+    f.log.append(LogRecord::commit(0, 10));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(report.redoApplied, 1u);
+    EXPECT_EQ(f.image.read64(f.data(0)), 99u);
+}
+
+TEST(Recovery, UndoRollsBackUncommittedTx)
+{
+    Fixture f;
+    f.image.write64(f.data(1), 55); // partially-stolen new value
+    f.log.append(LogRecord::update(0, 11, f.data(1), 8, 7, 55));
+    // No commit record: crash mid-transaction.
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.uncommittedTxns, 1u);
+    EXPECT_EQ(report.undoApplied, 1u);
+    EXPECT_EQ(f.image.read64(f.data(1)), 7u);
+}
+
+TEST(Recovery, UndoAppliedInReverseOrder)
+{
+    Fixture f;
+    f.image.write64(f.data(2), 30);
+    // Same address updated twice by one uncommitted tx: 10 -> 20 ->
+    // 30. Correct rollback restores 10.
+    f.log.append(LogRecord::update(0, 12, f.data(2), 8, 10, 20));
+    f.log.append(LogRecord::update(0, 12, f.data(2), 8, 20, 30));
+    Recovery::run(f.image, f.map);
+    EXPECT_EQ(f.image.read64(f.data(2)), 10u);
+}
+
+TEST(Recovery, MixedCommittedAndUncommitted)
+{
+    Fixture f;
+    f.image.write64(f.data(0), 0);
+    f.image.write64(f.data(1), 111); // uncommitted tx's dirty value
+    f.log.append(LogRecord::update(0, 1, f.data(0), 8, 0, 5));
+    f.log.append(LogRecord::update(1, 2, f.data(1), 8, 100, 111));
+    f.log.append(LogRecord::commit(0, 1));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(report.uncommittedTxns, 1u);
+    EXPECT_EQ(f.image.read64(f.data(0)), 5u);   // redone
+    EXPECT_EQ(f.image.read64(f.data(1)), 100u); // undone
+}
+
+TEST(Recovery, TornRecordIsIgnored)
+{
+    Fixture f;
+    f.image.write64(f.data(3), 77);
+    f.log.appendTorn(
+        LogRecord::update(0, 13, f.data(3), 8, 1, 77));
+    auto report = Recovery::run(f.image, f.map);
+    // The torn record has no written marker: not replayed.
+    EXPECT_EQ(report.validRecords, 0u);
+    EXPECT_EQ(f.image.read64(f.data(3)), 77u);
+}
+
+TEST(Recovery, WindowSpansWrapInOrder)
+{
+    Fixture f;
+    // Fill the log exactly once, then two more records of a second
+    // pass. The oldest live records sit just past the wrap point.
+    std::uint64_t n = f.log.slots;
+    f.image.write64(f.data(4), 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        f.log.append(
+            LogRecord::update(0, 20, f.data(4), 8, i, i + 1));
+    }
+    f.log.append(
+        LogRecord::update(0, 20, f.data(4), 8, n, n + 1));
+    f.log.append(LogRecord::commit(0, 20));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    // Redo must end at the newest value, which lives in pass 2.
+    EXPECT_EQ(f.image.read64(f.data(4)), n + 1);
+}
+
+TEST(Recovery, CommitOnlyWindowIsHarmless)
+{
+    Fixture f;
+    f.image.write64(f.data(5), 13);
+    f.log.append(LogRecord::commit(0, 30));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(report.redoApplied, 0u);
+    EXPECT_EQ(f.image.read64(f.data(5)), 13u);
+}
+
+TEST(Recovery, TruncatesLogAfterReplay)
+{
+    Fixture f;
+    f.log.append(LogRecord::update(0, 1, f.data(0), 8, 0, 1));
+    f.log.append(LogRecord::commit(0, 1));
+    Recovery::run(f.image, f.map);
+    auto second = Recovery::run(f.image, f.map);
+    EXPECT_EQ(second.validRecords, 0u);
+}
+
+TEST(Recovery, IdempotentWithoutTruncation)
+{
+    Fixture f;
+    f.image.write64(f.data(0), 1);
+    f.image.write64(f.data(1), 200);
+    f.log.append(LogRecord::update(0, 1, f.data(0), 8, 1, 50));
+    f.log.append(LogRecord::commit(0, 1));
+    f.log.append(LogRecord::update(0, 2, f.data(1), 8, 2, 200));
+
+    Recovery::run(f.image, f.map, /*truncateLog=*/false);
+    std::uint64_t v0 = f.image.read64(f.data(0));
+    std::uint64_t v1 = f.image.read64(f.data(1));
+    Recovery::run(f.image, f.map, /*truncateLog=*/false);
+    EXPECT_EQ(f.image.read64(f.data(0)), v0);
+    EXPECT_EQ(f.image.read64(f.data(1)), v1);
+    EXPECT_EQ(v0, 50u);
+    EXPECT_EQ(v1, 2u);
+}
+
+TEST(Recovery, TxIdReuseSeparatedByCommit)
+{
+    Fixture f;
+    f.image.write64(f.data(6), 3);
+    // Generation 1 of txid 40 commits; generation 2 crashes.
+    f.log.append(LogRecord::update(0, 40, f.data(6), 8, 1, 2));
+    f.log.append(LogRecord::commit(0, 40));
+    f.log.append(LogRecord::update(0, 40, f.data(6), 8, 2, 3));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(report.uncommittedTxns, 1u);
+    // Redo of gen 1 writes 2; undo of gen 2 also restores 2.
+    EXPECT_EQ(f.image.read64(f.data(6)), 2u);
+}
+
+TEST(Recovery, CommittedUndoOnlyTxAppliesNothing)
+{
+    // Software undo logging: a committed transaction's records carry
+    // no redo values (the data was clwb'd before the commit record),
+    // so recovery must leave the in-NVRAM values untouched.
+    Fixture f;
+    f.image.write64(f.data(7), 999); // the flushed new value
+    f.log.append(LogRecord::update(0, 50, f.data(7), 8, 9,
+                                   std::nullopt));
+    f.log.append(LogRecord::commit(0, 50));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(report.redoApplied, 0u);
+    EXPECT_EQ(f.image.read64(f.data(7)), 999u);
+}
+
+TEST(Recovery, UncommittedRedoOnlyTxCannotRollBack)
+{
+    // Redo-only logging cannot undo stolen data: recovery applies
+    // nothing for the uncommitted tx (this is why redo logging alone
+    // cannot tolerate steal, Section II-B).
+    Fixture f;
+    f.image.write64(f.data(8), 77); // stolen new value
+    f.log.append(LogRecord::update(0, 51, f.data(8), 8,
+                                   std::nullopt, 77));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.uncommittedTxns, 1u);
+    EXPECT_EQ(report.undoApplied, 0u);
+    EXPECT_EQ(f.image.read64(f.data(8)), 77u);
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * snfsim — command-line front end to the simulator: run any bundled
+ * workload under any persistence mode and print the full statistics,
+ * optionally crashing mid-run and recovering.
+ *
+ * Usage:
+ *   snfsim [options]
+ *     --workload NAME    (default sps; see --list)
+ *     --mode NAME        (default fwb: non-pers, unsafe-redo,
+ *                         unsafe-undo, redo-clwb, undo-clwb,
+ *                         hw-rlog, hw-ulog, hwl, fwb)
+ *     --threads N        (default 2)
+ *     --tx N             transactions per thread (default 1000)
+ *     --footprint N      elements in the initial structure
+ *     --seed N           workload RNG seed
+ *     --strings          string (multi-word) values
+ *     --distributed-log  per-thread log partitions
+ *     --paper            paper-sized caches (default: scaled)
+ *     --crash-at TICK    crash, recover, verify
+ *     --dump-stats       dump every component counter
+ *     --list             list workloads and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+using namespace snf;
+using namespace snf::workloads;
+
+namespace
+{
+
+PersistMode
+parseMode(const char *name)
+{
+    for (PersistMode m : kAllModes)
+        if (std::strcmp(persistModeName(m), name) == 0)
+            return m;
+    fatal("unknown mode '%s'", name);
+}
+
+void
+usage()
+{
+    std::printf("usage: snfsim [--workload W] [--mode M] "
+                "[--threads N] [--tx N] [--footprint N]\n"
+                "              [--seed N] [--strings] "
+                "[--distributed-log] [--paper]\n"
+                "              [--crash-at TICK] [--dump-stats] "
+                "[--list]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    RunSpec spec;
+    spec.workload = "sps";
+    spec.mode = PersistMode::Fwb;
+    spec.params.threads = 2;
+    spec.params.txPerThread = 1000;
+    bool dump = false;
+    bool paper = false;
+    std::uint32_t threads = 2;
+    std::optional<Tick> crash_at;
+    bool distributed = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return static_cast<const char *>(nullptr);
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return static_cast<const char *>(argv[++i]);
+        };
+        if (const char *v = arg("--workload")) {
+            spec.workload = v;
+        } else if (const char *v = arg("--mode")) {
+            spec.mode = parseMode(v);
+        } else if (const char *v = arg("--threads")) {
+            threads = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (const char *v = arg("--tx")) {
+            spec.params.txPerThread =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = arg("--footprint")) {
+            spec.params.footprint =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = arg("--seed")) {
+            spec.params.seed =
+                static_cast<std::uint64_t>(std::atoll(v));
+        } else if (const char *v = arg("--crash-at")) {
+            crash_at = static_cast<Tick>(std::atoll(v));
+        } else if (std::strcmp(argv[i], "--strings") == 0) {
+            spec.params.stringValues = true;
+        } else if (std::strcmp(argv[i], "--distributed-log") == 0) {
+            distributed = true;
+        } else if (std::strcmp(argv[i], "--paper") == 0) {
+            paper = true;
+        } else if (std::strcmp(argv[i], "--dump-stats") == 0) {
+            dump = true;
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            for (const auto &w : allWorkloadNames())
+                std::printf("%s\n", w.c_str());
+            return 0;
+        } else {
+            usage();
+            return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+        }
+    }
+
+    if (threads == 0 || threads > 64)
+        fatal("bad thread count");
+    spec.params.threads = threads;
+    spec.sys = paper ? SystemConfig::paper(threads)
+                     : SystemConfig::scaled(threads);
+    spec.sys.persist.distributedLogs = distributed;
+    if (crash_at) {
+        spec.sys.persist.crashJournal = true;
+        spec.crashAt = crash_at;
+    }
+
+    auto o = runWorkload(spec);
+    const RunStats &s = o.stats;
+    std::printf("workload=%s mode=%s threads=%u tx/thread=%llu%s\n",
+                spec.workload.c_str(), persistModeName(spec.mode),
+                spec.params.threads,
+                static_cast<unsigned long long>(
+                    spec.params.txPerThread),
+                o.crashed ? " (CRASHED + RECOVERED)" : "");
+    std::printf("  cycles          %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  committed tx    %llu  (%.1f tx/Mcycle)\n",
+                static_cast<unsigned long long>(s.committedTx),
+                s.txPerMcycle);
+    std::printf("  instructions    %llu  (ipc/core %.3f)\n",
+                static_cast<unsigned long long>(s.instr.total),
+                s.ipc);
+    std::printf("    loads=%llu stores=%llu log-stores=%llu "
+                "log-loads=%llu clwb=%llu fences=%llu\n",
+                static_cast<unsigned long long>(s.instr.loads),
+                static_cast<unsigned long long>(s.instr.stores),
+                static_cast<unsigned long long>(s.instr.logStores),
+                static_cast<unsigned long long>(s.instr.logLoads),
+                static_cast<unsigned long long>(s.instr.clwbs),
+                static_cast<unsigned long long>(s.instr.fences));
+    std::printf("  NVRAM           %llu reads / %llu writes "
+                "(%llu / %llu bytes)\n",
+                static_cast<unsigned long long>(s.nvramReads),
+                static_cast<unsigned long long>(s.nvramWrites),
+                static_cast<unsigned long long>(s.nvramReadBytes),
+                static_cast<unsigned long long>(s.nvramWriteBytes));
+    std::printf("  log             %llu records, %llu wraps, "
+                "%llu buffer stalls\n",
+                static_cast<unsigned long long>(s.logRecords),
+                static_cast<unsigned long long>(s.logWraps),
+                static_cast<unsigned long long>(s.logBufferStalls));
+    std::printf("  fwb             %llu scans, %llu forced "
+                "write-backs\n",
+                static_cast<unsigned long long>(s.fwbScans),
+                static_cast<unsigned long long>(s.fwbWritebacks));
+    std::printf("  invariants      %llu order violations, %llu "
+                "overwrite hazards\n",
+                static_cast<unsigned long long>(s.orderViolations),
+                static_cast<unsigned long long>(s.overwriteHazards));
+    std::printf("  energy          %.1f nJ memory dynamic, %.1f nJ "
+                "processor dynamic\n",
+                s.energy.memoryDynamicPj() / 1e3,
+                s.energy.processorDynamicPj() / 1e3);
+    if (o.crashed)
+        std::printf("  recovery        %llu records, %llu redone, "
+                    "%llu rolled back\n",
+                    static_cast<unsigned long long>(
+                        o.recovery.validRecords),
+                    static_cast<unsigned long long>(
+                        o.recovery.committedTxns),
+                    static_cast<unsigned long long>(
+                        o.recovery.uncommittedTxns));
+    std::printf("  verified        %s%s%s\n",
+                o.verified ? "yes" : "NO",
+                o.verifyMessage.empty() ? "" : " - ",
+                o.verifyMessage.c_str());
+
+    if (dump) {
+        // Re-run the same spec with a live System so every component
+        // counter can be dumped (the driver tears its System down).
+        System sys(spec.sys, spec.mode);
+        auto wl = makeWorkload(spec.workload);
+        wl->setup(sys, spec.params);
+        for (CoreId c = 0; c < spec.params.threads; ++c) {
+            sys.spawn(c, [&](Thread &t) {
+                return wl->thread(sys, t, spec.params);
+            });
+        }
+        sys.run(spec.crashAt ? *spec.crashAt : kTickNever);
+        std::printf("\n(component statistics)\n");
+        sys.dumpStats(std::cout);
+    }
+    return o.verified ? 0 : 1;
+}
