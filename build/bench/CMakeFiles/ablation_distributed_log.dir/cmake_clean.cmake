@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_distributed_log.dir/ablation_distributed_log.cc.o"
+  "CMakeFiles/ablation_distributed_log.dir/ablation_distributed_log.cc.o.d"
+  "ablation_distributed_log"
+  "ablation_distributed_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distributed_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_whisper.dir/fig10_whisper.cc.o"
+  "CMakeFiles/fig10_whisper.dir/fig10_whisper.cc.o.d"
+  "fig10_whisper"
+  "fig10_whisper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_whisper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

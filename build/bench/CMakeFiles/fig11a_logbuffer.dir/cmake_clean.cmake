@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_logbuffer.dir/fig11a_logbuffer.cc.o"
+  "CMakeFiles/fig11a_logbuffer.dir/fig11a_logbuffer.cc.o.d"
+  "fig11a_logbuffer"
+  "fig11a_logbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_logbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

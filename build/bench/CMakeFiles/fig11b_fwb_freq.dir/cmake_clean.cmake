@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_fwb_freq.dir/fig11b_fwb_freq.cc.o"
+  "CMakeFiles/fig11b_fwb_freq.dir/fig11b_fwb_freq.cc.o.d"
+  "fig11b_fwb_freq"
+  "fig11b_fwb_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_fwb_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

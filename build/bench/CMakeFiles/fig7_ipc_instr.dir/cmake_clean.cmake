@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ipc_instr.dir/fig7_ipc_instr.cc.o"
+  "CMakeFiles/fig7_ipc_instr.dir/fig7_ipc_instr.cc.o.d"
+  "fig7_ipc_instr"
+  "fig7_ipc_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ipc_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_write_traffic.dir/fig9_write_traffic.cc.o"
+  "CMakeFiles/fig9_write_traffic.dir/fig9_write_traffic.cc.o.d"
+  "fig9_write_traffic"
+  "fig9_write_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_write_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_tour.dir/whisper_tour.cpp.o"
+  "CMakeFiles/whisper_tour.dir/whisper_tour.cpp.o.d"
+  "whisper_tour"
+  "whisper_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/pheap.cc" "src/CMakeFiles/snf.dir/core/pheap.cc.o" "gcc" "src/CMakeFiles/snf.dir/core/pheap.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/snf.dir/core/system.cc.o" "gcc" "src/CMakeFiles/snf.dir/core/system.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/CMakeFiles/snf.dir/core/system_config.cc.o" "gcc" "src/CMakeFiles/snf.dir/core/system_config.cc.o.d"
+  "/root/repo/src/core/thread_api.cc" "src/CMakeFiles/snf.dir/core/thread_api.cc.o" "gcc" "src/CMakeFiles/snf.dir/core/thread_api.cc.o.d"
+  "/root/repo/src/cpu/scheduler.cc" "src/CMakeFiles/snf.dir/cpu/scheduler.cc.o" "gcc" "src/CMakeFiles/snf.dir/cpu/scheduler.cc.o.d"
+  "/root/repo/src/cpu/thread_context.cc" "src/CMakeFiles/snf.dir/cpu/thread_context.cc.o" "gcc" "src/CMakeFiles/snf.dir/cpu/thread_context.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/snf.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/snf.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/snf.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/snf.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/bus_monitor.cc" "src/CMakeFiles/snf.dir/mem/bus_monitor.cc.o" "gcc" "src/CMakeFiles/snf.dir/mem/bus_monitor.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/snf.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/snf.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/mem_device.cc" "src/CMakeFiles/snf.dir/mem/mem_device.cc.o" "gcc" "src/CMakeFiles/snf.dir/mem/mem_device.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/snf.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/snf.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/write_combine_buffer.cc" "src/CMakeFiles/snf.dir/mem/write_combine_buffer.cc.o" "gcc" "src/CMakeFiles/snf.dir/mem/write_combine_buffer.cc.o.d"
+  "/root/repo/src/persist/fwb_engine.cc" "src/CMakeFiles/snf.dir/persist/fwb_engine.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/fwb_engine.cc.o.d"
+  "/root/repo/src/persist/hwl_engine.cc" "src/CMakeFiles/snf.dir/persist/hwl_engine.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/hwl_engine.cc.o.d"
+  "/root/repo/src/persist/log_buffer.cc" "src/CMakeFiles/snf.dir/persist/log_buffer.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/log_buffer.cc.o.d"
+  "/root/repo/src/persist/log_record.cc" "src/CMakeFiles/snf.dir/persist/log_record.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/log_record.cc.o.d"
+  "/root/repo/src/persist/log_region.cc" "src/CMakeFiles/snf.dir/persist/log_region.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/log_region.cc.o.d"
+  "/root/repo/src/persist/recovery.cc" "src/CMakeFiles/snf.dir/persist/recovery.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/recovery.cc.o.d"
+  "/root/repo/src/persist/sw_logging.cc" "src/CMakeFiles/snf.dir/persist/sw_logging.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/sw_logging.cc.o.d"
+  "/root/repo/src/persist/txn_tracker.cc" "src/CMakeFiles/snf.dir/persist/txn_tracker.cc.o" "gcc" "src/CMakeFiles/snf.dir/persist/txn_tracker.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/snf.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/snf.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/snf.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/snf.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/snf.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/snf.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/snf.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/snf.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workloads/btree.cc" "src/CMakeFiles/snf.dir/workloads/btree.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/btree.cc.o.d"
+  "/root/repo/src/workloads/driver.cc" "src/CMakeFiles/snf.dir/workloads/driver.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/driver.cc.o.d"
+  "/root/repo/src/workloads/hash.cc" "src/CMakeFiles/snf.dir/workloads/hash.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/hash.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/CMakeFiles/snf.dir/workloads/rbtree.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/rbtree.cc.o.d"
+  "/root/repo/src/workloads/sps.cc" "src/CMakeFiles/snf.dir/workloads/sps.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/sps.cc.o.d"
+  "/root/repo/src/workloads/ssca2.cc" "src/CMakeFiles/snf.dir/workloads/ssca2.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/ssca2.cc.o.d"
+  "/root/repo/src/workloads/whisper_ctree.cc" "src/CMakeFiles/snf.dir/workloads/whisper_ctree.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/whisper_ctree.cc.o.d"
+  "/root/repo/src/workloads/whisper_echo.cc" "src/CMakeFiles/snf.dir/workloads/whisper_echo.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/whisper_echo.cc.o.d"
+  "/root/repo/src/workloads/whisper_hashmap.cc" "src/CMakeFiles/snf.dir/workloads/whisper_hashmap.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/whisper_hashmap.cc.o.d"
+  "/root/repo/src/workloads/whisper_tpcc.cc" "src/CMakeFiles/snf.dir/workloads/whisper_tpcc.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/whisper_tpcc.cc.o.d"
+  "/root/repo/src/workloads/whisper_vacation.cc" "src/CMakeFiles/snf.dir/workloads/whisper_vacation.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/whisper_vacation.cc.o.d"
+  "/root/repo/src/workloads/whisper_ycsb.cc" "src/CMakeFiles/snf.dir/workloads/whisper_ycsb.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/whisper_ycsb.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/snf.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/snf.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

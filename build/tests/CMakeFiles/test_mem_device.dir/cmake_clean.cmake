@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_device.dir/test_mem_device.cc.o"
+  "CMakeFiles/test_mem_device.dir/test_mem_device.cc.o.d"
+  "test_mem_device"
+  "test_mem_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

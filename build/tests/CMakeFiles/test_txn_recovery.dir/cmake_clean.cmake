@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txn_recovery.dir/test_txn_recovery.cc.o"
+  "CMakeFiles/test_txn_recovery.dir/test_txn_recovery.cc.o.d"
+  "test_txn_recovery"
+  "test_txn_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txn_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

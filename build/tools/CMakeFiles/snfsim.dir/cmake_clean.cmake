@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snfsim.dir/snfsim.cc.o"
+  "CMakeFiles/snfsim.dir/snfsim.cc.o.d"
+  "snfsim"
+  "snfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
