@@ -102,6 +102,18 @@ System::System(const SystemConfig &config, PersistMode m)
 System::~System() = default;
 
 void
+System::setProbe(sim::ProbeFn p)
+{
+    probeFn = std::move(p);
+    for (auto &buf : logBufs)
+        buf->setProbe(probeFn);
+    memory->monitor().setProbe(probeFn);
+    memory->wcb().setProbe(probeFn);
+    if (fwbEngine)
+        fwbEngine->setProbe(probeFn);
+}
+
+void
 System::spawn(CoreId id,
               const std::function<sim::Co<void>(Thread &)> &fn)
 {

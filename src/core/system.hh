@@ -42,6 +42,7 @@
 #include "persist/txn_tracker.hh"
 #include "sim/coro.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 
 namespace snf
 {
@@ -136,6 +137,18 @@ class System
      */
     mem::BackingStore crashSnapshot(Tick at) const;
 
+    /**
+     * Install a crash-tooling probe across every event source: the
+     * log buffers (LogDrain, CommitDurable), the bus monitor
+     * (DataWriteback), the WCB (WcbFlush), the FWB engine (FwbScan)
+     * and the thread API (TxBegin, TxCommit, CommitDurable for the
+     * clwb+fence software modes). Pass an empty function to detach.
+     */
+    void setProbe(sim::ProbeFn p);
+
+    /** The installed probe (empty unless setProbe was called). */
+    const sim::ProbeFn &probe() const { return probeFn; }
+
     /** Aggregate statistics as of tick @p cycles. */
     RunStats collectStats(Tick cycles) const;
 
@@ -171,6 +184,7 @@ class System
     cpu::Scheduler scheduler;
     std::vector<std::unique_ptr<Thread>> threads;
     std::vector<sim::Co<void>> rootCoros;
+    sim::ProbeFn probeFn;
 };
 
 } // namespace snf

@@ -86,6 +86,8 @@ Thread::execTxBegin()
     ctx.instr.total += kTxLibraryInstructions;
     ctx.instr.txOverhead += kTxLibraryInstructions;
     ctx.retireCompute(kTxLibraryInstructions);
+    if (sys.probe())
+        sys.probe()(sim::ProbeEvent::TxBegin, ctx.localTime, txSeq);
 }
 
 void
@@ -113,6 +115,13 @@ Thread::execTxCommit()
 {
     SNF_ASSERT(inTx, "commit outside transaction on core %u",
                ctx.id());
+
+    // Emitted at commit *initiation*: a commit record can reach
+    // NVRAM at any point during the sequence below, so trace-based
+    // upper bounds on recovered-committed counts must count from
+    // here, not from the sequence's end.
+    if (sys.probe())
+        sys.probe()(sim::ProbeEvent::TxCommit, ctx.localTime, txSeq);
 
     auto clwb_write_set = [&]() {
         for (Addr line : sys.txns().writeSet(txSeq))
@@ -180,6 +189,15 @@ Thread::execTxCommit()
     }
 
     sys.txns().commit(txSeq);
+    // For the clwb+fence software schemes the commit record is
+    // durable once the commit sequence's fence has completed, i.e.
+    // by localTime here (hardware modes report durability from the
+    // log buffer's drain instead).
+    if (sys.probe() && (sys.mode() == PersistMode::RedoClwb ||
+                        sys.mode() == PersistMode::UndoClwb)) {
+        sys.probe()(sim::ProbeEvent::CommitDurable, ctx.localTime,
+                    txSeq);
+    }
     inTx = false;
     txSeq = 0;
     ctx.instr.total += kTxLibraryInstructions;

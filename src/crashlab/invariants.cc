@@ -1,0 +1,217 @@
+#include "crashlab/invariants.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "persist/log_record.hh"
+#include "persist/log_region.hh"
+
+namespace snf::crashlab
+{
+
+namespace
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+void
+fail(std::vector<Violation> &out, const char *invariant,
+     std::string detail)
+{
+    out.push_back(Violation{invariant, std::move(detail)});
+}
+
+} // namespace
+
+bool
+guaranteesFailureAtomicity(PersistMode mode)
+{
+    switch (mode) {
+      case PersistMode::RedoClwb:
+      case PersistMode::UndoClwb:
+      case PersistMode::Hwl:
+      case PersistMode::Fwb:
+        return true;
+      case PersistMode::NonPers:
+      case PersistMode::UnsafeRedo:
+      case PersistMode::UnsafeUndo:
+      case PersistMode::HwRlog:
+      case PersistMode::HwUlog:
+        return false;
+    }
+    return false;
+}
+
+std::vector<Violation>
+checkCrashPoint(const mem::BackingStore &image, const AddressMap &map,
+                const workloads::Workload &wl, const CrashFacts &facts,
+                const persist::RecoveryOptions &recOpts,
+                persist::RecoveryReport *reportOut)
+{
+    std::vector<Violation> out;
+
+    // replay-idempotent (I6): two non-truncating replays of the same
+    // crash image must agree byte for byte — redo/undo values are
+    // absolute, so applying them twice is a no-op.
+    persist::RecoveryOptions replayOpts = recOpts;
+    replayOpts.truncateLog = false;
+    mem::BackingStore once = image;
+    persist::Recovery::run(once, map, replayOpts);
+    mem::BackingStore twice = once;
+    persist::Recovery::run(twice, map, replayOpts);
+    if (auto diff = once.firstDifference(twice, once.base(),
+                                         once.size())) {
+        fail(out, "replay-idempotent",
+             format("second replay changed the image, first "
+                    "difference at 0x%llx",
+                    static_cast<unsigned long long>(*diff)));
+    }
+
+    // Canonical recovery: replay and truncate, as a real restart
+    // would.
+    persist::RecoveryOptions canonOpts = recOpts;
+    canonOpts.truncateLog = true;
+    mem::BackingStore recovered = image;
+    persist::RecoveryReport rep =
+        persist::Recovery::run(recovered, map, canonOpts);
+    if (reportOut)
+        *reportOut = rep;
+
+    // header-valid: the header is persisted before the workload runs
+    // and is never overwritten, so no crash instant may lose it.
+    if (facts.mode != PersistMode::NonPers && !rep.headerValid) {
+        fail(out, "header-valid",
+             "recovery rejected the log header after the crash");
+    }
+
+    // truncate-idempotent (I6): recovering the recovered image must
+    // find a truncated (empty) log and leave every byte alone.
+    mem::BackingStore again = recovered;
+    persist::RecoveryReport rep2 =
+        persist::Recovery::run(again, map, canonOpts);
+    if (rep2.validRecords != 0) {
+        fail(out, "truncate-idempotent",
+             format("%llu live records survived truncation",
+                    static_cast<unsigned long long>(
+                        rep2.validRecords)));
+    }
+    if (auto diff = recovered.firstDifference(again, recovered.base(),
+                                              recovered.size())) {
+        fail(out, "truncate-idempotent",
+             format("re-recovery changed the image, first difference "
+                    "at 0x%llx",
+                    static_cast<unsigned long long>(*diff)));
+    }
+
+    // verify: the workload's structural consistency check over the
+    // recovered image. Only failure-atomic modes promise this; the
+    // unsafe/partial baselines lose data by design.
+    if (guaranteesFailureAtomicity(facts.mode)) {
+        std::string why;
+        if (!wl.verify(recovered, &why))
+            fail(out, "verify", why);
+    }
+
+    // Counting invariants against the probe trace. Upper bound first:
+    // a commit record can only exist for a commit that initiated.
+    if (rep.committedTxns > facts.txCommitted) {
+        fail(out, "committed-upper",
+             format("recovered %llu committed txns but only %llu "
+                    "commits had initiated by tick %llu",
+                    static_cast<unsigned long long>(rep.committedTxns),
+                    static_cast<unsigned long long>(facts.txCommitted),
+                    static_cast<unsigned long long>(facts.tick)));
+    }
+
+    // The lower bound and the uncommitted bound need every record of
+    // the run still in the log: once the log wraps, reclamation
+    // erases old commit records and the counts legitimately shrink.
+    if (facts.logWraps == 0) {
+        if (rep.headerValid &&
+            rep.committedTxns < facts.txDurableCommits) {
+            fail(out, "committed-durable",
+                 format("%llu commit records were durable by tick "
+                        "%llu but recovery found only %llu",
+                        static_cast<unsigned long long>(
+                            facts.txDurableCommits),
+                        static_cast<unsigned long long>(facts.tick),
+                        static_cast<unsigned long long>(
+                            rep.committedTxns)));
+        }
+        // An uncommitted generation is either a transaction still
+        // open at the crash (at most one per thread) or one whose
+        // commit initiated but whose commit record had not drained.
+        std::uint64_t bound =
+            facts.threads +
+            (facts.txCommitted - facts.txDurableCommits);
+        if (rep.uncommittedTxns > bound) {
+            fail(out, "uncommitted-bound",
+                 format("recovery found %llu uncommitted txns; at "
+                        "most %llu (threads + in-flight commits) can "
+                        "exist at tick %llu",
+                        static_cast<unsigned long long>(
+                            rep.uncommittedTxns),
+                        static_cast<unsigned long long>(bound),
+                        static_cast<unsigned long long>(facts.tick)));
+        }
+    }
+
+    return out;
+}
+
+std::string
+describeLogWindow(const mem::BackingStore &image, const AddressMap &map)
+{
+    std::string out;
+    std::uint32_t partitions = std::max(map.logPartitions, 1u);
+    std::uint64_t part_bytes = map.logSize / partitions;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+        Addr base = map.logBase() + p * part_bytes;
+        std::uint64_t magic = image.read64(base);
+        std::uint64_t slots = image.read64(base + 8);
+        out += format("log[%u] @0x%llx magic=%s slots=%llu\n", p,
+                      static_cast<unsigned long long>(base),
+                      magic == persist::LogRegion::kMagic ? "ok"
+                                                          : "BAD",
+                      static_cast<unsigned long long>(slots));
+        if (magic != persist::LogRegion::kMagic ||
+            slots > (part_bytes - persist::LogRegion::kHeaderBytes) /
+                        persist::LogRecord::kSlotBytes)
+            continue;
+        Addr slot0 = base + persist::LogRegion::kHeaderBytes;
+        for (std::uint64_t i = 0; i < slots; ++i) {
+            std::uint8_t img[persist::LogRecord::kSlotBytes];
+            image.read(slot0 + i * persist::LogRecord::kSlotBytes,
+                       persist::LogRecord::kSlotBytes, img);
+            bool torn = false;
+            auto rec = persist::LogRecord::deserialize(img, torn);
+            if (!rec)
+                continue;
+            out += format("  slot %4llu torn=%d tx=%u %s",
+                          static_cast<unsigned long long>(i),
+                          torn ? 1 : 0, rec->tx,
+                          rec->isCommit ? "COMMIT" : "update");
+            if (!rec->isCommit) {
+                out += format(" addr=0x%llx size=%u%s%s",
+                              static_cast<unsigned long long>(
+                                  rec->addr),
+                              rec->size, rec->hasUndo ? " undo" : "",
+                              rec->hasRedo ? " redo" : "");
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace snf::crashlab

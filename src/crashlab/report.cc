@@ -1,0 +1,160 @@
+#include "crashlab/report.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "sim/probe.hh"
+
+namespace snf::crashlab
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeTextSummary(std::ostream &os, const CellResult &cell)
+{
+    os << cell.workload << " / " << persistModeName(cell.mode)
+       << " / seed " << cell.seed << ": " << cell.sweep.pointsTested
+       << "/" << cell.sweep.pointsHarvested << " crash points, "
+       << cell.sweep.pointsFailed << " violations ("
+       << cell.sweep.refCommittedTx << " txns, "
+       << cell.sweep.refLogWraps << " log wraps, end tick "
+       << cell.sweep.endTick << ")\n";
+    if (!cell.sweep.refVerified) {
+        os << "  reference run FAILED verification: "
+           << cell.sweep.refVerifyMessage << "\n";
+    }
+    for (const auto &f : cell.sweep.failures) {
+        os << "  tick " << f.point.tick << " ("
+           << sim::probeEventName(f.point.kind)
+           << (f.point.before ? "-1" : "") << "):\n";
+        for (const auto &v : f.violations)
+            os << "    " << v.invariant << ": " << v.detail << "\n";
+    }
+    if (cell.sweep.minimizedTick) {
+        os << "  minimized to tick " << *cell.sweep.minimizedTick
+           << ":\n";
+        os << cell.sweep.minimizedDetail;
+    }
+}
+
+namespace
+{
+
+void
+writeCell(std::ostream &os, const CellResult &cell,
+          const char *indent)
+{
+    const SweepResult &sw = cell.sweep;
+    os << indent << "{\n";
+    os << indent << "  \"workload\": \""
+       << jsonEscape(cell.workload) << "\",\n";
+    os << indent << "  \"mode\": \"" << persistModeName(cell.mode)
+       << "\",\n";
+    os << indent << "  \"seed\": " << cell.seed << ",\n";
+    os << indent << "  \"threads\": " << cell.threads << ",\n";
+    os << indent << "  \"tx_per_thread\": " << cell.txPerThread
+       << ",\n";
+    os << indent << "  \"end_tick\": " << sw.endTick << ",\n";
+    os << indent << "  \"committed_tx\": " << sw.refCommittedTx
+       << ",\n";
+    os << indent << "  \"log_wraps\": " << sw.refLogWraps << ",\n";
+    os << indent << "  \"reference_verified\": "
+       << (sw.refVerified ? "true" : "false") << ",\n";
+    os << indent << "  \"points_harvested\": " << sw.pointsHarvested
+       << ",\n";
+    os << indent << "  \"points_tested\": " << sw.pointsTested
+       << ",\n";
+    os << indent << "  \"points_failed\": " << sw.pointsFailed
+       << ",\n";
+    os << indent << "  \"failures\": [";
+    for (std::size_t i = 0; i < sw.failures.size(); ++i) {
+        const PointOutcome &f = sw.failures[i];
+        os << (i ? ",\n" : "\n");
+        os << indent << "    {\"tick\": " << f.point.tick
+           << ", \"event\": \"" << sim::probeEventName(f.point.kind)
+           << "\", \"before_event\": "
+           << (f.point.before ? "true" : "false")
+           << ", \"violations\": [";
+        for (std::size_t j = 0; j < f.violations.size(); ++j) {
+            os << (j ? ", " : "");
+            os << "{\"invariant\": \""
+               << jsonEscape(f.violations[j].invariant)
+               << "\", \"detail\": \""
+               << jsonEscape(f.violations[j].detail) << "\"}";
+        }
+        os << "]}";
+    }
+    os << (sw.failures.empty() ? "]" : ("\n" + std::string(indent) +
+                                        "  ]"))
+       << ",\n";
+    if (sw.minimizedTick) {
+        os << indent << "  \"minimized_tick\": " << *sw.minimizedTick
+           << ",\n";
+        os << indent << "  \"minimized_detail\": \""
+           << jsonEscape(sw.minimizedDetail) << "\",\n";
+    }
+    os << indent << "  \"passed\": "
+       << (sw.passed() ? "true" : "false") << "\n";
+    os << indent << "}";
+}
+
+} // namespace
+
+void
+writeJsonReport(std::ostream &os,
+                const std::vector<CellResult> &cells)
+{
+    std::size_t failed = 0;
+    for (const auto &c : cells)
+        if (!c.sweep.passed())
+            ++failed;
+    os << "{\n";
+    os << "  \"tool\": \"snfcrash\",\n";
+    os << "  \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        writeCell(os, cells[i], "    ");
+    }
+    os << (cells.empty() ? "]" : "\n  ]") << ",\n";
+    os << "  \"cells_total\": " << cells.size() << ",\n";
+    os << "  \"cells_failed\": " << failed << "\n";
+    os << "}\n";
+}
+
+} // namespace snf::crashlab

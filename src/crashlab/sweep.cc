@@ -1,0 +1,200 @@
+#include "crashlab/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace snf::crashlab
+{
+
+namespace
+{
+
+/**
+ * Deterministically keep @p keep of @p points. Each point draws a
+ * sort key from its own Rng stream seeded by (sampleSeed, tick), and
+ * the @p keep smallest keys win; a point's fate therefore depends
+ * only on its tick and the seed, never on how many other points the
+ * harvest produced around it.
+ */
+std::vector<CrashPoint>
+samplePoints(std::vector<CrashPoint> points, std::size_t keep,
+             std::uint64_t seed)
+{
+    if (keep == 0 || points.size() <= keep)
+        return points;
+    std::vector<std::pair<std::uint64_t, CrashPoint>> keyed;
+    keyed.reserve(points.size());
+    for (const CrashPoint &p : points) {
+        sim::Rng rng(seed ^ (p.tick * 0x9e3779b97f4a7c15ULL));
+        keyed.emplace_back(rng.next(), p);
+    }
+    std::nth_element(keyed.begin(), keyed.begin() + keep - 1,
+                     keyed.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    keyed.resize(keep);
+    points.clear();
+    for (const auto &kp : keyed)
+        points.push_back(kp.second);
+    std::sort(points.begin(), points.end(),
+              [](const CrashPoint &a, const CrashPoint &b) {
+                  return a.tick < b.tick;
+              });
+    return points;
+}
+
+} // namespace
+
+SweepResult
+runCrashSweep(const SweepConfig &cfg)
+{
+    SweepResult res;
+
+    SystemConfig sysCfg = cfg.run.sys;
+    sysCfg.persist.crashJournal = true; // the sweep depends on it
+    if (cfg.run.params.threads > sysCfg.numCores)
+        fatal("%u threads but only %u cores", cfg.run.params.threads,
+              sysCfg.numCores);
+
+    // Reference run, instrumented.
+    System sys(sysCfg, cfg.run.mode);
+    auto workload = workloads::makeWorkload(cfg.run.workload);
+    workload->setup(sys, cfg.run.params);
+
+    CrashTrace trace;
+    sys.setProbe(trace.collector());
+    for (CoreId c = 0; c < cfg.run.params.threads; ++c) {
+        sys.spawn(c, [&](Thread &t) -> sim::Co<void> {
+            return workload->thread(sys, t, cfg.run.params);
+        });
+    }
+    res.endTick = sys.run();
+    // Detach before the graceful flush: write-backs issued after the
+    // run's end are not crash candidates.
+    sys.setProbe({});
+
+    RunStats refStats = sys.collectStats(res.endTick);
+    res.refCommittedTx = refStats.committedTx;
+    res.refLogWraps = refStats.logWraps;
+
+    sys.flushAll(res.endTick);
+    res.refVerified = workload->verify(sys.mem().nvram().store(),
+                                       &res.refVerifyMessage);
+
+    trace.finalize();
+    std::vector<CrashPoint> points = trace.harvest(res.endTick);
+    res.pointsHarvested = points.size();
+    points = samplePoints(std::move(points), cfg.maxPoints,
+                          cfg.sampleSeed);
+    res.pointsTested = points.size();
+
+    const System &csys = sys;
+    auto factsAt = [&](Tick t) {
+        CrashFacts f;
+        f.tick = t;
+        f.txBegun = trace.begunBy(t);
+        f.txCommitted = trace.committedBy(t);
+        f.txDurableCommits = trace.durableBy(t);
+        f.threads = cfg.run.params.threads;
+        f.logWraps = res.refLogWraps;
+        f.mode = cfg.run.mode;
+        return f;
+    };
+    auto evaluate = [&](Tick t, persist::RecoveryReport *rep) {
+        mem::BackingStore image = csys.crashSnapshot(t);
+        return checkCrashPoint(image, csys.config().map, *workload,
+                               factsAt(t), cfg.recovery, rep);
+    };
+
+    // Parallel evaluation. Workers only read the (const) System and
+    // trace, and write disjoint slots of the outcome vector.
+    std::vector<PointOutcome> outcomes(points.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < points.size();
+             i = next.fetch_add(1)) {
+            outcomes[i].point = points[i];
+            outcomes[i].violations =
+                evaluate(points[i].tick, &outcomes[i].report);
+        }
+    };
+    std::size_t jobs = std::max<std::size_t>(cfg.jobs, 1);
+    if (jobs == 1 || points.size() <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        for (std::size_t j = 0; j < jobs; ++j)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (auto &o : outcomes) {
+        if (!o.violations.empty()) {
+            ++res.pointsFailed;
+            res.failures.push_back(std::move(o));
+        }
+    }
+
+    // Minimize: bisect down from the earliest observed failure to the
+    // earliest failing tick. Snapshot evaluation is cheap, so probing
+    // arbitrary mid ticks (not just harvested ones) is fine.
+    if (!res.failures.empty() && cfg.minimizeFailures) {
+        Tick lo = 0;
+        Tick hi = res.failures.front().point.tick; // known failing
+        while (lo < hi) {
+            Tick mid = lo + (hi - lo) / 2;
+            if (!evaluate(mid, nullptr).empty())
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        res.minimizedTick = hi;
+
+        persist::RecoveryReport rep;
+        auto violations = evaluate(hi, &rep);
+        CrashFacts f = factsAt(hi);
+        std::string detail;
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "earliest failing tick %llu (begun=%llu "
+                      "committed=%llu durable=%llu wraps=%llu)\n",
+                      static_cast<unsigned long long>(hi),
+                      static_cast<unsigned long long>(f.txBegun),
+                      static_cast<unsigned long long>(f.txCommitted),
+                      static_cast<unsigned long long>(
+                          f.txDurableCommits),
+                      static_cast<unsigned long long>(f.logWraps));
+        detail += line;
+        for (const auto &v : violations)
+            detail += "  " + v.invariant + ": " + v.detail + "\n";
+        std::snprintf(line, sizeof(line),
+                      "recovery: header=%d records=%llu committed="
+                      "%llu uncommitted=%llu redo=%llu undo=%llu\n",
+                      rep.headerValid ? 1 : 0,
+                      static_cast<unsigned long long>(
+                          rep.validRecords),
+                      static_cast<unsigned long long>(
+                          rep.committedTxns),
+                      static_cast<unsigned long long>(
+                          rep.uncommittedTxns),
+                      static_cast<unsigned long long>(rep.redoApplied),
+                      static_cast<unsigned long long>(
+                          rep.undoApplied));
+        detail += line;
+        detail += describeLogWindow(csys.crashSnapshot(hi),
+                                    csys.config().map);
+        res.minimizedDetail = std::move(detail);
+    }
+
+    return res;
+}
+
+} // namespace snf::crashlab

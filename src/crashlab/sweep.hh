@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The crash-point sweep: run one workload cell once with probe
+ * instrumentation and the NVRAM write journal enabled, harvest the
+ * interesting crash instants from the probe trace, then evaluate
+ * every harvested point in parallel — snapshot the NVRAM image at
+ * that tick, recover it, and run the invariant checker library
+ * (crashlab/invariants.hh). Failing points are minimized to the
+ * earliest failing tick by bisection.
+ *
+ * Key property making this cheap: BackingStore::snapshotAt(t) over
+ * the single journaled reference run reproduces exactly the image a
+ * run stopped at tick t would leave, so one simulation supports an
+ * arbitrary number of crash points, and evaluation parallelizes over
+ * a const System.
+ */
+
+#ifndef SNF_CRASHLAB_SWEEP_HH
+#define SNF_CRASHLAB_SWEEP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crashlab/invariants.hh"
+#include "crashlab/trace.hh"
+#include "workloads/driver.hh"
+
+namespace snf::crashlab
+{
+
+/** One sweep cell: a RunSpec plus sweep-specific knobs. */
+struct SweepConfig
+{
+    /**
+     * The workload cell to sweep. crashAt is ignored (the sweep
+     * picks its own crash points); crashJournal is forced on.
+     */
+    workloads::RunSpec run;
+    /** Worker threads evaluating crash points. */
+    std::size_t jobs = 1;
+    /** Cap on evaluated points; 0 = all harvested. */
+    std::size_t maxPoints = 0;
+    /** Seed of the deterministic down-sampling of crash points. */
+    std::uint64_t sampleSeed = 1;
+    /** Recovery knobs, including snfcrash's fault injection. */
+    persist::RecoveryOptions recovery;
+    /** Bisect the earliest failing tick when a point fails. */
+    bool minimizeFailures = true;
+};
+
+/** Outcome of one evaluated crash point (kept for failures only). */
+struct PointOutcome
+{
+    CrashPoint point;
+    std::vector<Violation> violations;
+    persist::RecoveryReport report;
+};
+
+/** Everything one sweep produced. */
+struct SweepResult
+{
+    Tick endTick = 0;
+    std::size_t pointsHarvested = 0;
+    std::size_t pointsTested = 0;
+    std::size_t pointsFailed = 0;
+    /** Failing points, in tick order. */
+    std::vector<PointOutcome> failures;
+    /** Reference (no-crash) run result. */
+    bool refVerified = true;
+    std::string refVerifyMessage;
+    std::uint64_t refCommittedTx = 0;
+    std::uint64_t refLogWraps = 0;
+    /** Earliest failing tick found by the minimizer. */
+    std::optional<Tick> minimizedTick;
+    /** Violations + recovery report + log window at minimizedTick. */
+    std::string minimizedDetail;
+
+    bool passed() const { return pointsFailed == 0 && refVerified; }
+};
+
+/** Run one sweep cell. fatal() on misconfiguration. */
+SweepResult runCrashSweep(const SweepConfig &cfg);
+
+} // namespace snf::crashlab
+
+#endif // SNF_CRASHLAB_SWEEP_HH

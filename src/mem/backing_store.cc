@@ -117,11 +117,71 @@ BackingStore::snapshotAt(Tick tick) const
     SNF_ASSERT(journalOn, "snapshotAt without journaling");
     BackingStore snap(rangeBase, rangeSize);
     snap.pages = journalBase;
-    for (const auto &e : journal) {
+    // Writes are journaled in issue order but can complete out of
+    // order (bank conflicts, read priority); at the crash instant the
+    // device holds the value of the *latest-completing* write, so
+    // replay in completion order. The sort is stable: simultaneous
+    // completions keep issue order.
+    std::vector<const JournalEntry *> replay;
+    replay.reserve(journal.size());
+    for (const auto &e : journal)
         if (e.done <= tick)
-            snap.rawWrite(e.addr, e.bytes.size(), e.bytes.data());
-    }
+            replay.push_back(&e);
+    std::stable_sort(replay.begin(), replay.end(),
+                     [](const JournalEntry *a, const JournalEntry *b) {
+                         return a->done < b->done;
+                     });
+    for (const JournalEntry *e : replay)
+        snap.rawWrite(e->addr, e->bytes.size(), e->bytes.data());
     return snap;
+}
+
+std::optional<Addr>
+BackingStore::firstDifference(const BackingStore &other, Addr from,
+                              std::uint64_t size) const
+{
+    SNF_ASSERT(rangeBase == other.rangeBase,
+               "firstDifference needs equal store bases");
+    SNF_ASSERT(contains(from, size) && other.contains(from, size),
+               "firstDifference range outside store");
+    static const std::vector<std::uint8_t> kZeroPage(kPageBytes, 0);
+    std::uint64_t first_page = (from - rangeBase) / kPageBytes;
+    std::uint64_t last_off = from - rangeBase + size; // exclusive
+    std::uint64_t last_page = (last_off + kPageBytes - 1) / kPageBytes;
+    // Only pages present in either store can differ (absent pages
+    // read as zero), so visit those instead of walking the whole
+    // range: the range can be gigabytes while the touched set is a
+    // few hundred pages.
+    std::vector<std::uint64_t> candidates;
+    candidates.reserve(pages.size() + other.pages.size());
+    for (const auto &kv : pages)
+        if (kv.first >= first_page && kv.first < last_page)
+            candidates.push_back(kv.first);
+    for (const auto &kv : other.pages)
+        if (kv.first >= first_page && kv.first < last_page)
+            candidates.push_back(kv.first);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(
+        std::unique(candidates.begin(), candidates.end()),
+        candidates.end());
+    for (std::uint64_t p : candidates) {
+        const std::uint8_t *a = pagePtr(p);
+        const std::uint8_t *b = other.pagePtr(p);
+        if (a == nullptr && b == nullptr)
+            continue;
+        const std::uint8_t *pa = a ? a : kZeroPage.data();
+        const std::uint8_t *pb = b ? b : kZeroPage.data();
+        std::uint64_t lo = std::max<std::uint64_t>(
+            p * kPageBytes, from - rangeBase);
+        std::uint64_t hi =
+            std::min<std::uint64_t>((p + 1) * kPageBytes, last_off);
+        for (std::uint64_t off = lo; off < hi; ++off) {
+            std::uint64_t in_page = off % kPageBytes;
+            if (pa[in_page] != pb[in_page])
+                return rangeBase + off;
+        }
+    }
+    return std::nullopt;
 }
 
 } // namespace snf::mem

@@ -9,6 +9,7 @@
 #define SNF_MEM_BACKING_STORE_HH
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -55,10 +56,21 @@ class BackingStore
 
     /**
      * Reconstruct the device image as of @p tick: the journal-base
-     * image plus every journaled write with doneTick <= @p tick.
-     * Requires enableJournal() to have been called.
+     * image plus every journaled write with doneTick <= @p tick,
+     * applied in completion-tick order (the bus serializes by
+     * completion, not by issue). Requires enableJournal().
      */
     BackingStore snapshotAt(Tick tick) const;
+
+    /**
+     * Lowest address in [from, from+size) at which this store and
+     * @p other differ (absent pages compare as zero), or nullopt if
+     * the ranges are byte-identical. Both stores must cover the
+     * range. Compares page-wise, so sparse images stay cheap.
+     */
+    std::optional<Addr> firstDifference(const BackingStore &other,
+                                        Addr from,
+                                        std::uint64_t size) const;
 
     Addr base() const { return rangeBase; }
 

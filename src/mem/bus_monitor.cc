@@ -42,6 +42,8 @@ void
 BusMonitor::onDataWriteback(Addr dataLine, Tick startTick, Tick doneTick)
 {
     lastWb[dataLine] = doneTick;
+    if (probe)
+        probe(sim::ProbeEvent::DataWriteback, doneTick, dataLine);
     auto it = pending.find(dataLine);
     if (it == pending.end())
         return;

@@ -13,6 +13,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -50,6 +51,12 @@ class BusMonitor
 
     void reset();
 
+    /**
+     * Crash-tooling probe: emits DataWriteback at every NVRAM
+     * write-back completion this monitor observes.
+     */
+    void setProbe(sim::ProbeFn p) { probe = std::move(p); }
+
     sim::StatGroup &stats() { return statGroup; }
 
     std::uint64_t orderViolations() const { return orderViol.value(); }
@@ -69,6 +76,7 @@ class BusMonitor
     sim::Counter &checkedWritebacks;
     std::unordered_map<Addr, std::deque<PendingLog>> pending;
     std::unordered_map<Addr, Tick> lastWb;
+    sim::ProbeFn probe;
 };
 
 } // namespace snf::mem

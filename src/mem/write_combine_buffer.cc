@@ -32,6 +32,8 @@ WriteCombineBuffer::flushOldest(Tick now)
                           e.data.data() + e.lo, nullptr, issue, true);
     lastFlushDone = res.done;
     flushes.inc();
+    if (probe)
+        probe(sim::ProbeEvent::WcbFlush, res.done, e.lineAddr);
     inflight.push_back(res.done);
     while (!inflight.empty() && inflight.front() <= now)
         inflight.pop_front();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mem/mem_device.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -47,6 +48,9 @@ class WriteCombineBuffer
 
     std::size_t occupancy() const { return entries.size(); }
 
+    /** Crash-tooling probe: WcbFlush at each flush completion. */
+    void setProbe(sim::ProbeFn p) { probe = std::move(p); }
+
     sim::StatGroup &stats() { return statGroup; }
 
   private:
@@ -68,6 +72,7 @@ class WriteCombineBuffer
     /** Completion ticks of issued flushes still in flight. */
     std::deque<Tick> inflight;
     Tick lastFlushDone = 0;
+    sim::ProbeFn probe;
     sim::StatGroup statGroup; // must precede the counter references
 
   public:

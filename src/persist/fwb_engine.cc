@@ -66,6 +66,9 @@ FwbEngine::scan(Tick now)
     scans.inc();
     flagged.inc(result.linesFlagged);
     forcedWritebacks.inc(result.linesWrittenBack);
+    if (probe)
+        probe(sim::ProbeEvent::FwbScan,
+              std::max(now, result.lastWritebackDone), scans.value());
 }
 
 } // namespace snf::persist

@@ -13,6 +13,7 @@
 #include "core/system_config.hh"
 #include "mem/memory_system.hh"
 #include "sim/event_queue.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 
 namespace snf::persist
@@ -43,6 +44,12 @@ class FwbEngine
      */
     static Tick derivePeriod(const SystemConfig &config);
 
+    /**
+     * Crash-tooling probe: emits FwbScan at each pass boundary (the
+     * forced write-backs themselves surface via the bus monitor).
+     */
+    void setProbe(sim::ProbeFn p) { probe = std::move(p); }
+
     sim::StatGroup &stats() { return statGroup; }
 
   private:
@@ -54,6 +61,7 @@ class FwbEngine
     PersistConfig cfg;
     Tick scanPeriod;
     bool running = false;
+    sim::ProbeFn probe;
     sim::StatGroup statGroup;
 
   public:

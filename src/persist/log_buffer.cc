@@ -67,6 +67,11 @@ LogBuffer::flushGroup(Tick now)
         for (auto &[dataLine, appendTick] : open.covered)
             monitor->onLogDrain(dataLine, appendTick, done);
     }
+    if (probe) {
+        probe(sim::ProbeEvent::LogDrain, done, open.records);
+        for (TxId tx : open.commits)
+            probe(sim::ProbeEvent::CommitDurable, done, tx);
+    }
     inflight.emplace_back(open.records, done);
     hasOpen = false;
     open = Group{};
@@ -115,6 +120,8 @@ LogBuffer::append(const LogRecord &rec, Tick now)
         monitor->onLogAppend(data_line, now);
         open.covered.emplace_back(data_line, now);
     }
+    if (rec.isCommit)
+        open.commits.push_back(rec.tx);
 
     Tick proceed = now;
     if (capacity == 0) {

@@ -19,6 +19,7 @@
 
 #include "persist/log_record.hh"
 #include "persist/log_region.hh"
+#include "sim/probe.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -65,6 +66,13 @@ class LogBuffer
     /** Records currently buffered or in flight at @p now. */
     std::size_t occupancy(Tick now) const;
 
+    /**
+     * Crash-tooling probe: emits LogDrain at each group's NVRAM
+     * completion and CommitDurable for every commit record the group
+     * carried (src/crashlab harvests these as crash points).
+     */
+    void setProbe(sim::ProbeFn p) { probe = std::move(p); }
+
     sim::StatGroup &stats() { return statGroup; }
 
   private:
@@ -75,6 +83,8 @@ class LogBuffer
         std::vector<std::uint8_t> bytes;
         /** Data lines covered, for bus-monitor bookkeeping. */
         std::vector<std::pair<Addr, Tick>> covered;
+        /** Commit records in the group (txids), for the probe. */
+        std::vector<TxId> commits;
         std::uint32_t records = 0;
     };
 
@@ -94,6 +104,7 @@ class LogBuffer
     std::uint64_t lastReservedSlot = 0;
     /** (recordCount, doneTick) of issued groups still in flight. */
     mutable std::deque<std::pair<std::uint32_t, Tick>> inflight;
+    sim::ProbeFn probe;
 
     sim::StatGroup statGroup;
 

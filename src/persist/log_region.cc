@@ -59,7 +59,16 @@ LogRegion::create()
     pass = 1;
     for (auto &m : meta)
         m = SlotMeta{};
-    persistHeader(0);
+    // The log region predates the run (it is set up when the
+    // persistent heap is initialized, not by the workload), so the
+    // header is installed functionally: durable at tick 0, before
+    // any crash instant the crash tooling can pick.
+    std::uint8_t hdr[kHeaderBytes] = {};
+    std::memcpy(hdr, &kMagic, 8);
+    std::memcpy(hdr + 8, &slots, 8);
+    std::memcpy(hdr + 16, &pass, 8);
+    std::memcpy(hdr + 24, &tail, 8);
+    nvram.functionalWrite(regionBase, kHeaderBytes, hdr);
 }
 
 LogRegion::Reservation

@@ -28,6 +28,15 @@ RecoveryReport
 Recovery::run(mem::BackingStore &image, const AddressMap &map,
               bool truncateLog)
 {
+    RecoveryOptions opts;
+    opts.truncateLog = truncateLog;
+    return run(image, map, opts);
+}
+
+RecoveryReport
+Recovery::run(mem::BackingStore &image, const AddressMap &map,
+              const RecoveryOptions &opts)
+{
     // With distributed logs, each partition is an independent
     // circular log holding complete transactions (transactions are
     // thread-private, Section III-F), so partitions recover
@@ -38,7 +47,7 @@ Recovery::run(mem::BackingStore &image, const AddressMap &map,
     for (std::uint32_t p = 0; p < partitions; ++p) {
         RecoveryReport r =
             recoverRegion(image, map.logBase() + p * part_bytes,
-                          part_bytes, truncateLog);
+                          part_bytes, opts);
         total.headerValid |= r.headerValid;
         total.slotsScanned += r.slotsScanned;
         total.validRecords += r.validRecords;
@@ -53,6 +62,16 @@ Recovery::run(mem::BackingStore &image, const AddressMap &map,
 RecoveryReport
 Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
                         std::uint64_t logSize, bool truncateLog)
+{
+    RecoveryOptions opts;
+    opts.truncateLog = truncateLog;
+    return recoverRegion(image, logBase, logSize, opts);
+}
+
+RecoveryReport
+Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
+                        std::uint64_t logSize,
+                        const RecoveryOptions &opts)
 {
     RecoveryReport report;
 
@@ -148,7 +167,8 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
     for (const auto &gen : generations)
         if (gen.committed)
             ++report.committedTxns;
-    for (std::size_t i = 0; i < ordered.size(); ++i) {
+    for (std::size_t i = 0;
+         !opts.faultSkipRedo && i < ordered.size(); ++i) {
         if (gen_of[i] == SIZE_MAX ||
             !generations[gen_of[i]].committed)
             continue;
@@ -168,6 +188,8 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
     }
     std::sort(undo_order.begin(), undo_order.end(),
               std::greater<>());
+    if (opts.faultSkipUndo)
+        undo_order.clear();
     for (std::uint64_t idx : undo_order) {
         const LogRecord &rec = ordered[idx]->rec;
         if (rec.hasUndo && image.contains(rec.addr, rec.size)) {
@@ -177,7 +199,7 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
     }
 
     // Step 5: truncate the log: clear every slot's written marker.
-    if (truncateLog) {
+    if (opts.truncateLog) {
         std::uint8_t zeros[LogRecord::kSlotBytes] = {};
         for (std::uint64_t i = 0; i < slots; ++i)
             image.write(slot0 + i * LogRecord::kSlotBytes,

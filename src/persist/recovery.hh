@@ -20,6 +20,24 @@
 namespace snf::persist
 {
 
+/** Knobs of one recovery pass. */
+struct RecoveryOptions
+{
+    /**
+     * Clear the log window after replay (paper Step 4); disable to
+     * test idempotence of the replay itself.
+     */
+    bool truncateLog = true;
+    /**
+     * Fault injection for crashlab self-tests (tools/snfcrash
+     * --inject-*): deliberately skip the undo / redo replay phase so
+     * the sweep's invariant checkers have a real bug to catch and
+     * minimize. Never set outside tests.
+     */
+    bool faultSkipUndo = false;
+    bool faultSkipRedo = false;
+};
+
 /** Outcome summary of one recovery pass. */
 struct RecoveryReport
 {
@@ -48,11 +66,22 @@ class Recovery
                               const AddressMap &map,
                               bool truncateLog = true);
 
+    /** As above with full options (fault injection for crashlab). */
+    static RecoveryReport run(mem::BackingStore &image,
+                              const AddressMap &map,
+                              const RecoveryOptions &opts);
+
     /** Recover one log region at [logBase, logBase+logSize). */
     static RecoveryReport recoverRegion(mem::BackingStore &image,
                                         Addr logBase,
                                         std::uint64_t logSize,
                                         bool truncateLog = true);
+
+    /** As above with full options. */
+    static RecoveryReport recoverRegion(mem::BackingStore &image,
+                                        Addr logBase,
+                                        std::uint64_t logSize,
+                                        const RecoveryOptions &opts);
 };
 
 } // namespace snf::persist

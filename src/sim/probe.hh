@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight simulation-event probe used by crash tooling
+ * (src/crashlab) to harvest the *interesting* instants of a run:
+ * every tick at which the durable NVRAM image can change, plus the
+ * transaction lifecycle edges needed to judge a recovered image.
+ *
+ * Components hold an optional ProbeFn and emit events with a tick and
+ * one event-specific argument; when no probe is installed the cost is
+ * a single branch. The probe lives in sim/ so that mem/ and persist/
+ * components can emit events without depending on crashlab.
+ */
+
+#ifndef SNF_SIM_PROBE_HH
+#define SNF_SIM_PROBE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace snf::sim
+{
+
+/** What happened at the probed tick. */
+enum class ProbeEvent : std::uint8_t
+{
+    /** A log-buffer group finished draining to NVRAM (arg = records). */
+    LogDrain,
+    /** A dirty data line's NVRAM write-back completed (arg = line). */
+    DataWriteback,
+    /** A WCB entry (software log line) reached NVRAM (arg = line). */
+    WcbFlush,
+    /** An FWB scan pass ran (arg = pass index). */
+    FwbScan,
+    /** tx_begin executed (arg = transaction sequence). */
+    TxBegin,
+    /**
+     * tx_commit *initiated* (arg = tx sequence). Emitted before the
+     * mode's commit sequence runs, since the commit record can reach
+     * NVRAM at any point during it.
+     */
+    TxCommit,
+    /**
+     * A commit became durable: its commit record (hardware logging)
+     * or commit-record fence (software logging) completed at NVRAM
+     * (arg = 16-bit log txid for hardware, tx sequence for software).
+     */
+    CommitDurable,
+};
+
+/** Short stable name for reports. */
+inline const char *
+probeEventName(ProbeEvent e)
+{
+    switch (e) {
+      case ProbeEvent::LogDrain:      return "log-drain";
+      case ProbeEvent::DataWriteback: return "data-writeback";
+      case ProbeEvent::WcbFlush:      return "wcb-flush";
+      case ProbeEvent::FwbScan:       return "fwb-scan";
+      case ProbeEvent::TxBegin:       return "tx-begin";
+      case ProbeEvent::TxCommit:      return "tx-commit";
+      case ProbeEvent::CommitDurable: return "commit-durable";
+    }
+    return "?";
+}
+
+using ProbeFn =
+    std::function<void(ProbeEvent, Tick, std::uint64_t arg)>;
+
+} // namespace snf::sim
+
+#endif // SNF_SIM_PROBE_HH

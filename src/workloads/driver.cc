@@ -36,8 +36,8 @@ runWorkload(const RunSpec &spec)
         // store buffers) is lost; the NVRAM image is whatever had
         // completed by the crash instant.
         mem::BackingStore image = sys.crashSnapshot(*spec.crashAt);
-        out.recovery =
-            persist::Recovery::run(image, sys.config().map);
+        out.recovery = persist::Recovery::run(image, sys.config().map,
+                                              spec.recovery);
         if (spec.verifyAtEnd)
             out.verified = workload->verify(image,
                                             &out.verifyMessage);

@@ -30,6 +30,8 @@ struct RunSpec
      * the NVRAM snapshot (requires sys.persist.crashJournal).
      */
     std::optional<Tick> crashAt;
+    /** Recovery knobs for crash runs (crashlab fault injection). */
+    persist::RecoveryOptions recovery;
     /** Write back all volatile state at the end (graceful runs). */
     bool flushAtEnd = true;
     /** Run the consistency check at the end. */

@@ -102,3 +102,42 @@ TEST(BackingStoreJournal, JournalSizeCounts)
     bs.write64(8, 2, 2);
     EXPECT_EQ(bs.journalSize(), 2u);
 }
+
+TEST(BackingStoreJournal, OutOfOrderCompletionReplaysByDoneTick)
+{
+    // Writes can complete out of issue order (bank conflicts, read
+    // priority). The device ends up holding the value of the
+    // *latest-completing* write, so a snapshot must replay by
+    // completion tick, not journal insertion order.
+    BackingStore bs(0, 1 << 20);
+    bs.enableJournal();
+    bs.write64(128, 0xAA, 50); // issued first, completes last
+    bs.write64(128, 0xBB, 20); // issued second, completes first
+    EXPECT_EQ(bs.snapshotAt(10).read64(128), 0u);
+    EXPECT_EQ(bs.snapshotAt(20).read64(128), 0xBBu);
+    EXPECT_EQ(bs.snapshotAt(50).read64(128), 0xAAu);
+    EXPECT_EQ(bs.snapshotAt(1000).read64(128), 0xAAu);
+}
+
+TEST(BackingStore, FirstDifferenceFindsLowestMismatch)
+{
+    BackingStore a(0, 1 << 20);
+    BackingStore b(0, 1 << 20);
+    EXPECT_FALSE(a.firstDifference(b, 0, 1 << 20).has_value());
+
+    // A page present in one store but all-zero matches an absent one.
+    a.write64(4096, 0, 0);
+    EXPECT_FALSE(a.firstDifference(b, 0, 1 << 20).has_value());
+
+    b.write64(8192 + 16, 7, 0);
+    a.write64(65536, 9, 0);
+    auto diff = a.firstDifference(b, 0, 1 << 20);
+    ASSERT_TRUE(diff.has_value());
+    EXPECT_EQ(*diff, 8192u + 16u);
+
+    // Range can exclude the mismatch.
+    EXPECT_FALSE(a.firstDifference(b, 0, 8192).has_value());
+    auto d2 = a.firstDifference(b, 16384, (1 << 20) - 16384);
+    ASSERT_TRUE(d2.has_value());
+    EXPECT_EQ(*d2, 65536u);
+}

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * snfcrash — systematic crash-point sweep and failure-atomicity
+ * checker. Runs each (workload, mode, seed) cell once with full
+ * instrumentation, harvests every interesting crash instant
+ * (log-buffer drains, cache/WCB write-backs, FWB pass boundaries,
+ * transaction commits), then recovers and verifies the NVRAM image
+ * at each of them in parallel. Failures are minimized to the
+ * earliest failing tick.
+ *
+ * Usage:
+ *   snfcrash [options]
+ *     --workload W[,W...]  (default sps; see --list)
+ *     --mode M[,M...]      persistence mode(s); "all" = every
+ *                          failure-atomic mode (default: fwb)
+ *     --seed N[,N...]      workload RNG seed(s) (default 1)
+ *     --threads N          workload threads (default 2)
+ *     --tx N               transactions per thread (default 50)
+ *     --footprint N        elements in the initial structure
+ *     --jobs N             parallel crash-point workers (default 1)
+ *     --max-points N       sample N crash points per cell (0 = all)
+ *     --sample-seed N      seed of the crash-point sampling
+ *     --json FILE          write the JSON report to FILE ("-" =
+ *                          stdout)
+ *     --no-minimize        skip bisection of failing points
+ *     --inject-skip-undo   fault injection: recovery skips the undo
+ *     --inject-skip-redo   phase / the redo phase (self-test: the
+ *                          sweep must catch and minimize these)
+ *     --list               list workloads and modes, then exit
+ *
+ * Exit status: 0 when every cell passed, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crashlab/report.hh"
+#include "crashlab/sweep.hh"
+#include "sim/logging.hh"
+#include "workloads/driver.hh"
+
+using namespace snf;
+using namespace snf::crashlab;
+using namespace snf::workloads;
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const char *s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+PersistMode
+parseMode(const std::string &name)
+{
+    for (PersistMode m : kAllModes)
+        if (name == persistModeName(m))
+            return m;
+    fatal("unknown mode '%s'", name.c_str());
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: snfcrash [--workload W[,W]] [--mode M[,M]|all] "
+        "[--seed N[,N]]\n"
+        "                [--threads N] [--tx N] [--footprint N] "
+        "[--jobs N]\n"
+        "                [--max-points N] [--sample-seed N] "
+        "[--json FILE]\n"
+        "                [--no-minimize] [--inject-skip-undo] "
+        "[--inject-skip-redo]\n"
+        "                [--list]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workloadNames{"sps"};
+    std::vector<PersistMode> modes{PersistMode::Fwb};
+    std::vector<std::uint64_t> seeds{1};
+    WorkloadParams params;
+    params.threads = 2;
+    params.txPerThread = 50;
+    SweepConfig base;
+    std::string jsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        auto arg = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return static_cast<const char *>(nullptr);
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return static_cast<const char *>(argv[++i]);
+        };
+        if (const char *v = arg("--workload")) {
+            workloadNames = splitCsv(v);
+        } else if (const char *v = arg("--mode")) {
+            modes.clear();
+            for (const auto &name : splitCsv(v)) {
+                if (name == "all") {
+                    for (PersistMode m : kAllModes)
+                        if (guaranteesFailureAtomicity(m))
+                            modes.push_back(m);
+                } else {
+                    modes.push_back(parseMode(name));
+                }
+            }
+        } else if (const char *v = arg("--seed")) {
+            seeds.clear();
+            for (const auto &s : splitCsv(v))
+                seeds.push_back(std::strtoull(s.c_str(), nullptr, 0));
+        } else if (const char *v = arg("--threads")) {
+            params.threads =
+                static_cast<std::uint32_t>(std::atoi(v));
+        } else if (const char *v = arg("--tx")) {
+            params.txPerThread = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--footprint")) {
+            params.footprint = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--jobs")) {
+            base.jobs = static_cast<std::size_t>(std::atoi(v));
+        } else if (const char *v = arg("--max-points")) {
+            base.maxPoints = static_cast<std::size_t>(std::atoi(v));
+        } else if (const char *v = arg("--sample-seed")) {
+            base.sampleSeed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--json")) {
+            jsonPath = v;
+        } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+            base.minimizeFailures = false;
+        } else if (std::strcmp(argv[i], "--inject-skip-undo") == 0) {
+            base.recovery.faultSkipUndo = true;
+        } else if (std::strcmp(argv[i], "--inject-skip-redo") == 0) {
+            base.recovery.faultSkipRedo = true;
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            std::printf("workloads:");
+            for (const auto &w : allWorkloadNames())
+                std::printf(" %s", w.c_str());
+            std::printf("\nmodes:");
+            for (PersistMode m : kAllModes)
+                std::printf(" %s%s", persistModeName(m),
+                            guaranteesFailureAtomicity(m) ? "*" : "");
+            std::printf("\n(* = failure-atomic, covered by "
+                        "--mode all)\n");
+            return 0;
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("unknown argument '%s'", argv[i]);
+        }
+    }
+
+    std::vector<CellResult> cells;
+    for (const auto &wl : workloadNames) {
+        for (PersistMode mode : modes) {
+            for (std::uint64_t seed : seeds) {
+                SweepConfig cfg = base;
+                cfg.run.workload = wl;
+                cfg.run.mode = mode;
+                cfg.run.params = params;
+                cfg.run.params.seed = seed;
+
+                CellResult cell;
+                cell.workload = wl;
+                cell.mode = mode;
+                cell.seed = seed;
+                cell.threads = params.threads;
+                cell.txPerThread = params.txPerThread;
+                cell.sweep = runCrashSweep(cfg);
+                writeTextSummary(std::cout, cell);
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+
+    if (!jsonPath.empty()) {
+        if (jsonPath == "-") {
+            writeJsonReport(std::cout, cells);
+        } else {
+            std::ofstream f(jsonPath);
+            if (!f)
+                fatal("cannot write '%s'", jsonPath.c_str());
+            writeJsonReport(f, cells);
+        }
+    }
+
+    std::size_t failed = 0;
+    for (const auto &c : cells)
+        if (!c.sweep.passed())
+            ++failed;
+    std::printf("%zu/%zu cells passed\n", cells.size() - failed,
+                cells.size());
+    return failed == 0 ? 0 : 1;
+}
