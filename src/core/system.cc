@@ -49,6 +49,18 @@ System::System(const SystemConfig &config, PersistMode m)
             });
         region->setHazardSink(
             [this]() { memory->monitor().onLogOverwriteHazard(); });
+        // Log-full policy wiring: a Stall policy forces the guarded
+        // line back to NVRAM; an AbortRetry policy asks the blocking
+        // transaction's thread to roll back at its next commit.
+        region->setLogFullPolicy(cfg.persist.logFullPolicy,
+                                 cfg.persist.logFullRetries,
+                                 cfg.persist.logFullBackoffBase);
+        region->setForceWriteback([this](Addr addr, Tick now) {
+            return memory->clwb(0, addr, now);
+        });
+        region->setAbortRequestSink([this](std::uint64_t seq) {
+            txnTracker.requestAbort(seq);
+        });
     }
 
     if (isHardwareLogging(persistMode)) {
@@ -79,7 +91,7 @@ System::System(const SystemConfig &config, PersistMode m)
         }
     } else if (isSoftwareLogging(persistMode)) {
         swLogging = std::make_unique<persist::SwLogging>(
-            persistMode, *memory, *logRegions[0]);
+            persistMode, *memory, *logRegions[0], txnTracker);
         // The WCB sits in the memory controller ahead of the data
         // write queue: uncacheable log stores issued before a data
         // write-back drain first (same FIFO argument as the hardware
@@ -153,6 +165,30 @@ System::flushAll(Tick now)
     return done;
 }
 
+Tick
+System::drainLogs(Tick now)
+{
+    Tick done = now;
+    for (auto &buf : logBufs)
+        done = std::max(done, buf->drainAll(now));
+    done = std::max(done, memory->drainWcb(done));
+    return done;
+}
+
+std::vector<persist::LogRegion::UndoEntry>
+System::collectUndo(std::uint64_t txSeq) const
+{
+    std::vector<persist::LogRegion::UndoEntry> out;
+    for (const auto &region : logRegions) {
+        auto part = region->collectUndo(txSeq);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    // A transaction's records live in a single partition (the
+    // appending core's), so concatenation preserves the newest-first
+    // order within the only non-empty contribution.
+    return out;
+}
+
 mem::BackingStore
 System::crashSnapshot(Tick at) const
 {
@@ -168,6 +204,7 @@ System::collectStats(Tick cycles) const
     RunStats s;
     s.cycles = cycles;
     s.committedTx = txnTracker.committed.value();
+    s.abortedTx = txnTracker.aborted.value();
     for (const auto &t : threads)
         s.instr += t->context().instr;
     if (cycles > 0) {
@@ -206,8 +243,18 @@ System::collectStats(Tick cycles) const
         s.fwbWritebacks = fwbEngine->forcedWritebacks.value();
     }
 
+    for (const auto &region : logRegions) {
+        s.logFullStalls += region->logFullStalls.value();
+        s.forcedWritebacks += region->forcedWritebacks.value();
+    }
+
     s.orderViolations = memory->monitor().orderViolations();
     s.overwriteHazards = memory->monitor().overwriteHazards();
+    s.faultsInjected = nv.faultBitFlips.value() +
+                       nv.faultMultiBit.value() +
+                       nv.faultTornLines.value() +
+                       nv.faultDroppedWrites.value() +
+                       nv.faultStuckWords.value();
 
     s.energy = energy::EnergyModel::compute(*memory, s.instr.total);
     return s;

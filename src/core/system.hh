@@ -52,6 +52,7 @@ struct RunStats
 {
     Tick cycles = 0;
     std::uint64_t committedTx = 0;
+    std::uint64_t abortedTx = 0;
     cpu::InstructionCounts instr;
     double ipc = 0.0;
     double txPerMcycle = 0.0;
@@ -76,6 +77,14 @@ struct RunStats
 
     std::uint64_t orderViolations = 0;
     std::uint64_t overwriteHazards = 0;
+
+    // Log-full policy activity (zero under the legacy Reclaim policy).
+    std::uint64_t logFullStalls = 0;
+    std::uint64_t forcedWritebacks = 0;
+
+    // NVRAM media faults injected by the fault model (zero unless
+    // MemDeviceConfig::faults is enabled).
+    std::uint64_t faultsInjected = 0;
 
     energy::EnergyBreakdown energy;
 };
@@ -156,6 +165,18 @@ class System
     void dumpStats(std::ostream &os);
 
     // --- internal accessors for Thread ---------------------------
+
+    /**
+     * Drain every volatile log staging structure (hardware log-buffer
+     * FIFOs, software WCB) so all appended records are readable from
+     * NVRAM. Used by tx_abort before collecting undo values.
+     */
+    Tick drainLogs(Tick now);
+
+    /** Undo entries of @p txSeq across all log partitions, newest
+     *  first (see LogRegion::collectUndo). */
+    std::vector<persist::LogRegion::UndoEntry>
+    collectUndo(std::uint64_t txSeq) const;
 
     persist::HwlEngine *hwl() { return hwlEngine.get(); }
 

@@ -22,6 +22,17 @@ persistModeName(PersistMode mode)
     return "?";
 }
 
+const char *
+logFullPolicyName(LogFullPolicy policy)
+{
+    switch (policy) {
+      case LogFullPolicy::Reclaim:    return "reclaim";
+      case LogFullPolicy::Stall:      return "stall";
+      case LogFullPolicy::AbortRetry: return "abort-retry";
+    }
+    return "?";
+}
+
 bool
 isHardwareLogging(PersistMode mode)
 {

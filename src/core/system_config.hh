@@ -65,6 +65,64 @@ struct CacheConfig
     std::uint32_t numSets() const { return numLines() / ways; }
 };
 
+/**
+ * Deterministic NVRAM media-fault model (faultlab). All decisions are
+ * pure hashes of (seed, line address, tick), so a run is bit-exact
+ * reproducible per seed. Faults apply to the accepted-write path of a
+ * device: the timing/energy model still charges the access, but the
+ * bytes that land in the backing store may be damaged. Probabilities
+ * are per 64-byte line written.
+ */
+struct FaultModelConfig
+{
+    std::uint64_t seed = 0;
+    double bitFlipProb = 0.0;   ///< flip one bit in a written line
+    double multiBitProb = 0.0;  ///< flip two distinct bits in a line
+    double stuckRowProb = 0.0;  ///< row sticks: one word wedged per row
+    double dropWriteProb = 0.0; ///< accepted write silently dropped
+    double tornLineProb = 0.0;  ///< only the first 32 B of a line land
+    /** Restrict injection to [regionBase, regionBase+regionSize). */
+    Addr regionBase = 0;
+    std::uint64_t regionSize = 0; ///< 0 = whole device
+    /** Restrict injection to ticks in [windowStart, windowEnd). */
+    Tick windowStart = 0;
+    Tick windowEnd = 0; ///< 0 = no upper bound
+
+    bool
+    enabled() const
+    {
+        return bitFlipProb > 0.0 || multiBitProb > 0.0 ||
+               stuckRowProb > 0.0 || dropWriteProb > 0.0 ||
+               tornLineProb > 0.0;
+    }
+
+    /** No injected faults (the default). */
+    static FaultModelConfig none() { return FaultModelConfig{}; }
+
+    /** Rare single-bit upsets, the common PCM field-failure mode. */
+    static FaultModelConfig
+    light(std::uint64_t seed)
+    {
+        FaultModelConfig f;
+        f.seed = seed;
+        f.bitFlipProb = 1e-4;
+        return f;
+    }
+
+    /** Aggressive mixed-mode damage for stress testing recovery. */
+    static FaultModelConfig
+    heavy(std::uint64_t seed)
+    {
+        FaultModelConfig f;
+        f.seed = seed;
+        f.bitFlipProb = 1e-3;
+        f.multiBitProb = 2e-4;
+        f.dropWriteProb = 2e-4;
+        f.tornLineProb = 2e-4;
+        return f;
+    }
+};
+
 /** Timing/energy model of a memory device (DRAM or NVRAM DIMM). */
 struct MemDeviceConfig
 {
@@ -81,6 +139,9 @@ struct MemDeviceConfig
     double rowWritePjBit = 1.02;
     double arrayReadPjBit = 2.47;
     double arrayWritePjBit = 16.82;
+
+    /** Media-fault injection (faultlab); disabled by default. */
+    FaultModelConfig faults;
 };
 
 /** Simulated core (timing model) parameters. */
@@ -97,6 +158,35 @@ struct McConfig
     std::uint32_t readQueue = 64;
     std::uint32_t writeQueue = 64;
 };
+
+/**
+ * What a hardware log region does when an append finds no safely
+ * reclaimable slot (every candidate still belongs to an active
+ * transaction or covers data not yet written back).
+ */
+enum class LogFullPolicy
+{
+    /**
+     * Legacy behavior: reclaim the slot anyway and count a hazard.
+     * Keeps the paper's measured-overhead surface intact.
+     */
+    Reclaim,
+    /**
+     * Force the blocking data line back to NVRAM and retry with
+     * bounded exponential backoff in simulated ticks; falls back to
+     * Reclaim only once retries are exhausted.
+     */
+    Stall,
+    /**
+     * Like Stall, but when the blocker is an active transaction,
+     * request its abort; the victim rolls back via its in-log undo
+     * entries and retries.
+     */
+    AbortRetry,
+};
+
+/** Printable name of a LogFullPolicy. */
+const char *logFullPolicyName(LogFullPolicy policy);
 
 /** Persistence machinery parameters (Sections III and IV). */
 struct PersistConfig
@@ -132,6 +222,12 @@ struct PersistConfig
      * log-before-data guarantee (bench/ablation_ordering).
      */
     bool disableWbBarrier = false;
+    /** Behavior when a log append finds no reclaimable slot. */
+    LogFullPolicy logFullPolicy = LogFullPolicy::Reclaim;
+    /** Stall/AbortRetry: attempts before falling back to Reclaim. */
+    std::uint32_t logFullRetries = 8;
+    /** Stall/AbortRetry: base backoff in ticks (doubles per try). */
+    Tick logFullBackoffBase = 64;
 };
 
 /** Physical address map of the simulated machine. */

@@ -15,6 +15,22 @@ namespace
 /** Library-call overhead of tx_begin/tx_commit, in instructions. */
 constexpr std::uint64_t kTxLibraryInstructions = 8;
 
+/** Modes whose log records carry undo values (can roll back). */
+bool
+modeHasUndo(PersistMode m)
+{
+    switch (m) {
+      case PersistMode::UnsafeUndo:
+      case PersistMode::UndoClwb:
+      case PersistMode::HwUlog:
+      case PersistMode::Hwl:
+      case PersistMode::Fwb:
+        return true;
+      default:
+        return false;
+    }
+}
+
 } // namespace
 
 Thread::Thread(CoreId id, System &system)
@@ -111,18 +127,8 @@ Thread::execFence()
 }
 
 void
-Thread::execTxCommit()
+Thread::writeCommitRecord()
 {
-    SNF_ASSERT(inTx, "commit outside transaction on core %u",
-               ctx.id());
-
-    // Emitted at commit *initiation*: a commit record can reach
-    // NVRAM at any point during the sequence below, so trace-based
-    // upper bounds on recovered-committed counts must count from
-    // here, not from the sequence's end.
-    if (sys.probe())
-        sys.probe()(sim::ProbeEvent::TxCommit, ctx.localTime, txSeq);
-
     auto clwb_write_set = [&]() {
         for (Addr line : sys.txns().writeSet(txSeq))
             execClwb(line);
@@ -187,6 +193,32 @@ Thread::execTxCommit()
         break;
       }
     }
+}
+
+void
+Thread::execTxCommit()
+{
+    SNF_ASSERT(inTx, "commit outside transaction on core %u",
+               ctx.id());
+
+    if (sys.txns().abortRequested(txSeq)) {
+        // The log-full abort-retry policy marked this transaction a
+        // victim while it was appending; divert the commit into a
+        // rollback. The workload observes lastTxAborted() and may
+        // retry the transaction.
+        execTxAbort();
+        return;
+    }
+    lastAborted = false;
+
+    // Emitted at commit *initiation*: a commit record can reach
+    // NVRAM at any point during the sequence below, so trace-based
+    // upper bounds on recovered-committed counts must count from
+    // here, not from the sequence's end.
+    if (sys.probe())
+        sys.probe()(sim::ProbeEvent::TxCommit, ctx.localTime, txSeq);
+
+    writeCommitRecord();
 
     sys.txns().commit(txSeq);
     // For the clwb+fence software schemes the commit record is
@@ -198,6 +230,49 @@ Thread::execTxCommit()
         sys.probe()(sim::ProbeEvent::CommitDurable, ctx.localTime,
                     txSeq);
     }
+    inTx = false;
+    txSeq = 0;
+    ctx.instr.total += kTxLibraryInstructions;
+    ctx.instr.txOverhead += kTxLibraryInstructions;
+    ctx.retireCompute(kTxLibraryInstructions);
+}
+
+void
+Thread::execTxAbort()
+{
+    SNF_ASSERT(inTx, "abort outside transaction on core %u",
+               ctx.id());
+
+    // Emitted at abort initiation: under undo-capable modes the
+    // rollback ends in a commit record (see below), so crash-trace
+    // commit upper bounds must count aborts from here too.
+    if (sys.probe())
+        sys.probe()(sim::ProbeEvent::TxAbort, ctx.localTime, txSeq);
+    lastAborted = true;
+
+    if (modeHasUndo(sys.mode())) {
+        // Roll back through the log (paper Section IV-A tx_abort):
+        // read this transaction's undo values back from the drained
+        // log window and write them as compensating stores, newest
+        // first. The stores go through the normal transactional
+        // store path, so they are themselves logged (undo-of-undo)
+        // and a crash mid-rollback still recovers to a consistent
+        // state.
+        ctx.localTime =
+            std::max(ctx.localTime, sys.drainLogs(ctx.localTime));
+        for (const auto &e : sys.collectUndo(txSeq))
+            execStore(e.addr, e.size, e.undo);
+        // Close the generation with an ordinary commit record:
+        // replaying original-then-compensating updates in log order
+        // reproduces the rolled-back state, so recovery needs no
+        // special abort handling.
+        writeCommitRecord();
+    }
+    // Redo-only modes cannot roll back in place (the very limitation
+    // motivating combined undo+redo logging, Section II-B): leave
+    // the generation uncommitted so recovery discards it.
+
+    sys.txns().abort(txSeq);
     inTx = false;
     txSeq = 0;
     ctx.instr.total += kTxLibraryInstructions;

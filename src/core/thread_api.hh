@@ -145,6 +145,13 @@ class Thread
         void execute() override { t->execTxCommit(); }
     };
 
+    struct TxAbortOp : VoidAwaiter
+    {
+        using VoidAwaiter::VoidAwaiter;
+
+        void execute() override { t->execTxAbort(); }
+    };
+
     struct ClwbOp : VoidAwaiter
     {
         Addr addr;
@@ -198,6 +205,26 @@ class Thread
     /** tx_commit(): close the transaction (mode-dependent cost). */
     TxCommitOp txCommit() { return TxCommitOp(this); }
 
+    /**
+     * tx_abort(): roll the transaction back via its in-log undo
+     * values and discard it. Under redo-only modes there is nothing
+     * to roll back with (the limitation motivating combined
+     * undo+redo logging, paper Section II-B); the transaction is
+     * then merely dropped from the tracker.
+     */
+    TxAbortOp txAbort() { return TxAbortOp(this); }
+
+    /**
+     * Did the last awaited txCommit()/txAbort() end in a rollback?
+     * txCommit() aborts instead of committing when the log-full
+     * abort-retry policy marked this transaction a victim; the
+     * workload checks this flag and retries the transaction.
+     */
+    bool lastTxAborted() const { return lastAborted; }
+
+    /** Sequence number of the transaction in progress (0 = none). */
+    std::uint64_t currentTxSeq() const { return inTx ? txSeq : 0; }
+
     /** Explicit cache-line write-back (clwb). */
     ClwbOp clwb(Addr a) { return ClwbOp(this, a); }
 
@@ -230,14 +257,20 @@ class Thread
     void execCompute(std::uint64_t n);
     void execTxBegin();
     void execTxCommit();
+    void execTxAbort();
     void execClwb(Addr a);
     void execFence();
     std::uint64_t execCas(Addr a, std::uint64_t expected,
                           std::uint64_t desired);
 
+    /** The mode-specific commit-record sequence (shared by commit
+     *  and the rollback-closing record of abort). */
+    void writeCommitRecord();
+
     cpu::ThreadContext ctx;
     System &sys;
     bool inTx = false;
+    bool lastAborted = false;
     std::uint64_t txSeq = 0;
 };
 

@@ -1,0 +1,310 @@
+#include "crashlab/faultlab.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "mem/fault_model.hh"
+#include "persist/log_record.hh"
+#include "persist/log_region.hh"
+
+namespace snf::crashlab
+{
+
+namespace
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+void
+fail(std::vector<Violation> &out, const char *invariant,
+     std::string detail)
+{
+    out.push_back(Violation{invariant, std::move(detail)});
+}
+
+double
+unit(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Distinct decision streams per slot (mixed into the hash seed).
+constexpr std::uint64_t kSaltDrop = 0x11;
+constexpr std::uint64_t kSaltTorn = 0x12;
+constexpr std::uint64_t kSaltMulti = 0x13;
+constexpr std::uint64_t kSaltFlip = 0x14;
+constexpr std::uint64_t kSaltBitPos = 0x15;
+constexpr std::uint64_t kSaltBitPos2 = 0x16;
+
+} // namespace
+
+bool
+ImageFaultPlan::damaged(std::uint16_t tx) const
+{
+    return std::binary_search(damagedTxIds.begin(),
+                              damagedTxIds.end(), tx);
+}
+
+ImageFaultPlan
+applyImageFaults(mem::BackingStore &image, const AddressMap &map,
+                 const ImageFaultConfig &cfg, Tick crashTick)
+{
+    ImageFaultPlan plan;
+    if (!cfg.enabled())
+        return plan;
+
+    auto draw = [&](std::uint64_t salt, Addr slotAddr) {
+        return mem::FaultInjector::hash(cfg.seed ^ salt, slotAddr,
+                                        crashTick);
+    };
+
+    std::uint32_t partitions = std::max(map.logPartitions, 1u);
+    std::uint64_t part_bytes = map.logSize / partitions;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+        Addr base = map.logBase() + p * part_bytes;
+        if (image.read64(base) != persist::LogRegion::kMagic)
+            continue;
+        std::uint64_t slots = image.read64(base + 8);
+        std::uint64_t max_slots =
+            (part_bytes - persist::LogRegion::kHeaderBytes) /
+            persist::LogRecord::kSlotBytes;
+        if (slots > max_slots)
+            continue;
+
+        Addr slot0 = base + persist::LogRegion::kHeaderBytes;
+        for (std::uint64_t i = 0; i < slots; ++i) {
+            Addr a = slot0 + i * persist::LogRecord::kSlotBytes;
+            std::uint8_t img[persist::LogRecord::kSlotBytes];
+            image.read(a, persist::LogRecord::kSlotBytes, img);
+            // Only well-formed slots are candidates, so the damaged
+            // set below is exactly the transactions we touched.
+            persist::SlotInfo info = persist::classifySlot(img);
+            if (info.cls != persist::SlotClass::Valid)
+                continue;
+
+            std::uint64_t touched = 0;
+            if (unit(draw(kSaltDrop, a)) < cfg.dropSlotProb) {
+                // The slot's write never reached the media.
+                std::memset(img, 0, sizeof(img));
+                plan.droppedSlots += 1;
+                touched = 1;
+            } else if (unit(draw(kSaltTorn, a)) < cfg.tornSlotProb) {
+                // Power cut mid-program: the payload half landed, the
+                // header word (written last) did not.
+                std::memset(img, 0, 8);
+                plan.tornSlots += 1;
+                touched = 1;
+            } else if (unit(draw(kSaltMulti, a)) < cfg.multiBitProb) {
+                std::uint64_t b1 = draw(kSaltBitPos, a) % 256;
+                std::uint64_t b2 = draw(kSaltBitPos2, a) % 255;
+                if (b2 >= b1)
+                    b2 += 1;
+                img[b1 / 8] ^= static_cast<std::uint8_t>(1u << (b1 % 8));
+                img[b2 / 8] ^= static_cast<std::uint8_t>(1u << (b2 % 8));
+                plan.multiBitSlots += 1;
+                touched = 1;
+            } else if (unit(draw(kSaltFlip, a)) < cfg.bitFlipProb) {
+                std::uint64_t b = draw(kSaltBitPos, a) % 256;
+                img[b / 8] ^= static_cast<std::uint8_t>(1u << (b % 8));
+                plan.bitFlipSlots += 1;
+                touched = 1;
+            }
+            if (touched) {
+                image.write(a, persist::LogRecord::kSlotBytes, img);
+                plan.slotsFaulted += 1;
+                plan.damagedTxIds.push_back(info.rec.tx);
+            }
+        }
+    }
+
+    std::sort(plan.damagedTxIds.begin(), plan.damagedTxIds.end());
+    plan.damagedTxIds.erase(std::unique(plan.damagedTxIds.begin(),
+                                        plan.damagedTxIds.end()),
+                            plan.damagedTxIds.end());
+    return plan;
+}
+
+namespace
+{
+
+/** Heap byte ranges written by records of the given transactions,
+ *  gathered from the clean image's log slots. */
+std::vector<std::pair<Addr, Addr>>
+coveredRanges(const mem::BackingStore &image, const AddressMap &map,
+              const ImageFaultPlan &plan,
+              const std::vector<std::uint16_t> &quarantined)
+{
+    auto interesting = [&](std::uint16_t tx) {
+        return plan.damaged(tx) ||
+               std::find(quarantined.begin(), quarantined.end(), tx) !=
+                   quarantined.end();
+    };
+
+    std::vector<std::pair<Addr, Addr>> ranges;
+    std::uint32_t partitions = std::max(map.logPartitions, 1u);
+    std::uint64_t part_bytes = map.logSize / partitions;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+        Addr base = map.logBase() + p * part_bytes;
+        if (image.read64(base) != persist::LogRegion::kMagic)
+            continue;
+        std::uint64_t slots = image.read64(base + 8);
+        Addr slot0 = base + persist::LogRegion::kHeaderBytes;
+        for (std::uint64_t i = 0; i < slots; ++i) {
+            std::uint8_t img[persist::LogRecord::kSlotBytes];
+            image.read(slot0 + i * persist::LogRecord::kSlotBytes,
+                       persist::LogRecord::kSlotBytes, img);
+            persist::SlotInfo info = persist::classifySlot(img);
+            if (info.cls != persist::SlotClass::Valid ||
+                info.rec.isCommit || !interesting(info.rec.tx))
+                continue;
+            ranges.emplace_back(info.rec.addr,
+                                info.rec.addr + info.rec.size);
+        }
+    }
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+}
+
+/** End of a range covering @p a, or 0 if none covers it. */
+Addr
+coveringEnd(const std::vector<std::pair<Addr, Addr>> &ranges, Addr a)
+{
+    auto it = std::upper_bound(
+        ranges.begin(), ranges.end(), a,
+        [](Addr x, const std::pair<Addr, Addr> &r) {
+            return x < r.first;
+        });
+    Addr end = 0;
+    // Ranges are tiny (<= 8 bytes) but may share a start address, so
+    // walk the preceding entries that could still span @p a.
+    while (it != ranges.begin()) {
+        --it;
+        if (it->second > a)
+            end = std::max(end, it->second);
+        if (it->first + 8 < a)
+            break;
+    }
+    return end;
+}
+
+} // namespace
+
+std::vector<Violation>
+checkFaultedCrashPoint(const mem::BackingStore &image,
+                       const AddressMap &map,
+                       const ImageFaultConfig &faults,
+                       const CrashFacts &facts,
+                       const persist::RecoveryOptions &recOpts,
+                       persist::RecoveryReport *reportOut,
+                       ImageFaultPlan *planOut)
+{
+    std::vector<Violation> out;
+
+    mem::BackingStore faulted = image;
+    ImageFaultPlan plan =
+        applyImageFaults(faulted, map, faults, facts.tick);
+    if (planOut)
+        *planOut = plan;
+
+    // salvage-idempotent (I8): two non-truncating salvage passes over
+    // the same damaged image must agree byte for byte.
+    persist::RecoveryOptions replayOpts = recOpts;
+    replayOpts.truncateLog = false;
+    mem::BackingStore once = faulted;
+    persist::Recovery::run(once, map, replayOpts);
+    mem::BackingStore twice = once;
+    persist::Recovery::run(twice, map, replayOpts);
+    if (auto diff = once.firstDifference(twice, once.base(),
+                                         once.size())) {
+        fail(out, "salvage-idempotent",
+             format("second salvage pass changed the image, first "
+                    "difference at 0x%llx",
+                    static_cast<unsigned long long>(*diff)));
+    }
+
+    // Canonical faulted recovery: salvage, quarantine, truncate.
+    persist::RecoveryOptions canonOpts = recOpts;
+    canonOpts.truncateLog = true;
+    mem::BackingStore recovered = faulted;
+    persist::RecoveryReport rep =
+        persist::Recovery::run(recovered, map, canonOpts);
+    if (reportOut)
+        *reportOut = rep;
+
+    // header-valid: injection never touches the log header.
+    if (facts.mode != PersistMode::NonPers && !rep.headerValid) {
+        fail(out, "header-valid",
+             "recovery rejected the log header under media faults");
+    }
+
+    // committed-upper: damage can destroy commit records but never
+    // forge one (the CRC rejects mutated slots), so the trace upper
+    // bound survives injection.
+    if (rep.committedTxns > facts.txCommitted) {
+        fail(out, "committed-upper",
+             format("recovered %llu committed txns under faults but "
+                    "only %llu commits had initiated by tick %llu",
+                    static_cast<unsigned long long>(rep.committedTxns),
+                    static_cast<unsigned long long>(facts.txCommitted),
+                    static_cast<unsigned long long>(facts.tick)));
+    }
+
+    // The soundness oracles need every record of the run still in the
+    // log; after a wrap, reclamation legitimately erases history.
+    if (facts.logWraps != 0)
+        return out;
+
+    // quarantine-sound (I7): recovery may only quarantine
+    // transactions whose records the plan actually damaged.
+    for (std::uint16_t tx : rep.quarantinedTxIds) {
+        if (!plan.damaged(tx)) {
+            fail(out, "quarantine-sound",
+                 format("tx %u quarantined but none of its slots "
+                        "were damaged",
+                        tx));
+        }
+    }
+
+    // undamaged-oracle: recover the *clean* image with the default
+    // scanner and compare heap bytes. Any divergence must lie inside
+    // an address written by a damaged or quarantined transaction;
+    // anything else is a false replay (e.g. trusting a corrupt
+    // record) or a false skip.
+    mem::BackingStore cleanRec = image;
+    persist::Recovery::run(cleanRec, map, persist::RecoveryOptions{});
+    auto ranges =
+        coveredRanges(image, map, plan, rep.quarantinedTxIds);
+    Addr from = map.heapBase();
+    Addr end = map.nvramBase + map.nvramSize;
+    while (from < end) {
+        auto diff =
+            cleanRec.firstDifference(recovered, from, end - from);
+        if (!diff)
+            break;
+        Addr cover = coveringEnd(ranges, *diff);
+        if (cover == 0) {
+            fail(out, "undamaged-oracle",
+                 format("faulted recovery diverges from clean "
+                        "recovery at 0x%llx, outside every damaged "
+                        "or quarantined transaction's write set",
+                        static_cast<unsigned long long>(*diff)));
+            break;
+        }
+        from = cover;
+    }
+
+    return out;
+}
+
+} // namespace snf::crashlab

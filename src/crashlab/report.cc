@@ -55,6 +55,13 @@ writeTextSummary(std::ostream &os, const CellResult &cell)
        << cell.sweep.refCommittedTx << " txns, "
        << cell.sweep.refLogWraps << " log wraps, end tick "
        << cell.sweep.endTick << ")\n";
+    if (cell.sweep.totalSlotsFaulted != 0 ||
+        cell.sweep.totalQuarantined != 0) {
+        os << "  faults: " << cell.sweep.totalSlotsFaulted
+           << " slots damaged across points, "
+           << cell.sweep.totalSalvaged << " txns salvaged, "
+           << cell.sweep.totalQuarantined << " quarantined\n";
+    }
     if (!cell.sweep.refVerified) {
         os << "  reference run FAILED verification: "
            << cell.sweep.refVerifyMessage << "\n";
@@ -101,6 +108,12 @@ writeCell(std::ostream &os, const CellResult &cell,
     os << indent << "  \"points_tested\": " << sw.pointsTested
        << ",\n";
     os << indent << "  \"points_failed\": " << sw.pointsFailed
+       << ",\n";
+    os << indent << "  \"slots_faulted\": " << sw.totalSlotsFaulted
+       << ",\n";
+    os << indent << "  \"txns_salvaged\": " << sw.totalSalvaged
+       << ",\n";
+    os << indent << "  \"txns_quarantined\": " << sw.totalQuarantined
        << ",\n";
     os << indent << "  \"failures\": [";
     for (std::size_t i = 0; i < sw.failures.size(); ++i) {

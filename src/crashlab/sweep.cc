@@ -100,15 +100,23 @@ runCrashSweep(const SweepConfig &cfg)
         CrashFacts f;
         f.tick = t;
         f.txBegun = trace.begunBy(t);
-        f.txCommitted = trace.committedBy(t);
+        // Aborts close with a commit record under undo-capable
+        // modes, so they join the commit-record upper bound.
+        f.txCommitted = trace.committedBy(t) + trace.abortedBy(t);
         f.txDurableCommits = trace.durableBy(t);
         f.threads = cfg.run.params.threads;
         f.logWraps = res.refLogWraps;
         f.mode = cfg.run.mode;
         return f;
     };
-    auto evaluate = [&](Tick t, persist::RecoveryReport *rep) {
+    auto evaluate = [&](Tick t, persist::RecoveryReport *rep,
+                        ImageFaultPlan *plan) {
         mem::BackingStore image = csys.crashSnapshot(t);
+        if (cfg.imageFaults.enabled()) {
+            return checkFaultedCrashPoint(image, csys.config().map,
+                                          cfg.imageFaults, factsAt(t),
+                                          cfg.recovery, rep, plan);
+        }
         return checkCrashPoint(image, csys.config().map, *workload,
                                factsAt(t), cfg.recovery, rep);
     };
@@ -122,7 +130,8 @@ runCrashSweep(const SweepConfig &cfg)
              i = next.fetch_add(1)) {
             outcomes[i].point = points[i];
             outcomes[i].violations =
-                evaluate(points[i].tick, &outcomes[i].report);
+                evaluate(points[i].tick, &outcomes[i].report,
+                         &outcomes[i].plan);
         }
     };
     std::size_t jobs = std::max<std::size_t>(cfg.jobs, 1);
@@ -137,6 +146,9 @@ runCrashSweep(const SweepConfig &cfg)
     }
 
     for (auto &o : outcomes) {
+        res.totalSalvaged += o.report.salvagedTxns;
+        res.totalQuarantined += o.report.quarantinedTxns;
+        res.totalSlotsFaulted += o.plan.slotsFaulted;
         if (!o.violations.empty()) {
             ++res.pointsFailed;
             res.failures.push_back(std::move(o));
@@ -151,7 +163,7 @@ runCrashSweep(const SweepConfig &cfg)
         Tick hi = res.failures.front().point.tick; // known failing
         while (lo < hi) {
             Tick mid = lo + (hi - lo) / 2;
-            if (!evaluate(mid, nullptr).empty())
+            if (!evaluate(mid, nullptr, nullptr).empty())
                 hi = mid;
             else
                 lo = mid + 1;
@@ -159,7 +171,7 @@ runCrashSweep(const SweepConfig &cfg)
         res.minimizedTick = hi;
 
         persist::RecoveryReport rep;
-        auto violations = evaluate(hi, &rep);
+        auto violations = evaluate(hi, &rep, nullptr);
         CrashFacts f = factsAt(hi);
         std::string detail;
         char line[256];
@@ -189,6 +201,19 @@ runCrashSweep(const SweepConfig &cfg)
                       static_cast<unsigned long long>(
                           rep.undoApplied));
         detail += line;
+        if (cfg.imageFaults.enabled() || rep.damagedSlots() != 0) {
+            std::snprintf(
+                line, sizeof(line),
+                "salvage: salvaged=%llu quarantined=%llu torn=%llu "
+                "crc-fail=%llu stale=%llu first-bad=0x%llx\n",
+                static_cast<unsigned long long>(rep.salvagedTxns),
+                static_cast<unsigned long long>(rep.quarantinedTxns),
+                static_cast<unsigned long long>(rep.tornSlots),
+                static_cast<unsigned long long>(rep.crcFailSlots),
+                static_cast<unsigned long long>(rep.stalePassSlots),
+                static_cast<unsigned long long>(rep.firstBadSlotAddr));
+            detail += line;
+        }
         detail += describeLogWindow(csys.crashSnapshot(hi),
                                     csys.config().map);
         res.minimizedDetail = std::move(detail);

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "crashlab/faultlab.hh"
 #include "crashlab/invariants.hh"
 #include "crashlab/trace.hh"
 #include "workloads/driver.hh"
@@ -48,6 +49,13 @@ struct SweepConfig
     persist::RecoveryOptions recovery;
     /** Bisect the earliest failing tick when a point fails. */
     bool minimizeFailures = true;
+    /**
+     * Media-fault injection into each evaluated crash snapshot
+     * (faultlab). When enabled() the sweep evaluates the faulted
+     * checker set (salvage idempotence, quarantine soundness, the
+     * undamaged-set oracle) instead of the clean-image set.
+     */
+    ImageFaultConfig imageFaults;
 };
 
 /** Outcome of one evaluated crash point (kept for failures only). */
@@ -56,6 +64,8 @@ struct PointOutcome
     CrashPoint point;
     std::vector<Violation> violations;
     persist::RecoveryReport report;
+    /** What the faulted evaluation damaged (empty when clean). */
+    ImageFaultPlan plan;
 };
 
 /** Everything one sweep produced. */
@@ -76,6 +86,10 @@ struct SweepResult
     std::optional<Tick> minimizedTick;
     /** Violations + recovery report + log window at minimizedTick. */
     std::string minimizedDetail;
+    /** Faulted sweeps: totals across every evaluated point. */
+    std::uint64_t totalSalvaged = 0;
+    std::uint64_t totalQuarantined = 0;
+    std::uint64_t totalSlotsFaulted = 0;
 
     bool passed() const { return pointsFailed == 0 && refVerified; }
 };

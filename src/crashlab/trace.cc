@@ -35,6 +35,9 @@ CrashTrace::finalize()
           case sim::ProbeEvent::CommitDurable:
             durableTicks.push_back(e.tick);
             break;
+          case sim::ProbeEvent::TxAbort:
+            abortTicks.push_back(e.tick);
+            break;
           default:
             break;
         }
@@ -99,6 +102,13 @@ CrashTrace::durableBy(Tick t) const
 {
     SNF_ASSERT(finalized, "durableBy() before finalize()");
     return countLE(durableTicks, t);
+}
+
+std::uint64_t
+CrashTrace::abortedBy(Tick t) const
+{
+    SNF_ASSERT(finalized, "abortedBy() before finalize()");
+    return countLE(abortTicks, t);
 }
 
 } // namespace snf::crashlab

@@ -76,11 +76,19 @@ class CrashTrace
     /** Transactions whose commit record was *durable* by @p t. */
     std::uint64_t durableBy(Tick t) const;
 
+    /**
+     * Transactions whose abort initiated by @p t. Under undo-capable
+     * modes the rollback closes with a commit record, so these count
+     * toward the commit-record upper bound.
+     */
+    std::uint64_t abortedBy(Tick t) const;
+
   private:
     std::vector<Event> stream;
     std::vector<Tick> beginTicks;   // sorted
     std::vector<Tick> commitTicks;  // sorted
     std::vector<Tick> durableTicks; // sorted
+    std::vector<Tick> abortTicks;   // sorted
     bool finalized = false;
 };
 

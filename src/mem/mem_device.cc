@@ -1,7 +1,9 @@
 #include "mem/mem_device.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -14,6 +16,7 @@ MemDevice::MemDevice(std::string name, const MemDeviceConfig &config,
       cfg(config),
       baseAddr(base),
       backing(base, config.sizeBytes),
+      faults(config.faults, config.rowBytes),
       banks(config.banks),
       statGroup(devName),
       reads(statGroup.counter("reads")),
@@ -23,7 +26,12 @@ MemDevice::MemDevice(std::string name, const MemDeviceConfig &config,
       rowHits(statGroup.counter("row_hits")),
       rowConflicts(statGroup.counter("row_conflicts")),
       readEnergyPj(statGroup.scalar("read_energy_pj")),
-      writeEnergyPj(statGroup.scalar("write_energy_pj"))
+      writeEnergyPj(statGroup.scalar("write_energy_pj")),
+      faultBitFlips(statGroup.counter("fault_bit_flips")),
+      faultMultiBit(statGroup.counter("fault_multi_bit")),
+      faultTornLines(statGroup.counter("fault_torn_lines")),
+      faultDroppedWrites(statGroup.counter("fault_dropped_writes")),
+      faultStuckWords(statGroup.counter("fault_stuck_words"))
 {
 }
 
@@ -107,8 +115,26 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
         // the access itself.
         writeEnergyPj.add(bits *
                           (cfg.rowWritePjBit + cfg.arrayWritePjBit));
-        if (wdata)
-            backing.write(addr, size, wdata, done);
+        if (wdata) {
+            if (faults.enabled()) {
+                // Timing and energy were charged above; faultlab only
+                // damages what lands in the media.
+                std::vector<std::uint8_t> fresh(size), old(size);
+                std::memcpy(fresh.data(), wdata, size);
+                backing.read(addr, size, old.data());
+                FaultCounters fc = faults.apply(addr, size,
+                                                fresh.data(),
+                                                old.data(), done);
+                faultBitFlips.inc(fc.bitFlips);
+                faultMultiBit.inc(fc.multiBit);
+                faultTornLines.inc(fc.tornLines);
+                faultDroppedWrites.inc(fc.droppedWrites);
+                faultStuckWords.inc(fc.stuckWords);
+                backing.write(addr, size, fresh.data(), done);
+            } else {
+                backing.write(addr, size, wdata, done);
+            }
+        }
     } else {
         reads.inc();
         readBytes.inc(size);

@@ -14,6 +14,7 @@
 
 #include "core/system_config.hh"
 #include "mem/backing_store.hh"
+#include "mem/fault_model.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -116,6 +117,7 @@ class MemDevice
     MemDeviceConfig cfg;
     Addr baseAddr;
     BackingStore backing;
+    FaultInjector faults;
     std::vector<Bank> banks;
     std::unordered_map<std::uint64_t, std::uint64_t> rowWrites;
     Tick readChannelBusy = 0;
@@ -133,6 +135,14 @@ class MemDevice
     sim::Counter &rowConflicts;
     sim::Scalar &readEnergyPj;
     sim::Scalar &writeEnergyPj;
+    // Injected media faults (faultlab); all zero unless enabled.
+    sim::Counter &faultBitFlips;
+    sim::Counter &faultMultiBit;
+    sim::Counter &faultTornLines;
+    sim::Counter &faultDroppedWrites;
+    sim::Counter &faultStuckWords;
+
+    const FaultInjector &faultInjector() const { return faults; }
 
   private:
     std::uint64_t rowOf(Addr addr) const;

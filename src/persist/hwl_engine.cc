@@ -55,6 +55,7 @@ HwlEngine::onPersistentStore(CoreId core, std::uint64_t txSeq, Addr addr,
     LogBuffer &buf = bufferFor(core);
     Tick proceed = buf.append(rec, now);
     regionFor(core).bindSlotTx(buf.lastSlot(), txSeq);
+    txns.noteLogRecord(txSeq);
     updateRecords.inc();
     return proceed;
 }
@@ -63,7 +64,8 @@ Tick
 HwlEngine::onCommit(CoreId core, std::uint64_t txSeq, Tick now)
 {
     LogRecord rec = LogRecord::commit(static_cast<std::uint8_t>(core),
-                                      TxnTracker::txIdOf(txSeq));
+                                      TxnTracker::txIdOf(txSeq),
+                                      txns.logRecordCount(txSeq));
     LogBuffer &buf = bufferFor(core);
     Tick proceed = buf.append(rec, now);
     regionFor(core).bindSlotTx(buf.lastSlot(), txSeq);

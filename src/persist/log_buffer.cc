@@ -123,13 +123,15 @@ LogBuffer::append(const LogRecord &rec, Tick now)
     if (rec.isCommit)
         open.commits.push_back(rec.tx);
 
-    Tick proceed = now;
+    // A log-full policy may have stalled the reservation (forced
+    // write-backs, backoff); the store cannot proceed before then.
+    Tick proceed = std::max(now, reservation.readyAt);
     if (capacity == 0) {
         // No log buffer: the record is forced onto the NVRAM bus and
         // the store waits for the bus to accept it.
         Tick issue = std::max(now, lastDrainDone);
         flushGroup(now);
-        proceed = issue;
+        proceed = std::max(proceed, issue);
         if (issue > now)
             stalls.inc();
     } else if (occupancy(now) > capacity) {

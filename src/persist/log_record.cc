@@ -7,6 +7,22 @@
 namespace snf::persist
 {
 
+const char *
+slotClassName(SlotClass cls)
+{
+    switch (cls) {
+      case SlotClass::Empty:
+        return "empty";
+      case SlotClass::Torn:
+        return "torn";
+      case SlotClass::CrcFail:
+        return "crc-fail";
+      case SlotClass::Valid:
+        return "valid";
+    }
+    return "?";
+}
+
 LogRecord
 LogRecord::update(std::uint8_t thread, std::uint16_t tx, Addr addr,
                   std::uint8_t size,
@@ -32,13 +48,15 @@ LogRecord::update(std::uint8_t thread, std::uint16_t tx, Addr addr,
 }
 
 LogRecord
-LogRecord::commit(std::uint8_t thread, std::uint16_t tx)
+LogRecord::commit(std::uint8_t thread, std::uint16_t tx,
+                  std::uint32_t nUpdates)
 {
     LogRecord r;
     r.thread = thread;
     r.tx = tx;
     r.isCommit = true;
     r.size = 0;
+    r.nUpdates = nUpdates;
     return r;
 }
 
@@ -51,6 +69,18 @@ LogRecord::payloadBytes() const
     if (hasRedo)
         n += 8;
     return n;
+}
+
+std::uint32_t
+LogRecord::crc32(const std::uint8_t *data, std::uint32_t n)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        crc ^= data[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1) + 1));
+    }
+    return ~crc;
 }
 
 void
@@ -70,8 +100,13 @@ LogRecord::serialize(std::uint8_t out[kSlotBytes], bool torn) const
     out[1] = thread;
     std::memcpy(out + 2, &tx, 2);
     out[4] = size;
-    std::uint64_t a = addr & 0x0000ffffffffffffULL;
-    std::memcpy(out + 8, &a, 8);
+    out[5] = kFormatVersion;
+    if (isCommit) {
+        std::memcpy(out + 6, &nUpdates, 4);
+    } else {
+        std::uint64_t a = addr & 0x0000ffffffffffffULL;
+        std::memcpy(out + 6, &a, 6);
+    }
     std::uint32_t off = kHeaderBytes;
     if (hasUndo) {
         std::memcpy(out + off, &undo, 8);
@@ -79,6 +114,10 @@ LogRecord::serialize(std::uint8_t out[kSlotBytes], bool torn) const
     }
     if (hasRedo)
         std::memcpy(out + off, &redo, 8);
+    // The CRC covers the entire written payload (torn bit included)
+    // with the CRC field itself as zero; it goes in last.
+    std::uint32_t crc = crc32(out, payloadBytes());
+    std::memcpy(out + 12, &crc, 4);
 }
 
 std::optional<LogRecord>
@@ -92,12 +131,16 @@ LogRecord::deserialize(const std::uint8_t in[kSlotBytes], bool &tornOut)
     r.thread = in[1];
     std::memcpy(&r.tx, in + 2, 2);
     r.size = in[4];
-    std::uint64_t a = 0;
-    std::memcpy(&a, in + 8, 8);
-    r.addr = a;
     r.hasUndo = (flags & kFlagHasUndo) != 0;
     r.hasRedo = (flags & kFlagHasRedo) != 0;
     r.isCommit = (flags & kFlagCommit) != 0;
+    if (r.isCommit) {
+        std::memcpy(&r.nUpdates, in + 6, 4);
+    } else {
+        std::uint64_t a = 0;
+        std::memcpy(&a, in + 6, 6);
+        r.addr = a;
+    }
     std::uint32_t off = kHeaderBytes;
     if (r.hasUndo) {
         std::memcpy(&r.undo, in + off, 8);
@@ -106,6 +149,45 @@ LogRecord::deserialize(const std::uint8_t in[kSlotBytes], bool &tornOut)
     if (r.hasRedo)
         std::memcpy(&r.redo, in + off, 8);
     return r;
+}
+
+SlotInfo
+classifySlot(const std::uint8_t in[LogRecord::kSlotBytes])
+{
+    SlotInfo info;
+    if (!(in[0] & LogRecord::kFlagWritten)) {
+        bool anySet = false;
+        for (std::uint32_t i = 0; i < LogRecord::kSlotBytes; ++i)
+            anySet |= in[i] != 0;
+        info.cls = anySet ? SlotClass::Torn : SlotClass::Empty;
+        return info;
+    }
+    if (in[5] != LogRecord::kFormatVersion) {
+        info.cls = SlotClass::CrcFail;
+        return info;
+    }
+    bool torn = false;
+    auto rec = LogRecord::deserialize(in, torn);
+    // A damaged size field could push payloadBytes() past the slot;
+    // reject before computing the CRC over out-of-range bytes.
+    if (!rec || rec->payloadBytes() > LogRecord::kSlotBytes ||
+        (!rec->isCommit && (rec->size == 0 || rec->size > 8))) {
+        info.cls = SlotClass::CrcFail;
+        return info;
+    }
+    std::uint8_t img[LogRecord::kSlotBytes];
+    std::memcpy(img, in, LogRecord::kSlotBytes);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, img + 12, 4);
+    std::memset(img + 12, 0, 4);
+    if (LogRecord::crc32(img, rec->payloadBytes()) != stored) {
+        info.cls = SlotClass::CrcFail;
+        return info;
+    }
+    info.cls = SlotClass::Valid;
+    info.torn = torn;
+    info.rec = *rec;
+    return info;
 }
 
 } // namespace snf::persist

@@ -1,12 +1,31 @@
 /**
  * @file
- * Undo+redo log record format (paper Figure 3(a)).
+ * Undo+redo log record format (paper Figure 3(a)), format v2.
  *
  * A record carries a torn bit, a 16-bit transaction ID, an 8-bit
  * thread ID, a 48-bit physical address, and word-sized undo and redo
  * values. Records occupy fixed 32-byte slots in the circular log; the
  * bytes actually written to NVRAM (and counted as traffic) depend on
  * which values are present: 16 B header, plus 8 B per value.
+ *
+ * Format v2 adds media-fault tolerance on top of the paper's layout
+ * without growing the record: a format-version byte and a CRC32 over
+ * the whole written payload now live in header bytes that were slack
+ * in v1 (the 48-bit address is stored in 6 bytes instead of a padded
+ * 8). Commit records additionally carry the number of update records
+ * the transaction appended, so the salvaging recovery scanner can
+ * tell "records lost to reclamation" from "records lost to damage".
+ *
+ * Slot layout (little-endian):
+ *   [0]      flags (written marker, torn bit, undo/redo/commit)
+ *   [1]      thread ID
+ *   [2..3]   transaction ID
+ *   [4]      store size in bytes (0 for commit records)
+ *   [5]      format version (kFormatVersion)
+ *   [6..11]  48-bit address (commit records: [6..9] = nUpdates)
+ *   [12..15] CRC32 of bytes [0, payloadBytes()) with [12..15] as zero
+ *   [16..23] undo value (if present)
+ *   [16..31] / [24..31] redo value (if present)
  */
 
 #ifndef SNF_PERSIST_LOG_RECORD_HH
@@ -20,11 +39,31 @@
 namespace snf::persist
 {
 
+/**
+ * Classification of a raw log slot image by the salvaging scanner.
+ * Empty and Torn both lack the written marker; they are separated so
+ * recovery can distinguish "never used" from "interrupted or damaged
+ * mid-write". A slot whose pass parity puts it outside the live
+ * window is further reported as stale by the recovery layer itself —
+ * staleness is a property of the window, not of the slot image.
+ */
+enum class SlotClass : std::uint8_t
+{
+    Empty,   ///< no written marker and every byte zero
+    Torn,    ///< no written marker but nonzero bytes (partial write)
+    CrcFail, ///< written marker present but version/CRC mismatch
+    Valid,   ///< written marker, version and CRC all check out
+};
+
+/** Printable name of a SlotClass. */
+const char *slotClassName(SlotClass cls);
+
 /** One undo/redo/commit log record. */
 struct LogRecord
 {
     static constexpr std::uint32_t kSlotBytes = 32;
     static constexpr std::uint32_t kHeaderBytes = 16;
+    static constexpr std::uint8_t kFormatVersion = 2;
 
     // Flag bits in the serialized header.
     static constexpr std::uint8_t kFlagTorn = 1u << 0;
@@ -42,6 +81,8 @@ struct LogRecord
     Addr addr = 0; ///< 48-bit physical address of the update
     std::uint64_t undo = 0;
     std::uint64_t redo = 0;
+    /** Commit records: update records this transaction appended. */
+    std::uint32_t nUpdates = 0;
 
     /** Make an update record. */
     static LogRecord update(std::uint8_t thread, std::uint16_t tx,
@@ -50,24 +91,46 @@ struct LogRecord
                             std::optional<std::uint64_t> redoVal);
 
     /** Make a transaction-commit record. */
-    static LogRecord commit(std::uint8_t thread, std::uint16_t tx);
+    static LogRecord commit(std::uint8_t thread, std::uint16_t tx,
+                            std::uint32_t nUpdates = 0);
 
     /** Bytes of NVRAM traffic this record costs. */
     std::uint32_t payloadBytes() const;
 
     /**
      * Serialize into a 32-byte slot image with the given torn-bit
-     * value. Unused tail bytes are zeroed.
+     * value. Unused tail bytes are zeroed. The CRC is computed last,
+     * over the full written payload including the torn bit.
      */
     void serialize(std::uint8_t out[kSlotBytes], bool torn) const;
 
     /**
      * Parse a slot image. Returns nullopt if the slot was never
      * written (no written-marker). @p tornOut receives the torn bit.
+     * Does NOT verify the CRC — use classify() when the slot may be
+     * damaged.
      */
     static std::optional<LogRecord>
     deserialize(const std::uint8_t in[kSlotBytes], bool &tornOut);
+
+    /** CRC32 (reflected, poly 0xEDB88320) of @p n bytes. */
+    static std::uint32_t crc32(const std::uint8_t *data,
+                               std::uint32_t n);
 };
+
+/** Result of classifying a raw slot image. */
+struct SlotInfo
+{
+    SlotClass cls = SlotClass::Empty;
+    bool torn = false;  ///< torn (pass-parity) bit; valid slots only
+    LogRecord rec;      ///< parsed record; valid slots only
+};
+
+/**
+ * Classify a raw slot image: empty, torn, CRC-damaged, or valid.
+ * This is the damage-aware entry point for the salvaging scanner.
+ */
+SlotInfo classifySlot(const std::uint8_t in[LogRecord::kSlotBytes]);
 
 } // namespace snf::persist
 

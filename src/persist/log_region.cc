@@ -21,7 +21,10 @@ LogRegion::LogRegion(Addr base, std::uint64_t size,
       wraps(statGroup.counter("wraps")),
       reclaims(statGroup.counter("reclaims")),
       hazards(statGroup.counter("overwrite_hazards")),
-      truncates(statGroup.counter("truncates"))
+      truncates(statGroup.counter("truncates")),
+      logFullStalls(statGroup.counter("logfull_stalls")),
+      logFullStallCycles(statGroup.counter("logfull_stall_cycles")),
+      forcedWritebacks(statGroup.counter("forced_writebacks"))
 {
     SNF_ASSERT(slots > 2, "log too small: %llu slots",
                static_cast<unsigned long long>(slots));
@@ -76,6 +79,46 @@ LogRegion::reserve(const LogRecord &rec, Tick now)
 {
     std::uint64_t slot = tail;
     SlotMeta &m = meta[slot];
+    Tick ready = now;
+
+    if (m.valid && !m.isCommit &&
+        policy != LogFullPolicy::Reclaim) {
+        // Log-full policy: before destroying a possibly-live record,
+        // try to make its reclamation safe — force the guarded data
+        // back to NVRAM, or ask the blocking transaction to abort —
+        // retrying with bounded exponential backoff in simulated
+        // ticks. Only when the retries are exhausted does the append
+        // fall through to the legacy counted-hazard reclaim.
+        for (std::uint32_t attempt = 0;
+             attempt <= policyRetries; ++attempt) {
+            bool blocked = false;
+            if (txActive && txActive(m.txSeq)) {
+                if (policy == LogFullPolicy::AbortRetry &&
+                    abortRequest)
+                    abortRequest(m.txSeq);
+                // The victim can only roll back when its thread next
+                // runs; within this append the slot stays blocked.
+                blocked = true;
+            } else if (persistedSince &&
+                       !persistedSince(m.addr, m.appendTick)) {
+                if (forceWriteback) {
+                    ready = std::max(
+                        ready, forceWriteback(m.addr, ready));
+                    forcedWritebacks.inc();
+                }
+                blocked = persistedSince &&
+                          !persistedSince(m.addr, m.appendTick);
+            }
+            if (!blocked)
+                break;
+            if (attempt == policyRetries)
+                break; // exhausted: legacy reclaim below
+            Tick backoff = policyBackoffBase << attempt;
+            ready += backoff;
+            logFullStalls.inc();
+            logFullStallCycles.inc(backoff);
+        }
+    }
 
     if (m.valid) {
         // Reclaiming the oldest live entry (the log has wrapped).
@@ -105,8 +148,9 @@ LogRegion::reserve(const LogRecord &rec, Tick now)
     m.addr = rec.addr;
     m.appendTick = now;
     m.txSeq = 0;
+    m.seqNo = nextSeqNo++;
 
-    Reservation res{slot, slotAddr(slot), currentTorn()};
+    Reservation res{slot, slotAddr(slot), currentTorn(), ready};
     appends.inc();
     tail = (tail + 1) % slots;
     if (tail == 0) {
@@ -120,6 +164,29 @@ void
 LogRegion::bindSlotTx(std::uint64_t slot, std::uint64_t txSeq)
 {
     meta[slot].txSeq = txSeq;
+}
+
+std::vector<LogRegion::UndoEntry>
+LogRegion::collectUndo(std::uint64_t txSeq) const
+{
+    std::vector<UndoEntry> out;
+    for (std::uint64_t s = 0; s < slots; ++s) {
+        const SlotMeta &m = meta[s];
+        if (!m.valid || m.isCommit || m.txSeq != txSeq)
+            continue;
+        std::uint8_t img[LogRecord::kSlotBytes];
+        nvram.functionalRead(slotAddr(s), LogRecord::kSlotBytes, img);
+        SlotInfo si = classifySlot(img);
+        if (si.cls != SlotClass::Valid || !si.rec.hasUndo)
+            continue;
+        out.push_back(UndoEntry{m.seqNo, si.rec.addr, si.rec.size,
+                                si.rec.undo});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const UndoEntry &a, const UndoEntry &b) {
+                  return a.seqNo > b.seqNo;
+              });
+    return out;
 }
 
 void

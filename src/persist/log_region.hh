@@ -47,6 +47,12 @@ class LogRegion
         std::uint64_t slot;
         Addr addr;
         bool torn;
+        /**
+         * Earliest tick the append may proceed at. Equals the append
+         * tick unless a log-full policy stalled the reservation
+         * (forced write-backs, exponential backoff).
+         */
+        Tick readyAt;
     };
 
     /** A log region over [base, base+size) in NVRAM. */
@@ -97,6 +103,11 @@ class LogRegion
     using PersistedSincePred = std::function<bool(Addr, Tick)>;
     using TxActivePred = std::function<bool(std::uint64_t)>;
     using HazardSink = std::function<void()>;
+    /** Force the line holding an address back to NVRAM; returns the
+     *  completion tick. Wired by the System to a cache flush. */
+    using ForceWriteback = std::function<Tick(Addr, Tick)>;
+    /** Ask the owner of a transaction to abort (abort-retry). */
+    using AbortRequestSink = std::function<void(std::uint64_t)>;
 
     void setPersistedSince(PersistedSincePred p) { persistedSince = p; }
 
@@ -104,8 +115,39 @@ class LogRegion
 
     void setHazardSink(HazardSink h) { hazardSink = h; }
 
+    void setForceWriteback(ForceWriteback f) { forceWriteback = f; }
+
+    void setAbortRequestSink(AbortRequestSink s) { abortRequest = s; }
+
+    /** Select the log-full policy (default: legacy Reclaim). */
+    void
+    setLogFullPolicy(LogFullPolicy p, std::uint32_t retries,
+                     Tick backoffBase)
+    {
+        policy = p;
+        policyRetries = retries;
+        policyBackoffBase = backoffBase;
+    }
+
     /** Associate the just-reserved slot with a transaction sequence. */
     void bindSlotTx(std::uint64_t slot, std::uint64_t txSeq);
+
+    /** One in-log undo value of a transaction (tx_abort rollback). */
+    struct UndoEntry
+    {
+        std::uint64_t seqNo; ///< append order, for reverse rollback
+        Addr addr;
+        std::uint8_t size;
+        std::uint64_t undo;
+    };
+
+    /**
+     * Collect the undo values of every drained, still-bound record of
+     * @p txSeq, newest first (the order tx_abort must apply them in).
+     * Reads the slots functionally; records still in a volatile log
+     * buffer are invisible, so the caller must drain buffers first.
+     */
+    std::vector<UndoEntry> collectUndo(std::uint64_t txSeq) const;
 
     sim::StatGroup &stats() { return statGroup; }
 
@@ -118,6 +160,10 @@ class LogRegion
     sim::Counter &reclaims;
     sim::Counter &hazards;
     sim::Counter &truncates;
+    // Log-full policy activity (zero under the legacy Reclaim policy).
+    sim::Counter &logFullStalls;
+    sim::Counter &logFullStallCycles;
+    sim::Counter &forcedWritebacks;
 
   private:
     /** Zero-fill the slot array's written markers in NVRAM. */
@@ -130,6 +176,7 @@ class LogRegion
         Addr addr = 0;
         Tick appendTick = 0;
         std::uint64_t txSeq = 0;
+        std::uint64_t seqNo = 0; ///< global append order
     };
 
     void persistHeader(Tick now);
@@ -140,11 +187,18 @@ class LogRegion
     std::uint64_t slots;
     std::uint64_t tail = 0;
     std::uint64_t pass = 1;
+    std::uint64_t nextSeqNo = 1;
     std::vector<SlotMeta> meta;
+
+    LogFullPolicy policy = LogFullPolicy::Reclaim;
+    std::uint32_t policyRetries = 8;
+    Tick policyBackoffBase = 64;
 
     PersistedSincePred persistedSince;
     TxActivePred txActive;
     HazardSink hazardSink;
+    ForceWriteback forceWriteback;
+    AbortRequestSink abortRequest;
 };
 
 } // namespace snf::persist

@@ -13,17 +13,6 @@
 namespace snf::persist
 {
 
-namespace
-{
-
-struct ParsedSlot
-{
-    LogRecord rec;
-    bool torn;
-};
-
-} // namespace
-
 RecoveryReport
 Recovery::run(mem::BackingStore &image, const AddressMap &map,
               bool truncateLog)
@@ -55,6 +44,17 @@ Recovery::run(mem::BackingStore &image, const AddressMap &map,
         total.uncommittedTxns += r.uncommittedTxns;
         total.redoApplied += r.redoApplied;
         total.undoApplied += r.undoApplied;
+        total.salvagedTxns += r.salvagedTxns;
+        total.quarantinedTxns += r.quarantinedTxns;
+        total.emptySlots += r.emptySlots;
+        total.tornSlots += r.tornSlots;
+        total.crcFailSlots += r.crcFailSlots;
+        total.stalePassSlots += r.stalePassSlots;
+        if (total.firstBadSlotAddr == 0)
+            total.firstBadSlotAddr = r.firstBadSlotAddr;
+        total.quarantinedTxIds.insert(total.quarantinedTxIds.end(),
+                                      r.quarantinedTxIds.begin(),
+                                      r.quarantinedTxIds.end());
     }
     return total;
 }
@@ -87,60 +87,114 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
     }
     report.headerValid = true;
 
-    // Step 2: parse every slot and find the torn-bit window boundary.
+    // Step 2: classify every slot. classifySlot separates damage
+    // (torn partial writes, CRC failures) from parseable records;
+    // damaged slots never contribute replay values.
     Addr slot0 = log_base + LogRegion::kHeaderBytes;
-    std::vector<std::optional<ParsedSlot>> parsed(slots);
+    std::vector<SlotInfo> info(slots);
     for (std::uint64_t i = 0; i < slots; ++i) {
         std::uint8_t img[LogRecord::kSlotBytes];
         image.read(slot0 + i * LogRecord::kSlotBytes,
                    LogRecord::kSlotBytes, img);
-        bool torn = false;
-        auto rec = LogRecord::deserialize(img, torn);
-        if (rec)
-            parsed[i] = ParsedSlot{*rec, torn};
+        info[i] = classifySlot(img);
+        if (opts.faultIgnoreCrc && info[i].cls == SlotClass::CrcFail) {
+            // Injected bug: the pre-faultlab scanner trusted any slot
+            // with a written marker.
+            bool torn = false;
+            auto rec = LogRecord::deserialize(img, torn);
+            if (rec && rec->payloadBytes() <= LogRecord::kSlotBytes) {
+                info[i].cls = SlotClass::Valid;
+                info[i].torn = torn;
+                info[i].rec = *rec;
+            }
+        }
+        switch (info[i].cls) {
+          case SlotClass::Empty:
+            ++report.emptySlots;
+            break;
+          case SlotClass::Torn:
+            ++report.tornSlots;
+            break;
+          case SlotClass::CrcFail:
+            ++report.crcFailSlots;
+            break;
+          case SlotClass::Valid:
+            break;
+        }
+        if ((info[i].cls == SlotClass::Torn ||
+             info[i].cls == SlotClass::CrcFail) &&
+            report.firstBadSlotAddr == 0) {
+            report.firstBadSlotAddr =
+                slot0 + i * LogRecord::kSlotBytes;
+        }
         ++report.slotsScanned;
     }
 
-    // The slot array holds records of at most two adjacent passes:
-    // [0, boundary) is the current pass, [boundary, N) the previous
-    // one. The boundary is the first slot whose torn bit differs
-    // from slot 0's (or that was never written).
+    // Step 3: locate the live window. The torn (pass-parity) bit of
+    // the first valid slot fixes the current pass; the window runs to
+    // the LAST slot of that parity, bridging damaged or dropped slots
+    // instead of stopping at the first anomaly (a single damaged slot
+    // must not hide every record behind it). Valid slots of the other
+    // parity past the window end are the previous pass (older,
+    // replayed first); inside the window they are stale records
+    // exposed by a dropped overwrite and must not be replayed.
     std::vector<std::uint64_t> window;
-    if (parsed[0]) {
-        bool t0 = parsed[0]->torn;
-        std::uint64_t boundary = slots; // uniform => full, oldest at 0
-        for (std::uint64_t i = 1; i < slots; ++i) {
-            if (!parsed[i] || parsed[i]->torn != t0) {
-                boundary = i;
+    bool wrapped = false;
+    std::int64_t first_valid = -1;
+    for (std::uint64_t i = 0; i < slots; ++i) {
+        if (info[i].cls == SlotClass::Valid) {
+            first_valid = static_cast<std::int64_t>(i);
+            break;
+        }
+    }
+    if (first_valid >= 0) {
+        bool t0 = info[first_valid].torn;
+        std::uint64_t boundary = 0; // one past the last current slot
+        for (std::uint64_t i = 0; i < slots; ++i)
+            if (info[i].cls == SlotClass::Valid && info[i].torn == t0)
+                boundary = i + 1;
+        std::vector<std::uint64_t> prev;
+        for (std::uint64_t i = boundary; i < slots; ++i)
+            if (info[i].cls == SlotClass::Valid)
+                prev.push_back(i);
+        wrapped = !prev.empty() || boundary == slots;
+        window = std::move(prev);
+        for (std::uint64_t i = 0; i < boundary; ++i) {
+            switch (info[i].cls) {
+              case SlotClass::Valid:
+                if (info[i].torn == t0)
+                    window.push_back(i);
+                else
+                    ++report.stalePassSlots;
+                break;
+              case SlotClass::Empty:
+              case SlotClass::Torn:
+              case SlotClass::CrcFail:
+                // Holes and damage inside the live window: bridged,
+                // already counted in the histogram above.
                 break;
             }
         }
-        if (boundary != slots) {
-            for (std::uint64_t i = boundary; i < slots; ++i)
-                if (parsed[i] && parsed[i]->torn != t0)
-                    window.push_back(i); // previous pass (older)
-        }
-        for (std::uint64_t i = 0; i < (boundary == slots ? slots
-                                                         : boundary);
-             ++i)
-            window.push_back(i); // current pass (newer)
     }
     report.validRecords = window.size();
 
-    // Step 3: group records by transaction generation. A commit
+    // Step 4: group records by transaction generation. A commit
     // record closes the current generation of its 16-bit txid; a
     // later record with the same txid starts a new generation.
     struct Generation
     {
-        std::vector<std::uint64_t> updates; // window indices
+        std::vector<std::uint64_t> updates; // ordered indices
         bool committed = false;
+        std::uint32_t nUpdates = 0; // from the commit record
+        std::uint16_t tx = 0;
+        bool salvage = false;
     };
     std::vector<Generation> generations;
     std::map<std::uint16_t, std::size_t> open_gen;
-    std::vector<const ParsedSlot *> ordered;
+    std::vector<const SlotInfo *> ordered;
     ordered.reserve(window.size());
     for (std::uint64_t slot : window)
-        ordered.push_back(&*parsed[slot]);
+        ordered.push_back(&info[slot]);
 
     std::vector<std::size_t> gen_of(ordered.size(), SIZE_MAX);
     for (std::size_t i = 0; i < ordered.size(); ++i) {
@@ -148,11 +202,13 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
         auto it = open_gen.find(rec.tx);
         if (it == open_gen.end()) {
             generations.push_back({});
+            generations.back().tx = rec.tx;
             it = open_gen.emplace(rec.tx, generations.size() - 1)
                      .first;
         }
         if (rec.isCommit) {
             generations[it->second].committed = true;
+            generations[it->second].nUpdates = rec.nUpdates;
             open_gen.erase(it);
         } else {
             generations[it->second].updates.push_back(i);
@@ -160,20 +216,43 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
         }
     }
 
-    // Step 4: replay. Redo committed transactions' updates in global
+    // Step 5: salvage or quarantine each committed generation. A
+    // generation whose commit record promises nUpdates records is
+    // salvaged when they were all found. A shortfall is benign only
+    // if the log wrapped: reclamation legitimately overwrites old
+    // records (and only ones whose data already persisted, so the
+    // partial replay is still correct). Without a wrap, log drains
+    // are FIFO — a durable commit record implies every update record
+    // landed first — so a shortfall can only mean media damage:
+    // quarantine, leave the data exactly as the crash left it.
+    // nUpdates == 0 records predate the accounting and keep the
+    // legacy always-replay behavior.
+    for (auto &gen : generations) {
+        if (!gen.committed)
+            continue;
+        ++report.committedTxns;
+        std::uint64_t found = gen.updates.size();
+        if (gen.nUpdates == 0 || found == gen.nUpdates || wrapped) {
+            gen.salvage = true;
+            ++report.salvagedTxns;
+        } else {
+            ++report.quarantinedTxns;
+            report.quarantinedTxIds.push_back(gen.tx);
+        }
+    }
+
+    // Step 6: replay. Redo salvaged transactions' updates in global
     // log order; undo uncommitted ones in global reverse log order.
-    // Writes are functional (the caches are volatile and reset after
-    // the crash).
-    for (const auto &gen : generations)
-        if (gen.committed)
-            ++report.committedTxns;
+    // Quarantined transactions are left exactly as the crash left
+    // them. Writes are functional (the caches are volatile and reset
+    // after the crash).
     for (std::size_t i = 0;
          !opts.faultSkipRedo && i < ordered.size(); ++i) {
-        if (gen_of[i] == SIZE_MAX ||
-            !generations[gen_of[i]].committed)
+        if (gen_of[i] == SIZE_MAX || !generations[gen_of[i]].salvage)
             continue;
         const LogRecord &rec = ordered[i]->rec;
-        if (rec.hasRedo && image.contains(rec.addr, rec.size)) {
+        if (rec.hasRedo && rec.size >= 1 && rec.size <= 8 &&
+            image.contains(rec.addr, rec.size)) {
             image.write(rec.addr, rec.size, &rec.redo);
             ++report.redoApplied;
         }
@@ -192,13 +271,14 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
         undo_order.clear();
     for (std::uint64_t idx : undo_order) {
         const LogRecord &rec = ordered[idx]->rec;
-        if (rec.hasUndo && image.contains(rec.addr, rec.size)) {
+        if (rec.hasUndo && rec.size >= 1 && rec.size <= 8 &&
+            image.contains(rec.addr, rec.size)) {
             image.write(rec.addr, rec.size, &rec.undo);
             ++report.undoApplied;
         }
     }
 
-    // Step 5: truncate the log: clear every slot's written marker.
+    // Step 7: truncate the log: clear every slot (damaged ones too).
     if (opts.truncateLog) {
         std::uint8_t zeros[LogRecord::kSlotBytes] = {};
         for (std::uint64_t i = 0; i < slots; ++i)

@@ -1,17 +1,21 @@
 /**
  * @file
- * Post-crash recovery (paper Section IV-F): locate the valid log
- * window via the torn-bit boundary scan, replay redo values of
+ * Post-crash recovery (paper Section IV-F), extended into a salvaging
+ * scanner (faultlab): classify every log slot (valid / torn /
+ * CRC-fail / stale-pass), locate the live window via the torn-bit
+ * boundary scan while bridging damaged slots, replay redo values of
  * committed transactions in log order, roll back uncommitted
- * transactions with undo values in reverse order, and truncate the
- * log. All recovery writes bypass the (volatile, reset) caches and go
- * directly to the NVRAM image.
+ * transactions with undo values in reverse order, quarantine only the
+ * committed transactions whose records are damaged or missing, and
+ * truncate the log. All recovery writes bypass the (volatile, reset)
+ * caches and go directly to the NVRAM image.
  */
 
 #ifndef SNF_PERSIST_RECOVERY_HH
 #define SNF_PERSIST_RECOVERY_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "core/system_config.hh"
 #include "mem/backing_store.hh"
@@ -36,6 +40,12 @@ struct RecoveryOptions
      */
     bool faultSkipUndo = false;
     bool faultSkipRedo = false;
+    /**
+     * Fault injection: trust every written slot without verifying its
+     * CRC, reverting to the pre-faultlab scanner. Gives the faulted
+     * sweeps a real detection bug to catch. Never set outside tests.
+     */
+    bool faultIgnoreCrc = false;
 };
 
 /** Outcome summary of one recovery pass. */
@@ -44,10 +54,35 @@ struct RecoveryReport
     bool headerValid = false;
     std::uint64_t slotsScanned = 0;
     std::uint64_t validRecords = 0;
+    /** Committed generations found (salvaged + quarantined). */
     std::uint64_t committedTxns = 0;
     std::uint64_t uncommittedTxns = 0;
     std::uint64_t redoApplied = 0;
     std::uint64_t undoApplied = 0;
+
+    // --- salvaging scanner (faultlab) ---
+    /** Committed transactions replayed normally. */
+    std::uint64_t salvagedTxns = 0;
+    /** Committed transactions left untouched because records were
+     *  damaged or missing without a benign explanation. */
+    std::uint64_t quarantinedTxns = 0;
+    /** Per-error-class slot histogram over the whole region. */
+    std::uint64_t emptySlots = 0;
+    std::uint64_t tornSlots = 0;
+    std::uint64_t crcFailSlots = 0;
+    /** Valid slots carrying a stale pass parity inside the live
+     *  window (old records exposed by a dropped overwrite). */
+    std::uint64_t stalePassSlots = 0;
+    /** Address of the first torn or CRC-damaged slot; 0 = none. */
+    Addr firstBadSlotAddr = 0;
+    /** 16-bit transaction IDs of the quarantined generations. */
+    std::vector<std::uint16_t> quarantinedTxIds;
+
+    std::uint64_t
+    damagedSlots() const
+    {
+        return tornSlots + crcFailSlots;
+    }
 };
 
 /** See file comment. */

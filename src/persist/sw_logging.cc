@@ -8,10 +8,11 @@ namespace snf::persist
 {
 
 SwLogging::SwLogging(PersistMode m, mem::MemorySystem &memory,
-                     LogRegion &logRegion)
+                     LogRegion &logRegion, TxnTracker &tracker)
     : mode(m),
       mem(memory),
       region(logRegion),
+      txns(tracker),
       statGroup("sw_log"),
       updateRecords(statGroup.counter("update_records")),
       commitRecords(statGroup.counter("commit_records")),
@@ -33,7 +34,7 @@ SwLogging::writeRecordViaWcb(const LogRecord &rec, std::uint64_t txSeq,
 
     // One uncacheable store per 8-byte word of the record payload.
     std::uint32_t bytes = rec.payloadBytes();
-    Tick t = std::max(res.done, now);
+    Tick t = std::max({res.done, now, reservation.readyAt});
     for (std::uint32_t off = 0; off < bytes; off += 8) {
         std::uint32_t n = std::min<std::uint32_t>(8, bytes - off);
         t = std::max(t, mem.uncacheableWrite(reservation.addr + off, n,
@@ -80,6 +81,7 @@ SwLogging::logStore(CoreId core, std::uint64_t txSeq, Addr addr,
         wantsRedo() ? std::optional<std::uint64_t>(newVal)
                     : std::nullopt);
     writeRecordViaWcb(rec, txSeq, res, now);
+    txns.noteLogRecord(txSeq);
     updateRecords.inc();
 
     if (needsPreStoreBarrier()) {
@@ -101,7 +103,8 @@ SwLogging::logCommit(CoreId core, std::uint64_t txSeq, Tick now)
     res.done = now + kLogMgmtInstrPerCommit / 4;
     res.instructions += kLogMgmtInstrPerCommit;
     LogRecord rec = LogRecord::commit(static_cast<std::uint8_t>(core),
-                                      TxnTracker::txIdOf(txSeq));
+                                      TxnTracker::txIdOf(txSeq),
+                                      txns.logRecordCount(txSeq));
     writeRecordViaWcb(rec, txSeq, res, now);
     commitRecords.inc();
     injectedInstructions.inc(res.instructions);

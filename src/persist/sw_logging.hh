@@ -35,7 +35,7 @@ class SwLogging
     };
 
     SwLogging(PersistMode mode, mem::MemorySystem &memory,
-              LogRegion &region);
+              LogRegion &region, TxnTracker &txns);
 
     /**
      * Log one persistent store about to be performed (must be called
@@ -81,6 +81,7 @@ class SwLogging
     PersistMode mode;
     mem::MemorySystem &mem;
     LogRegion &region;
+    TxnTracker &txns;
     sim::StatGroup statGroup;
 
   public:

@@ -8,7 +8,9 @@ namespace snf::persist
 TxnTracker::TxnTracker()
     : statGroup("txn"),
       begun(statGroup.counter("begun")),
-      committed(statGroup.counter("committed"))
+      committed(statGroup.counter("committed")),
+      aborted(statGroup.counter("aborted")),
+      abortRequests(statGroup.counter("abort_requests"))
 {
 }
 
@@ -36,7 +38,40 @@ TxnTracker::commit(std::uint64_t seq)
 void
 TxnTracker::abort(std::uint64_t seq)
 {
-    active.erase(seq);
+    if (active.erase(seq) != 0)
+        aborted.inc();
+}
+
+void
+TxnTracker::noteLogRecord(std::uint64_t seq)
+{
+    auto it = active.find(seq);
+    if (it != active.end())
+        ++it->second.logRecords;
+}
+
+std::uint32_t
+TxnTracker::logRecordCount(std::uint64_t seq) const
+{
+    auto it = active.find(seq);
+    return it == active.end() ? 0 : it->second.logRecords;
+}
+
+void
+TxnTracker::requestAbort(std::uint64_t seq)
+{
+    auto it = active.find(seq);
+    if (it != active.end() && !it->second.abortRequested) {
+        it->second.abortRequested = true;
+        abortRequests.inc();
+    }
+}
+
+bool
+TxnTracker::abortRequested(std::uint64_t seq) const
+{
+    auto it = active.find(seq);
+    return it != active.end() && it->second.abortRequested;
 }
 
 bool

@@ -51,6 +51,26 @@ class TxnTracker
     /** Distinct lines written by the transaction, append order. */
     const std::vector<Addr> &writeSet(std::uint64_t seq) const;
 
+    /**
+     * Count one appended update log record for the transaction; the
+     * total goes into the commit record so the salvaging recovery
+     * scanner can tell reclaimed records from damaged ones.
+     */
+    void noteLogRecord(std::uint64_t seq);
+
+    /** Update log records appended by the transaction so far. */
+    std::uint32_t logRecordCount(std::uint64_t seq) const;
+
+    /**
+     * Mark the transaction as an abort victim (log-full abort-retry
+     * policy). The owning thread observes this at commit and rolls
+     * back instead.
+     */
+    void requestAbort(std::uint64_t seq);
+
+    /** Has an abort been requested for this transaction? */
+    bool abortRequested(std::uint64_t seq) const;
+
     std::size_t activeCount() const { return active.size(); }
 
     sim::StatGroup &stats() { return statGroup; }
@@ -61,6 +81,8 @@ class TxnTracker
         CoreId thread = 0;
         std::vector<Addr> writeLines;
         std::unordered_set<Addr> seen;
+        std::uint32_t logRecords = 0;
+        bool abortRequested = false;
     };
 
     std::uint64_t nextSeq = 1;
@@ -71,6 +93,8 @@ class TxnTracker
   public:
     sim::Counter &begun;
     sim::Counter &committed;
+    sim::Counter &aborted;
+    sim::Counter &abortRequests;
 };
 
 } // namespace snf::persist

@@ -47,6 +47,11 @@ enum class ProbeEvent : std::uint8_t
      * (arg = 16-bit log txid for hardware, tx sequence for software).
      */
     CommitDurable,
+    /**
+     * tx_abort executed: the transaction rolled back via its in-log
+     * undo entries (arg = tx sequence).
+     */
+    TxAbort,
 };
 
 /** Short stable name for reports. */
@@ -61,6 +66,7 @@ probeEventName(ProbeEvent e)
       case ProbeEvent::TxBegin:       return "tx-begin";
       case ProbeEvent::TxCommit:      return "tx-commit";
       case ProbeEvent::CommitDurable: return "commit-durable";
+      case ProbeEvent::TxAbort:       return "tx-abort";
     }
     return "?";
 }

@@ -50,8 +50,14 @@ runWorkload(const RunSpec &spec)
     // is NOT part of the workload's execution time (the paper
     // measures steady-state transaction throughput).
     out.stats = sys.collectStats(out.endTick);
-    if (spec.flushAtEnd)
+    if (spec.flushAtEnd) {
         sys.flushAll(out.endTick);
+        // Media faults are diagnostics, not timing statistics: the
+        // final flush writes every dirty line, so damage injected
+        // there must show in the count the verifier's image reflects.
+        out.stats.faultsInjected =
+            sys.collectStats(out.endTick).faultsInjected;
+    }
     if (spec.verifyAtEnd)
         out.verified = workload->verify(sys.mem().nvram().store(),
                                         &out.verifyMessage);

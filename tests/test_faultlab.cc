@@ -1,0 +1,847 @@
+/**
+ * @file
+ * Tests for faultlab: log record format v2 (CRC + version), the
+ * deterministic NVRAM media-fault injector, snapshot-image faulting,
+ * the salvaging recovery scanner (quarantine soundness, salvage
+ * idempotence), transaction abort with in-log undo rollback, and the
+ * log-full policies (stall, abort-retry).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/system.hh"
+#include "crashlab/faultlab.hh"
+#include "mem/backing_store.hh"
+#include "mem/fault_model.hh"
+#include "mem/mem_device.hh"
+#include "persist/log_record.hh"
+#include "persist/log_region.hh"
+#include "persist/recovery.hh"
+#include "workloads/driver.hh"
+
+using namespace snf;
+using namespace snf::persist;
+
+namespace
+{
+
+void
+flipBit(std::uint8_t img[LogRecord::kSlotBytes], unsigned bit)
+{
+    img[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+/** In-image log writer used to fabricate damaged crash states. */
+class ImageLog
+{
+  public:
+    ImageLog(mem::BackingStore &image, const AddressMap &map)
+        : image(image), map(map)
+    {
+        slots = (map.logSize - LogRegion::kHeaderBytes) /
+                LogRecord::kSlotBytes;
+        std::uint64_t magic = LogRegion::kMagic;
+        image.write(map.logBase(), 8, &magic);
+        image.write(map.logBase() + 8, 8, &slots);
+    }
+
+    /** Append, returning the slot's NVRAM address. */
+    Addr
+    append(const LogRecord &rec)
+    {
+        std::uint8_t img[LogRecord::kSlotBytes];
+        rec.serialize(img, (pass & 1) != 0);
+        Addr a = slotAddr(tail);
+        image.write(a, sizeof(img), img);
+        tail = (tail + 1) % slots;
+        if (tail == 0)
+            ++pass;
+        return a;
+    }
+
+    Addr
+    slotAddr(std::uint64_t slot) const
+    {
+        return map.logBase() + LogRegion::kHeaderBytes +
+               slot * LogRecord::kSlotBytes;
+    }
+
+    std::uint64_t slots = 0;
+
+  private:
+    mem::BackingStore &image;
+    AddressMap map;
+    std::uint64_t tail = 0;
+    std::uint64_t pass = 1;
+};
+
+struct Fixture
+{
+    AddressMap map;
+    mem::BackingStore image;
+    ImageLog log;
+
+    Fixture()
+        : map(makeMap()), image(map.nvramBase, 1 << 22),
+          log(image, map)
+    {
+    }
+
+    static AddressMap
+    makeMap()
+    {
+        AddressMap m;
+        m.nvramSize = 1 << 22;
+        m.logSize = 4096;
+        return m;
+    }
+
+    Addr data(std::uint64_t i) const { return map.heapBase() + i * 8; }
+};
+
+} // namespace
+
+// ------------------------- record format v2 ----------------------
+
+TEST(LogRecordV2, PayloadBytesUnchangedFromV1)
+{
+    // The CRC and version live in formerly-slack header bytes, so
+    // the NVRAM write traffic per record is identical to v1 (this
+    // pins the Fig 9 / Table I cost model).
+    EXPECT_EQ(LogRecord::commit(0, 1).payloadBytes(), 16u);
+    EXPECT_EQ(LogRecord::update(0, 1, 64, 8, 5, std::nullopt)
+                  .payloadBytes(),
+              24u);
+    EXPECT_EQ(LogRecord::update(0, 1, 64, 8, std::nullopt, 5)
+                  .payloadBytes(),
+              24u);
+    EXPECT_EQ(LogRecord::update(0, 1, 64, 8, 5, 6).payloadBytes(),
+              32u);
+}
+
+TEST(LogRecordV2, ClassifySeparatesEmptyTornValid)
+{
+    std::uint8_t img[LogRecord::kSlotBytes] = {};
+    EXPECT_EQ(classifySlot(img).cls, SlotClass::Empty);
+
+    img[20] = 0xab; // payload bytes landed, header did not
+    EXPECT_EQ(classifySlot(img).cls, SlotClass::Torn);
+
+    LogRecord::update(2, 7, 0x1000, 8, 3, 4).serialize(img, true);
+    SlotInfo info = classifySlot(img);
+    EXPECT_EQ(info.cls, SlotClass::Valid);
+    EXPECT_TRUE(info.torn);
+    EXPECT_EQ(info.rec.tx, 7);
+    EXPECT_EQ(info.rec.undo, 3u);
+    EXPECT_EQ(info.rec.redo, 4u);
+}
+
+TEST(LogRecordV2, CommitRecordCarriesUpdateCount)
+{
+    std::uint8_t img[LogRecord::kSlotBytes];
+    LogRecord::commit(1, 42, 17).serialize(img, false);
+    SlotInfo info = classifySlot(img);
+    ASSERT_EQ(info.cls, SlotClass::Valid);
+    EXPECT_TRUE(info.rec.isCommit);
+    EXPECT_EQ(info.rec.nUpdates, 17u);
+}
+
+TEST(LogRecordV2, CrcDetectsAllSingleBitPayloadFlips)
+{
+    std::uint8_t ref[LogRecord::kSlotBytes];
+    LogRecord rec = LogRecord::update(3, 0xbeef, 0x123456789abcULL, 8,
+                                      111, 222);
+    rec.serialize(ref, true);
+    unsigned payloadBits = rec.payloadBytes() * 8;
+    for (unsigned bit = 0; bit < payloadBits; ++bit) {
+        std::uint8_t img[LogRecord::kSlotBytes];
+        std::memcpy(img, ref, sizeof(img));
+        flipBit(img, bit);
+        EXPECT_NE(classifySlot(img).cls, SlotClass::Valid)
+            << "undetected flip of payload bit " << bit;
+    }
+}
+
+TEST(LogRecordV2, CrcDetectsAllDoubleBitPayloadFlips)
+{
+    // The CRC32 has Hamming distance 4 at 256 bits, so every 2-bit
+    // error within the covered payload must be caught. Exhaustive
+    // over all pairs of a full 32-byte record: 256*255/2 checks.
+    std::uint8_t ref[LogRecord::kSlotBytes];
+    LogRecord rec = LogRecord::update(1, 77, 0x2000, 8, 10, 20);
+    rec.serialize(ref, false);
+    unsigned payloadBits = rec.payloadBytes() * 8;
+    ASSERT_EQ(payloadBits, 256u);
+    for (unsigned b1 = 0; b1 < payloadBits; ++b1) {
+        for (unsigned b2 = b1 + 1; b2 < payloadBits; ++b2) {
+            std::uint8_t img[LogRecord::kSlotBytes];
+            std::memcpy(img, ref, sizeof(img));
+            flipBit(img, b1);
+            flipBit(img, b2);
+            ASSERT_NE(classifySlot(img).cls, SlotClass::Valid)
+                << "undetected flips of bits " << b1 << "," << b2;
+        }
+    }
+}
+
+TEST(LogRecordV2, SlackBitFlipsLeaveRecordIntact)
+{
+    // Bytes past payloadBytes() are never written to NVRAM; a flip
+    // landing there must not change what the record means.
+    std::uint8_t ref[LogRecord::kSlotBytes];
+    LogRecord rec = LogRecord::commit(0, 9, 3); // 16 B payload
+    rec.serialize(ref, false);
+    for (unsigned bit = rec.payloadBytes() * 8;
+         bit < LogRecord::kSlotBytes * 8; ++bit) {
+        std::uint8_t img[LogRecord::kSlotBytes];
+        std::memcpy(img, ref, sizeof(img));
+        flipBit(img, bit);
+        SlotInfo info = classifySlot(img);
+        ASSERT_EQ(info.cls, SlotClass::Valid);
+        EXPECT_TRUE(info.rec.isCommit);
+        EXPECT_EQ(info.rec.tx, 9);
+        EXPECT_EQ(info.rec.nUpdates, 3u);
+    }
+}
+
+// Satellite property: across ALL nine persistence modes, run a real
+// workload, drain everything to NVRAM, and then try every single-bit
+// flip (and a deterministic sample of double-bit flips) on every
+// valid slot of the drained log window. Each flip must either be
+// detected (the slot no longer classifies Valid) or land in slack
+// bytes the record never wrote (content unchanged).
+TEST(LogRecordV2, EveryFlipInDrainedWindowDetectedAcrossModes)
+{
+    for (PersistMode mode : kAllModes) {
+        SystemConfig cfg = SystemConfig::scaled(2);
+        System sys(cfg, mode);
+        Addr base = sys.heap().alloc(1024, 64);
+        for (CoreId c = 0; c < 2; ++c) {
+            sys.spawn(c, [&](Thread &t) -> sim::Co<void> {
+                Addr mine = base + t.id() * 128;
+                for (int i = 0; i < 6; ++i) {
+                    co_await t.txBegin();
+                    co_await t.store64(mine + 8 * (i % 4), i + 1);
+                    co_await t.txCommit();
+                }
+            });
+        }
+        Tick end = sys.run();
+        sys.flushAll(end);
+        const mem::BackingStore &img = sys.mem().nvram().store();
+
+        const AddressMap &map = sys.config().map;
+        std::uint64_t slots =
+            (map.logSize - LogRegion::kHeaderBytes) /
+            LogRecord::kSlotBytes;
+        std::uint64_t checked = 0;
+        for (std::uint64_t s = 0; s < slots && checked < 24; ++s) {
+            Addr addr = map.logBase() + LogRegion::kHeaderBytes +
+                        s * LogRecord::kSlotBytes;
+            std::uint8_t ref[LogRecord::kSlotBytes];
+            img.read(addr, sizeof(ref), ref);
+            SlotInfo orig = classifySlot(ref);
+            if (orig.cls != SlotClass::Valid)
+                continue;
+            ++checked;
+            unsigned payloadBits = orig.rec.payloadBytes() * 8;
+            auto checkFlips = [&](unsigned b1, int b2) {
+                std::uint8_t mut[LogRecord::kSlotBytes];
+                std::memcpy(mut, ref, sizeof(mut));
+                flipBit(mut, b1);
+                if (b2 >= 0)
+                    flipBit(mut, static_cast<unsigned>(b2));
+                bool inPayload = b1 < payloadBits ||
+                                 (b2 >= 0 && static_cast<unsigned>(
+                                                 b2) < payloadBits);
+                SlotInfo info = classifySlot(mut);
+                if (inPayload) {
+                    ASSERT_NE(info.cls, SlotClass::Valid)
+                        << persistModeName(mode) << " slot " << s
+                        << " bits " << b1 << "," << b2;
+                } else {
+                    // Slack-only damage: content must be unchanged.
+                    ASSERT_EQ(info.cls, SlotClass::Valid);
+                    EXPECT_EQ(info.rec.tx, orig.rec.tx);
+                    EXPECT_EQ(info.rec.addr, orig.rec.addr);
+                    EXPECT_EQ(info.rec.undo, orig.rec.undo);
+                    EXPECT_EQ(info.rec.redo, orig.rec.redo);
+                }
+            };
+            for (unsigned bit = 0; bit < LogRecord::kSlotBytes * 8;
+                 ++bit)
+                checkFlips(bit, -1);
+            // Deterministic double-flip sample: 256 pairs per slot.
+            for (unsigned bit = 0; bit < LogRecord::kSlotBytes * 8;
+                 ++bit)
+                checkFlips(bit,
+                           static_cast<int>((bit * 7 + 13) % 256));
+        }
+        // Every mode that logs at all must have given us slots to
+        // check (NonPers legitimately has none).
+        if (mode != PersistMode::NonPers) {
+            EXPECT_GT(checked, 0u) << persistModeName(mode);
+        }
+    }
+}
+
+// --------------------- live fault injector -----------------------
+
+namespace
+{
+
+mem::FaultCounters
+applyToLine(const FaultModelConfig &cfg, std::uint8_t *buf,
+            const std::uint8_t *oldData, Tick tick)
+{
+    mem::FaultInjector inj(cfg, 4096);
+    return inj.apply(0x1000, 64, buf, oldData, tick);
+}
+
+} // namespace
+
+TEST(FaultInjector, DroppedWriteKeepsOldBytes)
+{
+    FaultModelConfig cfg;
+    cfg.seed = 5;
+    cfg.dropWriteProb = 1.0;
+    std::uint8_t buf[64], old[64];
+    std::memset(buf, 0xaa, sizeof(buf));
+    std::memset(old, 0x55, sizeof(old));
+    auto c = applyToLine(cfg, buf, old, 100);
+    EXPECT_EQ(c.droppedWrites, 1u);
+    EXPECT_EQ(std::memcmp(buf, old, sizeof(buf)), 0);
+}
+
+TEST(FaultInjector, TornLineKeepsTailOldBytes)
+{
+    FaultModelConfig cfg;
+    cfg.seed = 5;
+    cfg.tornLineProb = 1.0;
+    std::uint8_t buf[64], old[64];
+    std::memset(buf, 0xaa, sizeof(buf));
+    std::memset(old, 0x55, sizeof(old));
+    auto c = applyToLine(cfg, buf, old, 100);
+    EXPECT_EQ(c.tornLines, 1u);
+    for (unsigned i = 0; i < mem::FaultInjector::kTornBytes; ++i)
+        EXPECT_EQ(buf[i], 0xaa) << i;
+    for (unsigned i = mem::FaultInjector::kTornBytes; i < 64; ++i)
+        EXPECT_EQ(buf[i], 0x55) << i;
+}
+
+TEST(FaultInjector, BitFlipFlipsExactlyOneBit)
+{
+    FaultModelConfig cfg;
+    cfg.seed = 9;
+    cfg.bitFlipProb = 1.0;
+    std::uint8_t buf[64], old[64];
+    std::memset(buf, 0, sizeof(buf));
+    std::memset(old, 0, sizeof(old));
+    auto c = applyToLine(cfg, buf, old, 7);
+    EXPECT_EQ(c.bitFlips, 1u);
+    unsigned set = 0;
+    for (unsigned i = 0; i < 64; ++i)
+        set += __builtin_popcount(buf[i]);
+    EXPECT_EQ(set, 1u);
+}
+
+TEST(FaultInjector, DamageIsDeterministicPerSeed)
+{
+    FaultModelConfig cfg;
+    cfg.seed = 42;
+    cfg.bitFlipProb = 1.0;
+    std::uint8_t a[64], b[64], old[64];
+    std::memset(a, 0, sizeof(a));
+    std::memset(b, 0, sizeof(b));
+    std::memset(old, 0, sizeof(old));
+    applyToLine(cfg, a, old, 300);
+    applyToLine(cfg, b, old, 300);
+    EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0);
+
+    // A different tick (or seed) picks a different bit eventually.
+    bool differs = false;
+    for (Tick t = 301; t < 320 && !differs; ++t) {
+        std::memset(b, 0, sizeof(b));
+        applyToLine(cfg, b, old, t);
+        differs = std::memcmp(a, b, sizeof(a)) != 0;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, StuckRowIsTickIndependent)
+{
+    FaultModelConfig cfg;
+    cfg.seed = 3;
+    cfg.stuckRowProb = 1.0;
+    mem::FaultInjector inj(cfg, 4096);
+    EXPECT_TRUE(inj.rowIsStuck(7));
+    EXPECT_EQ(inj.stuckValue(7), inj.stuckValue(7));
+    EXPECT_EQ(inj.stuckWordOffset(7), inj.stuckWordOffset(7));
+    EXPECT_LT(inj.stuckWordOffset(7), 4096u);
+    EXPECT_EQ(inj.stuckWordOffset(7) % 8, 0u);
+}
+
+TEST(FaultInjector, LiveRunFaultCountIsDeterministic)
+{
+    auto run = [](std::uint64_t seed) {
+        workloads::RunSpec spec;
+        spec.workload = "sps";
+        spec.mode = PersistMode::Fwb;
+        spec.params.threads = 2;
+        spec.params.txPerThread = 150;
+        spec.sys = SystemConfig::scaled(2);
+        spec.sys.nvram.faults = FaultModelConfig::heavy(seed);
+        return workloads::runWorkload(spec);
+    };
+    auto a = run(3);
+    auto b = run(3);
+    EXPECT_GT(a.stats.faultsInjected, 0u);
+    EXPECT_EQ(a.stats.faultsInjected, b.stats.faultsInjected);
+    EXPECT_EQ(a.verified, b.verified);
+}
+
+// --------------------- image faulting (sweep) --------------------
+
+TEST(ImageFaults, OnlyValidSlotsDamagedAndPlanIsExact)
+{
+    Fixture f;
+    f.log.append(LogRecord::update(0, 10, f.data(0), 8, 1, 2));
+    f.log.append(LogRecord::commit(0, 10, 1));
+    f.log.append(LogRecord::update(0, 11, f.data(1), 8, 3, 4));
+
+    crashlab::ImageFaultConfig cfg;
+    cfg.seed = 1;
+    cfg.dropSlotProb = 1.0;
+    auto plan = crashlab::applyImageFaults(f.image, f.map, cfg, 500);
+    EXPECT_EQ(plan.slotsFaulted, 3u);
+    EXPECT_EQ(plan.droppedSlots, 3u);
+    ASSERT_EQ(plan.damagedTxIds.size(), 2u);
+    EXPECT_TRUE(plan.damaged(10));
+    EXPECT_TRUE(plan.damaged(11));
+    EXPECT_FALSE(plan.damaged(12));
+
+    // Dropped slots read back as never-written.
+    std::uint8_t img[LogRecord::kSlotBytes];
+    f.image.read(f.log.slotAddr(0), sizeof(img), img);
+    EXPECT_EQ(classifySlot(img).cls, SlotClass::Empty);
+}
+
+TEST(ImageFaults, DeterministicPerSeedAndTick)
+{
+    auto damage = [](std::uint64_t seed, Tick tick) {
+        Fixture f;
+        for (int i = 0; i < 40; ++i) {
+            f.log.append(LogRecord::update(
+                0, static_cast<std::uint16_t>(i), f.data(i), 8, i,
+                i + 1));
+        }
+        crashlab::ImageFaultConfig cfg;
+        cfg.seed = seed;
+        cfg.bitFlipProb = 0.3;
+        auto plan = crashlab::applyImageFaults(f.image, f.map, cfg,
+                                               tick);
+        return plan.damagedTxIds;
+    };
+    EXPECT_EQ(damage(7, 100), damage(7, 100));
+    EXPECT_NE(damage(7, 100), damage(8, 100));
+}
+
+// --------------------- salvaging recovery ------------------------
+
+TEST(Salvage, QuarantinesOnlyDamagedCommittedTxn)
+{
+    Fixture f;
+    f.image.write64(f.data(0), 1);
+    f.image.write64(f.data(1), 1);
+    f.image.write64(f.data(2), 1);
+    // tx 10: two updates + commit; one update will be destroyed.
+    Addr victim = f.log.append(
+        LogRecord::update(0, 10, f.data(0), 8, 1, 50));
+    f.log.append(LogRecord::update(0, 10, f.data(1), 8, 1, 60));
+    f.log.append(LogRecord::commit(0, 10, 2));
+    // tx 11: undamaged.
+    f.log.append(LogRecord::update(0, 11, f.data(2), 8, 1, 70));
+    f.log.append(LogRecord::commit(0, 11, 1));
+
+    std::uint8_t zero[LogRecord::kSlotBytes] = {};
+    f.image.write(victim, sizeof(zero), zero);
+
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 2u);
+    EXPECT_EQ(report.salvagedTxns, 1u);
+    EXPECT_EQ(report.quarantinedTxns, 1u);
+    ASSERT_EQ(report.quarantinedTxIds.size(), 1u);
+    EXPECT_EQ(report.quarantinedTxIds[0], 10);
+    // The quarantined txn is left untouched — neither of its redo
+    // values may be replayed (zero false replays).
+    EXPECT_EQ(f.image.read64(f.data(0)), 1u);
+    EXPECT_EQ(f.image.read64(f.data(1)), 1u);
+    // The undamaged txn replays normally.
+    EXPECT_EQ(f.image.read64(f.data(2)), 70u);
+}
+
+TEST(Salvage, CrcDamageCountedAndLocated)
+{
+    Fixture f;
+    f.image.write64(f.data(0), 1);
+    Addr victim = f.log.append(
+        LogRecord::update(0, 20, f.data(0), 8, 1, 90));
+    f.log.append(LogRecord::commit(0, 20, 1));
+
+    std::uint8_t img[LogRecord::kSlotBytes];
+    f.image.read(victim, sizeof(img), img);
+    flipBit(img, 70); // payload bit: CRC must catch it
+    f.image.write(victim, sizeof(img), img);
+
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.crcFailSlots, 1u);
+    EXPECT_EQ(report.firstBadSlotAddr, victim);
+    EXPECT_EQ(report.quarantinedTxns, 1u);
+    EXPECT_EQ(f.image.read64(f.data(0)), 1u);
+}
+
+TEST(Salvage, IdempotentUnderDamage)
+{
+    // Invariant I8: running the (non-truncating) salvage twice over
+    // a damaged image agrees byte for byte with running it once.
+    Fixture f;
+    f.image.write64(f.data(0), 1);
+    f.image.write64(f.data(1), 1);
+    Addr victim = f.log.append(
+        LogRecord::update(0, 30, f.data(0), 8, 1, 11));
+    f.log.append(LogRecord::commit(0, 30, 1));
+    f.log.append(LogRecord::update(0, 31, f.data(1), 8, 1, 22));
+    f.log.append(LogRecord::commit(0, 31, 1));
+    std::uint8_t img[LogRecord::kSlotBytes];
+    f.image.read(victim, sizeof(img), img);
+    flipBit(img, 90);
+    f.image.write(victim, sizeof(img), img);
+
+    RecoveryOptions noTrunc;
+    noTrunc.truncateLog = false;
+    mem::BackingStore once = f.image;
+    Recovery::run(once, f.map, noTrunc);
+    mem::BackingStore twice = once;
+    Recovery::run(twice, f.map, noTrunc);
+    EXPECT_EQ(once.firstDifference(twice, f.map.nvramBase,
+                                   f.map.nvramSize),
+              std::nullopt);
+}
+
+TEST(Salvage, IgnoreCrcFaultInjectionReplaysGarbage)
+{
+    // The --inject-ignore-crc self-test bug: trusting a damaged slot
+    // replays a corrupted redo value the CRC would have stopped.
+    Fixture f;
+    f.image.write64(f.data(0), 1);
+    Addr victim = f.log.append(
+        LogRecord::update(0, 40, f.data(0), 8, 1, 0x100));
+    f.log.append(LogRecord::commit(0, 40, 1));
+    std::uint8_t img[LogRecord::kSlotBytes];
+    f.image.read(victim, sizeof(img), img);
+    flipBit(img, 26 * 8); // corrupt a redo-value byte
+    f.image.write(victim, sizeof(img), img);
+
+    mem::BackingStore checked = f.image;
+    auto good = Recovery::run(checked, f.map);
+    EXPECT_EQ(good.quarantinedTxns, 1u);
+    EXPECT_EQ(checked.read64(f.data(0)), 1u);
+
+    RecoveryOptions unchecked;
+    unchecked.faultIgnoreCrc = true;
+    auto bad = Recovery::run(f.image, f.map, unchecked);
+    EXPECT_EQ(bad.quarantinedTxns, 0u);
+    EXPECT_NE(f.image.read64(f.data(0)), 1u); // garbage replayed
+}
+
+TEST(Salvage, FaultedCheckerPassesOnHonestRecovery)
+{
+    // End-to-end: a real crash snapshot, deterministic image damage,
+    // and the faulted invariant set must hold for the real recovery.
+    SystemConfig cfg = SystemConfig::scaled(2);
+    cfg.persist.crashJournal = true;
+    System sys(cfg, PersistMode::Fwb);
+    Addr base = sys.heap().alloc(512, 64);
+    for (CoreId c = 0; c < 2; ++c) {
+        sys.spawn(c, [&](Thread &t) -> sim::Co<void> {
+            Addr mine = base + t.id() * 64;
+            for (int i = 0; i < 20; ++i) {
+                co_await t.txBegin();
+                co_await t.store64(mine, i + 1);
+                co_await t.txCommit();
+            }
+        });
+    }
+    Tick end = sys.run();
+
+    crashlab::ImageFaultConfig faults;
+    faults.seed = 11;
+    faults.bitFlipProb = 0.05;
+    faults.dropSlotProb = 0.02;
+
+    crashlab::CrashFacts facts;
+    facts.tick = end;
+    facts.threads = 2;
+    facts.txBegun = 40;
+    facts.txCommitted = 40;
+    facts.mode = PersistMode::Fwb;
+
+    mem::BackingStore image = sys.crashSnapshot(end);
+    persist::RecoveryReport rep;
+    crashlab::ImageFaultPlan plan;
+    auto violations = crashlab::checkFaultedCrashPoint(
+        image, sys.config().map, faults, facts, RecoveryOptions{},
+        &rep, &plan);
+    for (const auto &v : violations)
+        ADD_FAILURE() << v.invariant << ": " << v.detail;
+    EXPECT_GT(plan.slotsFaulted, 0u);
+    // Quarantine can only hit transactions the plan damaged (a
+    // damaged txn may instead surface as uncommitted, so <=).
+    EXPECT_LE(rep.quarantinedTxns, plan.damagedTxIds.size());
+}
+
+// -------------------------- tx_abort -----------------------------
+
+namespace
+{
+
+sim::Co<void>
+abortingThread(Thread &t, Addr addr, bool *abortedFlag)
+{
+    co_await t.txBegin();
+    co_await t.store64(addr, 100);
+    co_await t.txCommit();
+
+    co_await t.txBegin();
+    co_await t.store64(addr, 200);
+    co_await t.txAbort();
+    if (abortedFlag)
+        *abortedFlag = t.lastTxAborted();
+}
+
+} // namespace
+
+TEST(TxAbort, RollsBackStoresInUndoModes)
+{
+    for (PersistMode mode :
+         {PersistMode::UndoClwb, PersistMode::HwUlog,
+          PersistMode::Hwl, PersistMode::Fwb}) {
+        SystemConfig cfg = SystemConfig::scaled(1);
+        cfg.persist.crashJournal = true;
+        System sys(cfg, mode);
+        Addr addr = sys.heap().alloc(64, 64);
+        bool aborted = false;
+        sys.spawn(0, [&](Thread &t) {
+            return abortingThread(t, addr, &aborted);
+        });
+        Tick end = sys.run();
+        EXPECT_TRUE(aborted) << persistModeName(mode);
+        EXPECT_EQ(sys.txns().aborted.value(), 1u);
+        EXPECT_EQ(sys.txns().committed.value(), 1u);
+
+        // Live memory sees the rollback...
+        sys.flushAll(end);
+        EXPECT_EQ(sys.mem().nvram().store().read64(addr), 100u)
+            << persistModeName(mode);
+
+        // ...and so does recovery from a crash right after the
+        // abort (the compensating stores are themselves logged).
+        // Only the failure-atomic modes promise that much; hw-ulog
+        // alone lacks the redo/force needed to finish a commit.
+        if (crashlab::guaranteesFailureAtomicity(mode)) {
+            mem::BackingStore image = sys.crashSnapshot(end);
+            persist::Recovery::run(image, sys.config().map);
+            EXPECT_EQ(image.read64(addr), 100u)
+                << persistModeName(mode);
+        }
+    }
+}
+
+TEST(TxAbort, RedoOnlyModeLeavesGenerationUncommitted)
+{
+    // Redo-only logging cannot roll back in place (the motivation
+    // for undo+redo, paper Section II-B): the abort simply leaves
+    // the generation uncommitted so recovery discards it.
+    SystemConfig cfg = SystemConfig::scaled(1);
+    cfg.persist.crashJournal = true;
+    System sys(cfg, PersistMode::RedoClwb);
+    Addr addr = sys.heap().alloc(64, 64);
+    bool aborted = false;
+    sys.spawn(0, [&](Thread &t) {
+        return abortingThread(t, addr, &aborted);
+    });
+    Tick end = sys.run();
+    EXPECT_TRUE(aborted);
+    EXPECT_EQ(sys.txns().aborted.value(), 1u);
+
+    mem::BackingStore image = sys.crashSnapshot(end);
+    auto report = persist::Recovery::run(image, sys.config().map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(image.read64(addr), 100u);
+}
+
+TEST(TxAbort, ThreadContinuesAfterAbort)
+{
+    SystemConfig cfg = SystemConfig::scaled(1);
+    System sys(cfg, PersistMode::Fwb);
+    Addr addr = sys.heap().alloc(64, 64);
+    sys.spawn(0, [&](Thread &t) -> sim::Co<void> {
+        co_await t.txBegin();
+        co_await t.store64(addr, 7);
+        co_await t.txAbort();
+        co_await t.txBegin();
+        co_await t.store64(addr, 9);
+        co_await t.txCommit();
+        EXPECT_FALSE(t.lastTxAborted());
+    });
+    Tick end = sys.run();
+    sys.flushAll(end);
+    EXPECT_EQ(sys.mem().nvram().store().read64(addr), 9u);
+    EXPECT_EQ(sys.txns().aborted.value(), 1u);
+    EXPECT_EQ(sys.txns().committed.value(), 1u);
+}
+
+// ------------------------ log-full policies ----------------------
+
+namespace
+{
+
+struct RegionFixture
+{
+    AddressMap map;
+    mem::MemDevice nv;
+    LogRegion lr;
+
+    RegionFixture()
+        : map(makeMap()), nv("nv", nvCfg(), map.nvramBase),
+          lr(map, nv)
+    {
+        lr.create();
+    }
+
+    static AddressMap
+    makeMap()
+    {
+        AddressMap m;
+        m.logSize = 4096; // 126 slots
+        return m;
+    }
+
+    static MemDeviceConfig
+    nvCfg()
+    {
+        MemDeviceConfig cfg;
+        cfg.sizeBytes = 1 << 24;
+        return cfg;
+    }
+
+    /** Fill every slot with live update records bound to @p txSeq. */
+    void
+    fill(std::uint64_t txSeq)
+    {
+        for (std::uint64_t i = 0; i < lr.slotCount(); ++i) {
+            auto r = lr.reserve(
+                LogRecord::update(0, 1, map.heapBase() + i * 8, 8, 0,
+                                  i),
+                100);
+            lr.bindSlotTx(r.slot, txSeq);
+        }
+    }
+};
+
+} // namespace
+
+TEST(LogFullPolicy, StallForcesWritebackThenProceeds)
+{
+    RegionFixture f;
+    bool persisted = false;
+    int writebacks = 0;
+    f.lr.setPersistedSince([&](Addr, Tick) { return persisted; });
+    f.lr.setForceWriteback([&](Addr, Tick now) {
+        persisted = true;
+        ++writebacks;
+        return now + 10;
+    });
+    f.lr.setLogFullPolicy(LogFullPolicy::Stall, 8, 64);
+    f.fill(0); // txSeq 0: not active, but data not persisted
+
+    auto r = f.lr.reserve(LogRecord::commit(0, 2), 200);
+    EXPECT_EQ(writebacks, 1);
+    EXPECT_EQ(r.readyAt, 210u); // waited for the forced write-back
+    EXPECT_EQ(f.lr.forcedWritebacks.value(), 1u);
+    EXPECT_EQ(f.lr.hazards.value(), 0u); // made safe, not hazardous
+}
+
+TEST(LogFullPolicy, StallBacksOffThenGivesUp)
+{
+    RegionFixture f;
+    f.lr.setPersistedSince([](Addr, Tick) { return false; });
+    f.lr.setLogFullPolicy(LogFullPolicy::Stall, 3, 64);
+    f.fill(0);
+
+    auto r = f.lr.reserve(LogRecord::commit(0, 2), 1000);
+    // 3 backoffs (64, 128, 256) before the retries are exhausted
+    // and the append falls back to a counted hazardous reclaim.
+    EXPECT_EQ(f.lr.logFullStalls.value(), 3u);
+    EXPECT_EQ(r.readyAt, 1000u + 64 + 128 + 256);
+    EXPECT_EQ(f.lr.hazards.value(), 1u);
+}
+
+TEST(LogFullPolicy, AbortRetryRequestsVictimAbort)
+{
+    RegionFixture f;
+    std::vector<std::uint64_t> requested;
+    bool active = true;
+    f.lr.setTxActive([&](std::uint64_t) { return active; });
+    f.lr.setAbortRequestSink(
+        [&](std::uint64_t seq) { requested.push_back(seq); });
+    f.lr.setLogFullPolicy(LogFullPolicy::AbortRetry, 4, 16);
+    f.fill(77);
+
+    auto r = f.lr.reserve(LogRecord::commit(0, 2), 500);
+    ASSERT_FALSE(requested.empty());
+    EXPECT_EQ(requested.front(), 77u); // the blocking transaction
+    EXPECT_GT(f.lr.logFullStalls.value(), 0u);
+    EXPECT_GT(r.readyAt, 500u);
+    EXPECT_EQ(f.lr.hazards.value(), 1u); // victim never let go
+
+    // Once the victim aborts, the next blocked append goes through
+    // after a single request with no hazard.
+    std::uint64_t hazardsBefore = f.lr.hazards.value();
+    requested.clear();
+    f.lr.setAbortRequestSink([&](std::uint64_t seq) {
+        requested.push_back(seq);
+        active = false; // victim rolls back
+    });
+    f.lr.reserve(LogRecord::commit(0, 3), 600);
+    EXPECT_EQ(requested.size(), 1u);
+    EXPECT_EQ(f.lr.hazards.value(), hazardsBefore);
+}
+
+TEST(LogFullPolicy, AbortRequestDivertsNextCommit)
+{
+    // System-level: a requested abort is honored at the victim's
+    // next commit, which rolls back instead of committing.
+    SystemConfig cfg = SystemConfig::scaled(1);
+    System sys(cfg, PersistMode::Fwb);
+    Addr addr = sys.heap().alloc(64, 64);
+    sys.spawn(0, [&](Thread &t) -> sim::Co<void> {
+        co_await t.txBegin();
+        co_await t.store64(addr, 1);
+        co_await t.txCommit();
+
+        co_await t.txBegin();
+        co_await t.store64(addr, 2);
+        sys.txns().requestAbort(t.currentTxSeq());
+        co_await t.txCommit(); // diverted into an abort
+        EXPECT_TRUE(t.lastTxAborted());
+    });
+    Tick end = sys.run();
+    sys.flushAll(end);
+    EXPECT_EQ(sys.mem().nvram().store().read64(addr), 1u);
+    EXPECT_EQ(sys.txns().aborted.value(), 1u);
+    EXPECT_EQ(sys.txns().committed.value(), 1u);
+}

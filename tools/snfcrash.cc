@@ -23,12 +23,24 @@
  *     --json FILE          write the JSON report to FILE ("-" =
  *                          stdout)
  *     --no-minimize        skip bisection of failing points
+ *     --fault-bitflip P    faultlab: damage each crash snapshot's log
+ *     --fault-multibit P   slots with the given per-slot probability
+ *     --fault-drop-slot P  (single/double bit flips, lost writes,
+ *     --fault-torn-slot P  torn header words), then check salvage
+ *                          idempotence, quarantine soundness and the
+ *                          undamaged-set oracle instead of the clean
+ *                          invariants
+ *     --fault-seed N       seed of the deterministic damage (default 1)
  *     --inject-skip-undo   fault injection: recovery skips the undo
  *     --inject-skip-redo   phase / the redo phase (self-test: the
  *                          sweep must catch and minimize these)
+ *     --inject-ignore-crc  fault injection: recovery trusts slots
+ *                          without CRC verification (the faulted
+ *                          sweeps must catch the garbage replays)
  *     --list               list workloads and modes, then exit
  *
- * Exit status: 0 when every cell passed, 1 otherwise.
+ * Every value flag also accepts --flag=value. Exit status: 0 when
+ * every cell passed, 1 otherwise (CI gates on it).
  */
 
 #include <cstdio>
@@ -83,9 +95,12 @@ usage()
         "[--jobs N]\n"
         "                [--max-points N] [--sample-seed N] "
         "[--json FILE]\n"
+        "                [--fault-bitflip P] [--fault-multibit P]\n"
+        "                [--fault-drop-slot P] [--fault-torn-slot P] "
+        "[--fault-seed N]\n"
         "                [--no-minimize] [--inject-skip-undo] "
         "[--inject-skip-redo]\n"
-        "                [--list]\n");
+        "                [--inject-ignore-crc] [--list]\n");
 }
 
 } // namespace
@@ -103,12 +118,16 @@ main(int argc, char **argv)
     std::string jsonPath;
 
     for (int i = 1; i < argc; ++i) {
-        auto arg = [&](const char *flag) {
+        auto arg = [&](const char *flag) -> const char * {
+            std::size_t n = std::strlen(flag);
+            if (std::strncmp(argv[i], flag, n) == 0 &&
+                argv[i][n] == '=')
+                return argv[i] + n + 1;
             if (std::strcmp(argv[i], flag) != 0)
-                return static_cast<const char *>(nullptr);
+                return nullptr;
             if (i + 1 >= argc)
                 fatal("%s needs a value", flag);
-            return static_cast<const char *>(argv[++i]);
+            return argv[++i];
         };
         if (const char *v = arg("--workload")) {
             workloadNames = splitCsv(v);
@@ -140,6 +159,16 @@ main(int argc, char **argv)
             base.maxPoints = static_cast<std::size_t>(std::atoi(v));
         } else if (const char *v = arg("--sample-seed")) {
             base.sampleSeed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--fault-bitflip")) {
+            base.imageFaults.bitFlipProb = std::atof(v);
+        } else if (const char *v = arg("--fault-multibit")) {
+            base.imageFaults.multiBitProb = std::atof(v);
+        } else if (const char *v = arg("--fault-drop-slot")) {
+            base.imageFaults.dropSlotProb = std::atof(v);
+        } else if (const char *v = arg("--fault-torn-slot")) {
+            base.imageFaults.tornSlotProb = std::atof(v);
+        } else if (const char *v = arg("--fault-seed")) {
+            base.imageFaults.seed = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--json")) {
             jsonPath = v;
         } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
@@ -148,6 +177,8 @@ main(int argc, char **argv)
             base.recovery.faultSkipUndo = true;
         } else if (std::strcmp(argv[i], "--inject-skip-redo") == 0) {
             base.recovery.faultSkipRedo = true;
+        } else if (std::strcmp(argv[i], "--inject-ignore-crc") == 0) {
+            base.recovery.faultIgnoreCrc = true;
         } else if (std::strcmp(argv[i], "--list") == 0) {
             std::printf("workloads:");
             for (const auto &w : allWorkloadNames())

@@ -18,8 +18,19 @@
  *     --distributed-log  per-thread log partitions
  *     --paper            paper-sized caches (default: scaled)
  *     --crash-at TICK    crash, recover, verify
+ *     --log-full P       log-full policy: reclaim (default), stall,
+ *                        abort-retry
+ *     --fault-bitflip P  faultlab: live NVRAM media faults on the
+ *     --fault-multibit P accepted-write path, probability per
+ *     --fault-drop P     64-byte line written (single/double bit
+ *     --fault-torn P     flips, dropped writes, torn lines, stuck
+ *     --fault-stuck P    rows)
+ *     --fault-seed N     fault-model seed (default 1)
+ *     --fault-preset X   light | heavy (canned fault mixes)
  *     --dump-stats       dump every component counter
  *     --list             list workloads and exit
+ *
+ * Every value flag also accepts --flag=value.
  */
 
 #include <cstdio>
@@ -52,8 +63,25 @@ usage()
                 "[--threads N] [--tx N] [--footprint N]\n"
                 "              [--seed N] [--strings] "
                 "[--distributed-log] [--paper]\n"
-                "              [--crash-at TICK] [--dump-stats] "
-                "[--list]\n");
+                "              [--crash-at TICK] "
+                "[--log-full reclaim|stall|abort-retry]\n"
+                "              [--fault-bitflip P] [--fault-multibit "
+                "P] [--fault-drop P]\n"
+                "              [--fault-torn P] [--fault-stuck P] "
+                "[--fault-seed N]\n"
+                "              [--fault-preset light|heavy] "
+                "[--dump-stats] [--list]\n");
+}
+
+LogFullPolicy
+parseLogFullPolicy(const char *name)
+{
+    for (LogFullPolicy p : {LogFullPolicy::Reclaim,
+                            LogFullPolicy::Stall,
+                            LogFullPolicy::AbortRetry})
+        if (std::strcmp(logFullPolicyName(p), name) == 0)
+            return p;
+    fatal("unknown log-full policy '%s'", name);
 }
 
 } // namespace
@@ -71,14 +99,21 @@ main(int argc, char **argv)
     std::uint32_t threads = 2;
     std::optional<Tick> crash_at;
     bool distributed = false;
+    FaultModelConfig faults;
+    faults.seed = 1;
+    LogFullPolicy logFull = LogFullPolicy::Reclaim;
 
     for (int i = 1; i < argc; ++i) {
-        auto arg = [&](const char *flag) {
+        auto arg = [&](const char *flag) -> const char * {
+            std::size_t n = std::strlen(flag);
+            if (std::strncmp(argv[i], flag, n) == 0 &&
+                argv[i][n] == '=')
+                return argv[i] + n + 1;
             if (std::strcmp(argv[i], flag) != 0)
-                return static_cast<const char *>(nullptr);
+                return nullptr;
             if (i + 1 >= argc)
                 fatal("%s needs a value", flag);
-            return static_cast<const char *>(argv[++i]);
+            return argv[++i];
         };
         if (const char *v = arg("--workload")) {
             spec.workload = v;
@@ -97,6 +132,28 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(v));
         } else if (const char *v = arg("--crash-at")) {
             crash_at = static_cast<Tick>(std::atoll(v));
+        } else if (const char *v = arg("--log-full")) {
+            logFull = parseLogFullPolicy(v);
+        } else if (const char *v = arg("--fault-bitflip")) {
+            faults.bitFlipProb = std::atof(v);
+        } else if (const char *v = arg("--fault-multibit")) {
+            faults.multiBitProb = std::atof(v);
+        } else if (const char *v = arg("--fault-drop")) {
+            faults.dropWriteProb = std::atof(v);
+        } else if (const char *v = arg("--fault-torn")) {
+            faults.tornLineProb = std::atof(v);
+        } else if (const char *v = arg("--fault-stuck")) {
+            faults.stuckRowProb = std::atof(v);
+        } else if (const char *v = arg("--fault-seed")) {
+            faults.seed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--fault-preset")) {
+            std::uint64_t seed = faults.seed;
+            if (std::strcmp(v, "light") == 0)
+                faults = FaultModelConfig::light(seed);
+            else if (std::strcmp(v, "heavy") == 0)
+                faults = FaultModelConfig::heavy(seed);
+            else
+                fatal("unknown fault preset '%s'", v);
         } else if (std::strcmp(argv[i], "--strings") == 0) {
             spec.params.stringValues = true;
         } else if (std::strcmp(argv[i], "--distributed-log") == 0) {
@@ -121,6 +178,8 @@ main(int argc, char **argv)
     spec.sys = paper ? SystemConfig::paper(threads)
                      : SystemConfig::scaled(threads);
     spec.sys.persist.distributedLogs = distributed;
+    spec.sys.persist.logFullPolicy = logFull;
+    spec.sys.nvram.faults = faults;
     if (crash_at) {
         spec.sys.persist.crashJournal = true;
         spec.crashAt = crash_at;
@@ -139,6 +198,9 @@ main(int argc, char **argv)
     std::printf("  committed tx    %llu  (%.1f tx/Mcycle)\n",
                 static_cast<unsigned long long>(s.committedTx),
                 s.txPerMcycle);
+    if (s.abortedTx != 0)
+        std::printf("  aborted tx      %llu\n",
+                    static_cast<unsigned long long>(s.abortedTx));
     std::printf("  instructions    %llu  (ipc/core %.3f)\n",
                 static_cast<unsigned long long>(s.instr.total),
                 s.ipc);
@@ -165,6 +227,17 @@ main(int argc, char **argv)
                 "write-backs\n",
                 static_cast<unsigned long long>(s.fwbScans),
                 static_cast<unsigned long long>(s.fwbWritebacks));
+    if (s.logFullStalls != 0 || s.forcedWritebacks != 0)
+        std::printf("  log-full        %llu stalls, %llu forced "
+                    "write-backs (%s)\n",
+                    static_cast<unsigned long long>(s.logFullStalls),
+                    static_cast<unsigned long long>(
+                        s.forcedWritebacks),
+                    logFullPolicyName(logFull));
+    if (s.faultsInjected != 0)
+        std::printf("  media faults    %llu injected (seed %llu)\n",
+                    static_cast<unsigned long long>(s.faultsInjected),
+                    static_cast<unsigned long long>(faults.seed));
     std::printf("  invariants      %llu order violations, %llu "
                 "overwrite hazards\n",
                 static_cast<unsigned long long>(s.orderViolations),
@@ -173,7 +246,7 @@ main(int argc, char **argv)
                 "processor dynamic\n",
                 s.energy.memoryDynamicPj() / 1e3,
                 s.energy.processorDynamicPj() / 1e3);
-    if (o.crashed)
+    if (o.crashed) {
         std::printf("  recovery        %llu records, %llu redone, "
                     "%llu rolled back\n",
                     static_cast<unsigned long long>(
@@ -182,6 +255,22 @@ main(int argc, char **argv)
                         o.recovery.committedTxns),
                     static_cast<unsigned long long>(
                         o.recovery.uncommittedTxns));
+        if (o.recovery.damagedSlots() != 0 ||
+            o.recovery.quarantinedTxns != 0)
+            std::printf("  salvage         %llu salvaged, %llu "
+                        "quarantined; %llu torn / %llu crc-fail / "
+                        "%llu stale slots\n",
+                        static_cast<unsigned long long>(
+                            o.recovery.salvagedTxns),
+                        static_cast<unsigned long long>(
+                            o.recovery.quarantinedTxns),
+                        static_cast<unsigned long long>(
+                            o.recovery.tornSlots),
+                        static_cast<unsigned long long>(
+                            o.recovery.crcFailSlots),
+                        static_cast<unsigned long long>(
+                            o.recovery.stalePassSlots));
+    }
     std::printf("  verified        %s%s%s\n",
                 o.verified ? "yes" : "NO",
                 o.verifyMessage.empty() ? "" : " - ",
