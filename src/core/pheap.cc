@@ -27,6 +27,16 @@ BumpAllocator::alloc(std::uint64_t size, std::uint64_t align)
     return a;
 }
 
+void
+BumpAllocator::resumeTo(std::uint64_t allocatedBytes)
+{
+    SNF_ASSERT(allocatedBytes <= rangeSize,
+               "resume cursor %llu beyond heap size %llu",
+               static_cast<unsigned long long>(allocatedBytes),
+               static_cast<unsigned long long>(rangeSize));
+    cursor = rangeBase + allocatedBytes;
+}
+
 PersistentHeap::PersistentHeap(const AddressMap &map,
                                mem::MemDevice &dev)
     : BumpAllocator(map.heapBase(),

@@ -44,6 +44,14 @@ class BumpAllocator
     /** Reset to empty (between runs sharing a System). */
     void reset() { cursor = rangeBase; }
 
+    /**
+     * Resume with @p allocatedBytes already in use — the lifecycle
+     * driver restores the cursor recorded in the NVRAM superblock
+     * when restarting on a recovered image, so prior allocations
+     * stay owned and new ones land above them.
+     */
+    void resumeTo(std::uint64_t allocatedBytes);
+
   private:
     Addr rangeBase;
     std::uint64_t rangeSize;

@@ -13,6 +13,14 @@ System::System(const SystemConfig &config, PersistMode m)
       scheduler(eventQueue)
 {
     cfg.validate();
+    // Hand the NVRAM device its remap-table geometry (lifelab) so it
+    // can translate promoted lines; zero sizes leave it inert.
+    if (cfg.map.remapSize != 0) {
+        cfg.nvram.remapBase = cfg.map.remapBase();
+        cfg.nvram.remapSize = cfg.map.remapSize;
+        cfg.nvram.spareBase = cfg.map.spareBase();
+        cfg.nvram.spareSize = cfg.map.spareSize;
+    }
     memory = std::make_unique<mem::MemorySystem>(cfg);
     pheap = std::make_unique<PersistentHeap>(cfg.map, memory->nvram());
     dheap = std::make_unique<BumpAllocator>(cfg.map.dramBase,
@@ -59,9 +67,10 @@ System::System(const SystemConfig &config, PersistMode m)
             return memory->clwb(0, addr, now);
         });
         region->setAbortRequestSink([this](std::uint64_t seq) {
-            txnTracker.requestAbort(seq);
+            return txnTracker.requestAbort(seq);
         });
     }
+    txnTracker.setAbortRetryCap(cfg.persist.abortRetryCap);
 
     if (isHardwareLogging(persistMode)) {
         std::vector<persist::LogBuffer *> buf_ptrs;
@@ -105,6 +114,21 @@ System::System(const SystemConfig &config, PersistMode m)
         fwbEngine = std::make_unique<persist::FwbEngine>(
             *memory, eventQueue, cfg.persist);
         fwbEngine->start(0);
+    }
+
+    if (cfg.persist.scrub) {
+        scrubber = std::make_unique<persist::LogScrubber>(
+            memory->nvram(), cfg.persist);
+        for (auto &region : logRegions)
+            scrubber->addRegion(region.get());
+        if (fwbEngine) {
+            // Ride the FWB cadence: one scrub chunk per scan pass.
+            fwbEngine->setScanHook(
+                [this](Tick now) { scrubber->step(now); });
+        } else {
+            scrubber->start(eventQueue,
+                            persist::FwbEngine::derivePeriod(cfg), 0);
+        }
     }
 
     for (CoreId c = 0; c < cfg.numCores; ++c)
@@ -151,6 +175,8 @@ System::run(Tick stopAt)
             end = std::max(end, buf->drainAll(end));
         if (fwbEngine)
             fwbEngine->stop();
+        if (scrubber)
+            scrubber->stop();
     }
     return end;
 }
@@ -196,6 +222,19 @@ System::crashSnapshot(Tick at) const
     SNF_ASSERT(store.journalEnabled(),
                "crashSnapshot requires PersistConfig::crashJournal");
     return store.snapshotAt(at);
+}
+
+void
+System::adoptNvramImage(const mem::BackingStore &image)
+{
+    memory->nvram().store().assignFrom(image);
+    if (memory->nvram().remapActive())
+        memory->nvram().reloadRemap();
+    // Recovery truncated the log, so the regions' freshly-constructed
+    // volatile state (empty, pass 1) is right; re-install matching
+    // pristine headers over whatever header the crash image carried.
+    for (auto &region : logRegions)
+        region->create();
 }
 
 RunStats
@@ -247,6 +286,15 @@ System::collectStats(Tick cycles) const
         s.logFullStalls += region->logFullStalls.value();
         s.forcedWritebacks += region->forcedWritebacks.value();
     }
+    s.logFullEscalations = txnTracker.abortEscalations.value();
+    s.remappedLines = nv.remappedLines.value();
+    if (scrubber) {
+        s.scrubSlotsScanned = scrubber->slotsScanned.value();
+        s.scrubReadBytes = scrubber->readBytes.value();
+        s.scrubWriteBytes = scrubber->writeBytes.value();
+        s.scrubRepairs = scrubber->repairs.value();
+        s.scrubPromotions = scrubber->promotions.value();
+    }
 
     s.orderViolations = memory->monitor().orderViolations();
     s.overwriteHazards = memory->monitor().overwriteHazards();
@@ -275,6 +323,8 @@ System::dumpStats(std::ostream &os)
         swLogging->stats().dump(os);
     if (fwbEngine)
         fwbEngine->stats().dump(os);
+    if (scrubber)
+        scrubber->stats().dump(os);
 }
 
 } // namespace snf

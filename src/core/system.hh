@@ -37,6 +37,7 @@
 #include "persist/hwl_engine.hh"
 #include "persist/log_buffer.hh"
 #include "persist/log_region.hh"
+#include "persist/log_scrubber.hh"
 #include "persist/recovery.hh"
 #include "persist/sw_logging.hh"
 #include "persist/txn_tracker.hh"
@@ -81,10 +82,22 @@ struct RunStats
     // Log-full policy activity (zero under the legacy Reclaim policy).
     std::uint64_t logFullStalls = 0;
     std::uint64_t forcedWritebacks = 0;
+    /** Abort requests denied by the livelock guard (escalated to
+     *  stall-style waiting). */
+    std::uint64_t logFullEscalations = 0;
 
     // NVRAM media faults injected by the fault model (zero unless
     // MemDeviceConfig::faults is enabled).
     std::uint64_t faultsInjected = 0;
+
+    // Online log scrubber (lifelab; zero unless PersistConfig::scrub).
+    std::uint64_t scrubSlotsScanned = 0;
+    std::uint64_t scrubReadBytes = 0;
+    std::uint64_t scrubWriteBytes = 0;
+    std::uint64_t scrubRepairs = 0;
+    std::uint64_t scrubPromotions = 0;
+    /** Lines promoted into the persistent bad-line remap table. */
+    std::uint64_t remappedLines = 0;
 
     energy::EnergyBreakdown energy;
 };
@@ -147,6 +160,16 @@ class System
     mem::BackingStore crashSnapshot(Tick at) const;
 
     /**
+     * Adopt @p image as this system's NVRAM contents (lifelab resume
+     * path): the backing store takes the recovered image, the remap
+     * table is reloaded from it, and every log region re-installs a
+     * pristine header matching its (empty) volatile state. Caches and
+     * the crash journal restart cold, so the adopted image is the
+     * tick-0 state of the new generation.
+     */
+    void adoptNvramImage(const mem::BackingStore &image);
+
+    /**
      * Install a crash-tooling probe across every event source: the
      * log buffers (LogDrain, CommitDurable), the bus monitor
      * (DataWriteback), the WCB (WcbFlush), the FWB engine (FwbScan)
@@ -184,6 +207,8 @@ class System
 
     persist::FwbEngine *fwb() { return fwbEngine.get(); }
 
+    persist::LogScrubber *scrub() { return scrubber.get(); }
+
     persist::LogBuffer *logBuffer()
     {
         return logBufs.empty() ? nullptr : logBufs[0].get();
@@ -202,6 +227,7 @@ class System
     std::unique_ptr<persist::HwlEngine> hwlEngine;
     std::unique_ptr<persist::SwLogging> swLogging;
     std::unique_ptr<persist::FwbEngine> fwbEngine;
+    std::unique_ptr<persist::LogScrubber> scrubber;
     cpu::Scheduler scheduler;
     std::vector<std::unique_ptr<Thread>> threads;
     std::vector<sim::Co<void>> rootCoros;

@@ -158,6 +158,18 @@ SystemConfig::validate() const
         fatal("log does not fit in NVRAM");
     if (persist.wcbEntries == 0)
         fatal("WCB needs at least one entry");
+    if (map.remapSize != 0) {
+        if (map.remapSize % 128 != 0 || map.remapSize < 256)
+            fatal("remap region size %llu not two >=128-byte banks",
+                  static_cast<unsigned long long>(map.remapSize));
+        if (map.spareSize % 64 != 0)
+            fatal("spare area size %llu not line-aligned",
+                  static_cast<unsigned long long>(map.spareSize));
+    } else if (map.spareSize != 0) {
+        fatal("spare area without a remap table");
+    }
+    if (map.logSize + map.remapSize + map.spareSize >= map.nvramSize)
+        fatal("log + remap + spares do not fit in NVRAM");
 }
 
 } // namespace snf

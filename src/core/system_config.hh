@@ -142,6 +142,17 @@ struct MemDeviceConfig
 
     /** Media-fault injection (faultlab); disabled by default. */
     FaultModelConfig faults;
+
+    /**
+     * Bad-line remapping (lifelab): geometry of the persistent remap
+     * table and its spare-line area on this device. Zero sizes (the
+     * default) disable remapping entirely. Populated by the System
+     * from AddressMap::remapBase()/spareBase() for the NVRAM device.
+     */
+    Addr remapBase = 0;
+    std::uint64_t remapSize = 0;
+    Addr spareBase = 0;
+    std::uint64_t spareSize = 0;
 };
 
 /** Simulated core (timing model) parameters. */
@@ -228,6 +239,30 @@ struct PersistConfig
     std::uint32_t logFullRetries = 8;
     /** Stall/AbortRetry: base backoff in ticks (doubles per try). */
     Tick logFullBackoffBase = 64;
+    /**
+     * AbortRetry livelock guard: once the same thread has been made
+     * the abort victim this many consecutive times without managing
+     * to commit, further abort requests against it are denied and the
+     * append escalates to the Stall policy for that slot (counted in
+     * TxnTracker's escalations stat). 0 disables the cap.
+     */
+    std::uint32_t abortRetryCap = 8;
+
+    /**
+     * Online log scrubber (lifelab): piggybacks on the FWB cadence
+     * (or an equivalent self-scheduled period under non-FWB modes) to
+     * CRC-walk a chunk of the log window in the background, rewriting
+     * correctable slots, retiring uncorrectable dead ones, and
+     * promoting repeat-offender lines into the bad-line remap table.
+     */
+    bool scrub = false;
+    /** Slots checked per scrub step; 0 = slots/256 (one full walk of
+     *  the log every 256 scan periods, bounding scrub reads to a
+     *  sub-percent slice of device bandwidth). */
+    std::uint64_t scrubChunkSlots = 0;
+    /** Error observations on one line before it is promoted into the
+     *  remap table. */
+    std::uint32_t scrubPromoteThreshold = 3;
 };
 
 /** Physical address map of the simulated machine. */
@@ -241,6 +276,14 @@ struct AddressMap
     std::uint64_t logSize = 4ULL << 20;
     /** Number of log partitions (1 = centralized). */
     std::uint32_t logPartitions = 1;
+    /**
+     * Bad-line remap table region (lifelab), directly above the log:
+     * two CRC-protected banks of mapping entries. 0 (the default)
+     * disables remapping and keeps the pre-lifelab address map.
+     */
+    std::uint64_t remapSize = 0;
+    /** Spare-line area the remap table hands lines out of. */
+    std::uint64_t spareSize = 0;
 
     bool
     isNvram(Addr a) const
@@ -256,8 +299,14 @@ struct AddressMap
 
     Addr logBase() const { return nvramBase; }
 
-    /** First heap address: NVRAM after the log region. */
-    Addr heapBase() const { return nvramBase + logSize; }
+    /** Remap-table region: NVRAM after the log. */
+    Addr remapBase() const { return nvramBase + logSize; }
+
+    /** Spare-line area: after the remap table. */
+    Addr spareBase() const { return remapBase() + remapSize; }
+
+    /** First heap address: NVRAM after log + remap + spares. */
+    Addr heapBase() const { return spareBase() + spareSize; }
 };
 
 /** Complete configuration of one simulated system. */

@@ -5,7 +5,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include <optional>
+
 #include "mem/fault_model.hh"
+#include "mem/remap_table.hh"
 #include "persist/log_record.hh"
 #include "persist/log_region.hh"
 
@@ -39,6 +42,42 @@ unit(std::uint64_t h)
     return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+/**
+ * A slot's live bytes move to its spare line once the persistent
+ * remap table promotes the line (lifelab), so slot reads and the
+ * damage writes must go through the image's table — otherwise faults
+ * would land on the stale pre-promotion copy and remapped lines would
+ * silently become immune. Decision hashes stay keyed on the logical
+ * slot address, which is stable across promotion. Log headers and
+ * slots never cross a 64-byte line, so one translation per access
+ * suffices.
+ */
+struct SlotView
+{
+    SlotView(const mem::BackingStore &image, const AddressMap &map)
+    {
+        if (map.remapSize == 0)
+            return;
+        table.emplace(map.remapBase(), map.remapSize, map.spareBase(),
+                      map.spareSize);
+        table->load(image); // fresh/corrupt loads empty == identity
+    }
+
+    Addr
+    translate(Addr a) const
+    {
+        if (!table)
+            return a;
+        Addr line =
+            a & ~static_cast<Addr>(mem::RemapTable::kLineBytes - 1);
+        if (auto spare = table->find(line))
+            return *spare + (a - line);
+        return a;
+    }
+
+    std::optional<mem::RemapTable> table;
+};
+
 // Distinct decision streams per slot (mixed into the hash seed).
 constexpr std::uint64_t kSaltDrop = 0x11;
 constexpr std::uint64_t kSaltTorn = 0x12;
@@ -68,14 +107,16 @@ applyImageFaults(mem::BackingStore &image, const AddressMap &map,
         return mem::FaultInjector::hash(cfg.seed ^ salt, slotAddr,
                                         crashTick);
     };
+    SlotView view(image, map);
 
     std::uint32_t partitions = std::max(map.logPartitions, 1u);
     std::uint64_t part_bytes = map.logSize / partitions;
     for (std::uint32_t p = 0; p < partitions; ++p) {
         Addr base = map.logBase() + p * part_bytes;
-        if (image.read64(base) != persist::LogRegion::kMagic)
+        if (image.read64(view.translate(base)) !=
+            persist::LogRegion::kMagic)
             continue;
-        std::uint64_t slots = image.read64(base + 8);
+        std::uint64_t slots = image.read64(view.translate(base + 8));
         std::uint64_t max_slots =
             (part_bytes - persist::LogRegion::kHeaderBytes) /
             persist::LogRecord::kSlotBytes;
@@ -86,7 +127,8 @@ applyImageFaults(mem::BackingStore &image, const AddressMap &map,
         for (std::uint64_t i = 0; i < slots; ++i) {
             Addr a = slot0 + i * persist::LogRecord::kSlotBytes;
             std::uint8_t img[persist::LogRecord::kSlotBytes];
-            image.read(a, persist::LogRecord::kSlotBytes, img);
+            image.read(view.translate(a),
+                       persist::LogRecord::kSlotBytes, img);
             // Only well-formed slots are candidates, so the damaged
             // set below is exactly the transactions we touched.
             persist::SlotInfo info = persist::classifySlot(img);
@@ -121,7 +163,8 @@ applyImageFaults(mem::BackingStore &image, const AddressMap &map,
                 touched = 1;
             }
             if (touched) {
-                image.write(a, persist::LogRecord::kSlotBytes, img);
+                image.write(view.translate(a),
+                            persist::LogRecord::kSlotBytes, img);
                 plan.slotsFaulted += 1;
                 plan.damagedTxIds.push_back(info.rec.tx);
             }
@@ -152,17 +195,21 @@ coveredRanges(const mem::BackingStore &image, const AddressMap &map,
     };
 
     std::vector<std::pair<Addr, Addr>> ranges;
+    SlotView view(image, map);
     std::uint32_t partitions = std::max(map.logPartitions, 1u);
     std::uint64_t part_bytes = map.logSize / partitions;
     for (std::uint32_t p = 0; p < partitions; ++p) {
         Addr base = map.logBase() + p * part_bytes;
-        if (image.read64(base) != persist::LogRegion::kMagic)
+        if (image.read64(view.translate(base)) !=
+            persist::LogRegion::kMagic)
             continue;
-        std::uint64_t slots = image.read64(base + 8);
+        std::uint64_t slots = image.read64(view.translate(base + 8));
         Addr slot0 = base + persist::LogRegion::kHeaderBytes;
         for (std::uint64_t i = 0; i < slots; ++i) {
             std::uint8_t img[persist::LogRecord::kSlotBytes];
-            image.read(slot0 + i * persist::LogRecord::kSlotBytes,
+            image.read(view.translate(
+                           slot0 +
+                           i * persist::LogRecord::kSlotBytes),
                        persist::LogRecord::kSlotBytes, img);
             persist::SlotInfo info = persist::classifySlot(img);
             if (info.cls != persist::SlotClass::Valid ||

@@ -61,6 +61,30 @@ struct ImageFaultConfig
         return bitFlipProb > 0.0 || multiBitProb > 0.0 ||
                dropSlotProb > 0.0 || tornSlotProb > 0.0;
     }
+
+    /** Rare single-bit upsets (the common PCM field-failure mode). */
+    static ImageFaultConfig
+    light(std::uint64_t seed)
+    {
+        ImageFaultConfig f;
+        f.seed = seed;
+        f.bitFlipProb = 5e-3;
+        return f;
+    }
+
+    /** Aggressive mixed-mode damage for soak testing (snfsoak
+     *  --fault-preset heavy). */
+    static ImageFaultConfig
+    heavy(std::uint64_t seed)
+    {
+        ImageFaultConfig f;
+        f.seed = seed;
+        f.bitFlipProb = 2e-2;
+        f.multiBitProb = 5e-3;
+        f.dropSlotProb = 5e-3;
+        f.tornSlotProb = 5e-3;
+        return f;
+    }
 };
 
 /** Exactly what applyImageFaults() damaged, for soundness oracles. */

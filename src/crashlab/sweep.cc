@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "crashlab/lifecycle.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -112,13 +113,33 @@ runCrashSweep(const SweepConfig &cfg)
     auto evaluate = [&](Tick t, persist::RecoveryReport *rep,
                         ImageFaultPlan *plan) {
         mem::BackingStore image = csys.crashSnapshot(t);
+        std::vector<Violation> violations;
         if (cfg.imageFaults.enabled()) {
-            return checkFaultedCrashPoint(image, csys.config().map,
-                                          cfg.imageFaults, factsAt(t),
-                                          cfg.recovery, rep, plan);
+            violations = checkFaultedCrashPoint(
+                image, csys.config().map, cfg.imageFaults, factsAt(t),
+                cfg.recovery, rep, plan);
+        } else {
+            violations =
+                checkCrashPoint(image, csys.config().map, *workload,
+                                factsAt(t), cfg.recovery, rep);
         }
-        return checkCrashPoint(image, csys.config().map, *workload,
-                               factsAt(t), cfg.recovery, rep);
+        // Crash-during-recovery (I8 extension): recovery of this
+        // snapshot, interrupted at any interior write and re-run,
+        // must converge with the uninterrupted pass.
+        if (cfg.recoverySweepStride != 0) {
+            if (cfg.imageFaults.enabled())
+                applyImageFaults(image, csys.config().map,
+                                 cfg.imageFaults, t);
+            persist::RecoveryOptions canon = cfg.recovery;
+            canon.truncateLog = true;
+            canon.promoteBadLines =
+                csys.config().map.remapSize != 0;
+            std::vector<Violation> v = checkRecoveryReentrancy(
+                image, csys.config().map, canon,
+                cfg.recoverySweepStride);
+            violations.insert(violations.end(), v.begin(), v.end());
+        }
+        return violations;
     };
 
     // Parallel evaluation. Workers only read the (const) System and

@@ -56,6 +56,15 @@ struct SweepConfig
      * undamaged-set oracle) instead of the clean-image set.
      */
     ImageFaultConfig imageFaults;
+    /**
+     * Crash-during-recovery coverage (lifelab, extends I8): when
+     * nonzero, every evaluated crash point additionally proves that
+     * recovery is re-entrant — the pass is interrupted at every NVRAM
+     * line-write budget that is a multiple of this stride, re-run,
+     * and required to converge byte-for-byte with an uninterrupted
+     * pass (1 = every interior write; see checkRecoveryReentrancy).
+     */
+    std::uint64_t recoverySweepStride = 0;
 };
 
 /** Outcome of one evaluated crash point (kept for failures only). */

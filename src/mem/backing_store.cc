@@ -136,6 +136,29 @@ BackingStore::snapshotAt(Tick tick) const
     return snap;
 }
 
+void
+BackingStore::assignFrom(const BackingStore &other)
+{
+    SNF_ASSERT(rangeBase == other.rangeBase &&
+                   rangeSize == other.rangeSize,
+               "assignFrom with mismatched store geometry");
+    pages = other.pages;
+    if (journalOn) {
+        journalBase = pages;
+        journal.clear();
+    }
+}
+
+void
+BackingStore::forEachJournalWrite(
+    Tick maxTick,
+    const std::function<void(Addr, std::uint64_t)> &fn) const
+{
+    for (const auto &e : journal)
+        if (e.done <= maxTick)
+            fn(e.addr, e.bytes.size());
+}
+
 std::optional<Addr>
 BackingStore::firstDifference(const BackingStore &other, Addr from,
                               std::uint64_t size) const

@@ -9,6 +9,7 @@
 #define SNF_MEM_BACKING_STORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,24 @@ class BackingStore
      * completion, not by issue). Requires enableJournal().
      */
     BackingStore snapshotAt(Tick tick) const;
+
+    /**
+     * Replace this store's contents with @p other's (same range
+     * required). If journaling is on, the adopted image becomes the
+     * new journal base and the journal restarts empty — used by the
+     * lifecycle driver to resume a system on a recovered image while
+     * keeping crash snapshots of the new generation possible.
+     */
+    void assignFrom(const BackingStore &other);
+
+    /**
+     * Visit every journaled write with doneTick <= @p maxTick as
+     * (addr, size). Lifecycle's cross-generation invariant I9 uses
+     * this to exclude legitimately-overwritten lines.
+     */
+    void forEachJournalWrite(
+        Tick maxTick,
+        const std::function<void(Addr, std::uint64_t)> &fn) const;
 
     /**
      * Lowest address in [from, from+size) at which this store and

@@ -31,8 +31,111 @@ MemDevice::MemDevice(std::string name, const MemDeviceConfig &config,
       faultMultiBit(statGroup.counter("fault_multi_bit")),
       faultTornLines(statGroup.counter("fault_torn_lines")),
       faultDroppedWrites(statGroup.counter("fault_dropped_writes")),
-      faultStuckWords(statGroup.counter("fault_stuck_words"))
+      faultStuckWords(statGroup.counter("fault_stuck_words")),
+      remappedLines(statGroup.counter("remapped_lines"))
 {
+    if (cfg.remapSize != 0)
+        remapTable = std::make_unique<RemapTable>(
+            cfg.remapBase, cfg.remapSize, cfg.spareBase, cfg.spareSize);
+}
+
+void
+MemDevice::rebuildLineMap()
+{
+    lineMap.clear();
+    if (!remapTable)
+        return;
+    for (const RemapTable::Entry &e : remapTable->entries())
+        lineMap.emplace(e.orig, e.spare);
+}
+
+Addr
+MemDevice::translate(Addr addr) const
+{
+    if (lineMap.empty())
+        return addr;
+    Addr line = addr & ~static_cast<Addr>(RemapTable::kLineBytes - 1);
+    auto it = lineMap.find(line);
+    if (it == lineMap.end())
+        return addr;
+    return it->second + (addr - line);
+}
+
+void
+MemDevice::mediaRead(Addr addr, std::uint64_t size, void *out) const
+{
+    if (lineMap.empty()) {
+        backing.read(addr, size, out);
+        return;
+    }
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (size > 0) {
+        Addr line_end =
+            (addr | (RemapTable::kLineBytes - 1)) + 1;
+        std::uint64_t n = std::min<std::uint64_t>(size,
+                                                  line_end - addr);
+        backing.read(translate(addr), n, dst);
+        dst += n;
+        addr += n;
+        size -= n;
+    }
+}
+
+void
+MemDevice::mediaWrite(Addr addr, std::uint64_t size, const void *in,
+                      Tick done)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    if (lineMap.empty() && !faults.enabled()) {
+        backing.write(addr, size, in, done);
+        return;
+    }
+    if (lineMap.empty()) {
+        // Legacy faultlab path (no promoted lines): damage the whole
+        // buffer at its logical address, bit-identical to pre-lifelab
+        // behavior.
+        std::vector<std::uint8_t> fresh(size), old(size);
+        std::memcpy(fresh.data(), in, size);
+        backing.read(addr, size, old.data());
+        FaultCounters fc =
+            faults.apply(addr, size, fresh.data(), old.data(), done);
+        faultBitFlips.inc(fc.bitFlips);
+        faultMultiBit.inc(fc.multiBit);
+        faultTornLines.inc(fc.tornLines);
+        faultDroppedWrites.inc(fc.droppedWrites);
+        faultStuckWords.inc(fc.stuckWords);
+        backing.write(addr, size, fresh.data(), done);
+        return;
+    }
+    // Promoted lines exist: split by 64-byte line and land each
+    // segment at its physical (possibly spare) address. Faults are
+    // hashed on the physical address, so remapping away from a stuck
+    // row genuinely heals it.
+    while (size > 0) {
+        Addr line_end =
+            (addr | (RemapTable::kLineBytes - 1)) + 1;
+        std::uint64_t n = std::min<std::uint64_t>(size,
+                                                  line_end - addr);
+        Addr phys = translate(addr);
+        if (faults.enabled()) {
+            std::vector<std::uint8_t> fresh(n), old(n);
+            std::memcpy(fresh.data(), src, n);
+            backing.read(phys, n, old.data());
+            FaultCounters fc = faults.apply(phys, n, fresh.data(),
+                                            old.data(), done);
+            faultBitFlips.inc(fc.bitFlips);
+            faultMultiBit.inc(fc.multiBit);
+            faultTornLines.inc(fc.tornLines);
+            faultDroppedWrites.inc(fc.droppedWrites);
+            faultStuckWords.inc(fc.stuckWords);
+            backing.write(phys, n, fresh.data(), done);
+        } else {
+            backing.write(phys, n, src, done);
+        }
+        src += n;
+        addr += n;
+        size -= n;
+    }
 }
 
 std::uint64_t
@@ -115,26 +218,11 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
         // the access itself.
         writeEnergyPj.add(bits *
                           (cfg.rowWritePjBit + cfg.arrayWritePjBit));
-        if (wdata) {
-            if (faults.enabled()) {
-                // Timing and energy were charged above; faultlab only
-                // damages what lands in the media.
-                std::vector<std::uint8_t> fresh(size), old(size);
-                std::memcpy(fresh.data(), wdata, size);
-                backing.read(addr, size, old.data());
-                FaultCounters fc = faults.apply(addr, size,
-                                                fresh.data(),
-                                                old.data(), done);
-                faultBitFlips.inc(fc.bitFlips);
-                faultMultiBit.inc(fc.multiBit);
-                faultTornLines.inc(fc.tornLines);
-                faultDroppedWrites.inc(fc.droppedWrites);
-                faultStuckWords.inc(fc.stuckWords);
-                backing.write(addr, size, fresh.data(), done);
-            } else {
-                backing.write(addr, size, wdata, done);
-            }
-        }
+        // Timing and energy were charged above on the logical
+        // address; mediaWrite handles fault injection and remap
+        // translation of the bytes that land.
+        if (wdata)
+            mediaWrite(addr, size, wdata, done);
     } else {
         reads.inc();
         readBytes.inc(size);
@@ -142,7 +230,7 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
         if (!row_hit)
             readEnergyPj.add(bits * cfg.arrayReadPjBit);
         if (rdata)
-            backing.read(addr, size, rdata);
+            mediaRead(addr, size, rdata);
     }
     if (row_hit)
         rowHits.inc();
@@ -155,13 +243,79 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
 void
 MemDevice::functionalRead(Addr addr, std::uint64_t size, void *out) const
 {
-    backing.read(addr, size, out);
+    mediaRead(addr, size, out);
 }
 
 void
 MemDevice::functionalWrite(Addr addr, std::uint64_t size, const void *in)
 {
-    backing.write(addr, size, in, 0);
+    if (lineMap.empty()) {
+        backing.write(addr, size, in, 0);
+        return;
+    }
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (size > 0) {
+        Addr line_end = (addr | (RemapTable::kLineBytes - 1)) + 1;
+        std::uint64_t n = std::min<std::uint64_t>(size,
+                                                  line_end - addr);
+        backing.write(translate(addr), n, src, 0);
+        src += n;
+        addr += n;
+        size -= n;
+    }
+}
+
+bool
+MemDevice::remapLine(Addr lineAddr, Tick now)
+{
+    if (!remapTable)
+        return false;
+    lineAddr &= ~static_cast<Addr>(RemapTable::kLineBytes - 1);
+    // Reject lines inside the remap/spare metadata itself — mapping
+    // the table through itself would recurse.
+    if (lineAddr >= cfg.remapBase &&
+        lineAddr < cfg.spareBase + cfg.spareSize)
+        return false;
+    std::uint8_t buf[RemapTable::kLineBytes];
+    mediaRead(lineAddr, sizeof(buf), buf);
+    std::optional<Addr> spare = remapTable->add(lineAddr);
+    if (!spare)
+        return false;
+    // Copy the line's current bytes to its spare, then durably
+    // publish the mapping; traffic switches over only afterwards, so
+    // an interrupted promotion leaves the old (valid) table in force.
+    access(true, *spare, sizeof(buf), buf, nullptr, now, true);
+    bool ok = remapTable->persist(
+        [this, now](Addr a, std::uint64_t n, const void *d) {
+            access(true, a, n, d, nullptr, now, true);
+        });
+    SNF_ASSERT(ok, "uncapped remap-table persist cannot fail");
+    rebuildLineMap();
+    remappedLines.inc();
+    return true;
+}
+
+RemapTable::LoadResult
+MemDevice::reloadRemap()
+{
+    SNF_ASSERT(remapTable, "reloadRemap without a remap region");
+    RemapTable::LoadResult res = remapTable->load(backing);
+    rebuildLineMap();
+    return res;
+}
+
+void
+MemDevice::updateSuperblock(std::uint64_t heapCursor,
+                            std::uint64_t generation)
+{
+    SNF_ASSERT(remapTable, "superblock without a remap region");
+    remapTable->heapCursor = heapCursor;
+    remapTable->generation = generation;
+    bool ok = remapTable->persist(
+        [this](Addr a, std::uint64_t n, const void *d) {
+            backing.write(a, n, d, 0);
+        });
+    SNF_ASSERT(ok, "uncapped superblock persist cannot fail");
 }
 
 Tick

@@ -8,6 +8,7 @@
 #ifndef SNF_MEM_MEM_DEVICE_HH
 #define SNF_MEM_MEM_DEVICE_HH
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/system_config.hh"
 #include "mem/backing_store.hh"
 #include "mem/fault_model.hh"
+#include "mem/remap_table.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -55,6 +57,44 @@ class MemDevice
 
     /** Functional, zero-time write (recovery). */
     void functionalWrite(Addr addr, std::uint64_t size, const void *in);
+
+    /** True when this device carries a bad-line remap region. */
+    bool remapActive() const { return cfg.remapSize != 0; }
+
+    RemapTable *remap() { return remapTable.get(); }
+    const RemapTable *remap() const { return remapTable.get(); }
+
+    /**
+     * Line-granularity address translation through the remap table:
+     * a promoted line's traffic is served at its spare. Identity when
+     * nothing is promoted (the common case, and the whole tier-1
+     * surface).
+     */
+    Addr translate(Addr addr) const;
+
+    /**
+     * Promote @p lineAddr into the remap table: copy its current
+     * bytes to the assigned spare and durably publish the new table
+     * (both through timed priority writes at @p now), then switch
+     * translation over. Returns false when the table is full, the
+     * line is already promoted, or no remap region exists.
+     */
+    bool remapLine(Addr lineAddr, Tick now);
+
+    /**
+     * Re-read the remap table from the backing store and rebuild the
+     * translation map — used after the lifecycle driver adopts a
+     * recovered NVRAM image.
+     */
+    RemapTable::LoadResult reloadRemap();
+
+    /**
+     * Durably record the lifecycle superblock (persistent-heap bump
+     * cursor and generation number) carried in the remap-table
+     * header, via functional (tick-0, journaled) writes.
+     */
+    void updateSuperblock(std::uint64_t heapCursor,
+                          std::uint64_t generation);
 
     BackingStore &store() { return backing; }
     const BackingStore &store() const { return backing; }
@@ -118,6 +158,10 @@ class MemDevice
     Addr baseAddr;
     BackingStore backing;
     FaultInjector faults;
+    /** Bad-line remap table (lifelab); null without a remap region. */
+    std::unique_ptr<RemapTable> remapTable;
+    /** orig line -> spare line mirror of the table, for O(1) lookup. */
+    std::unordered_map<Addr, Addr> lineMap;
     std::vector<Bank> banks;
     std::unordered_map<std::uint64_t, std::uint64_t> rowWrites;
     Tick readChannelBusy = 0;
@@ -141,12 +185,21 @@ class MemDevice
     sim::Counter &faultTornLines;
     sim::Counter &faultDroppedWrites;
     sim::Counter &faultStuckWords;
+    /** Lines promoted into the remap table on this device. */
+    sim::Counter &remappedLines;
 
     const FaultInjector &faultInjector() const { return faults; }
 
   private:
     std::uint64_t rowOf(Addr addr) const;
     std::uint32_t bankOf(std::uint64_t row) const;
+    void rebuildLineMap();
+    /** Backing-store data movement with remap translation. Timing is
+     *  charged on logical addresses by access(); only the bytes move
+     *  to the spare. */
+    void mediaRead(Addr addr, std::uint64_t size, void *out) const;
+    void mediaWrite(Addr addr, std::uint64_t size, const void *in,
+                    Tick done);
 };
 
 } // namespace snf::mem

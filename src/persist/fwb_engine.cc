@@ -69,6 +69,8 @@ FwbEngine::scan(Tick now)
     if (probe)
         probe(sim::ProbeEvent::FwbScan,
               std::max(now, result.lastWritebackDone), scans.value());
+    if (scanHook)
+        scanHook(now);
 }
 
 } // namespace snf::persist

@@ -50,6 +50,17 @@ class FwbEngine
      */
     void setProbe(sim::ProbeFn p) { probe = std::move(p); }
 
+    /**
+     * Piggyback hook run at the end of every scan pass — the log
+     * scrubber (lifelab) rides the FWB cadence so its background
+     * traffic stays proportional to the existing scan overhead.
+     */
+    void
+    setScanHook(std::function<void(Tick)> hook)
+    {
+        scanHook = std::move(hook);
+    }
+
     sim::StatGroup &stats() { return statGroup; }
 
   private:
@@ -62,6 +73,7 @@ class FwbEngine
     Tick scanPeriod;
     bool running = false;
     sim::ProbeFn probe;
+    std::function<void(Tick)> scanHook;
     sim::StatGroup statGroup;
 
   public:

@@ -89,13 +89,18 @@ LogRegion::reserve(const LogRecord &rec, Tick now)
         // retrying with bounded exponential backoff in simulated
         // ticks. Only when the retries are exhausted does the append
         // fall through to the legacy counted-hazard reclaim.
+        bool abort_denied = false;
         for (std::uint32_t attempt = 0;
              attempt <= policyRetries; ++attempt) {
             bool blocked = false;
             if (txActive && txActive(m.txSeq)) {
                 if (policy == LogFullPolicy::AbortRetry &&
-                    abortRequest)
-                    abortRequest(m.txSeq);
+                    abortRequest && !abort_denied) {
+                    // A denial is the livelock guard escalating this
+                    // append to the Stall policy: keep backing off,
+                    // but stop hammering the same victim.
+                    abort_denied = !abortRequest(m.txSeq);
+                }
                 // The victim can only roll back when its thread next
                 // runs; within this append the slot stays blocked.
                 blocked = true;

@@ -41,6 +41,14 @@ class LogRegion
   public:
     static constexpr std::uint64_t kMagic = 0x534e464c4f470001ULL;
     static constexpr std::uint32_t kHeaderBytes = 64;
+    /**
+     * Header word recovery raises (with replay and promotion already
+     * complete) before zeroing the slot array, and clears after it.
+     * A recovery pass finding it set resumes the zeroing directly —
+     * it must not reinterpret a partially truncated slot array. The
+     * live system never sets it: persistHeader()/create() write zero.
+     */
+    static constexpr std::uint32_t kTruncFlagOffset = 32;
 
     struct Reservation
     {
@@ -95,6 +103,15 @@ class LogRegion
     /** Current torn-bit value for new appends. */
     bool currentTorn() const { return (pass & 1) != 0; }
 
+    /** Is this slot's record live (not yet reclaimed/truncated)?
+     *  The online scrubber only repairs-in-place live slots; dead
+     *  damaged ones it may zero outright. */
+    bool
+    slotLive(std::uint64_t slot) const
+    {
+        return slot < meta.size() && meta[slot].valid;
+    }
+
     /**
      * Predicate: is the line containing this address persistent (was
      * it written back to NVRAM after the given tick)? Wired by the
@@ -106,8 +123,14 @@ class LogRegion
     /** Force the line holding an address back to NVRAM; returns the
      *  completion tick. Wired by the System to a cache flush. */
     using ForceWriteback = std::function<Tick(Addr, Tick)>;
-    /** Ask the owner of a transaction to abort (abort-retry). */
-    using AbortRequestSink = std::function<void(std::uint64_t)>;
+    /**
+     * Ask the owner of a transaction to abort (abort-retry). Returns
+     * false when the request is denied by the livelock guard (the
+     * victim has been aborted too many consecutive times); the append
+     * must then fall back to stall-style waiting instead of asking
+     * again.
+     */
+    using AbortRequestSink = std::function<bool(std::uint64_t)>;
 
     void setPersistedSince(PersistedSincePred p) { persistedSince = p; }
 

@@ -6,12 +6,114 @@
 #include <map>
 #include <vector>
 
+#include "mem/remap_table.hh"
 #include "persist/log_record.hh"
 #include "persist/log_region.hh"
 #include "sim/logging.hh"
 
 namespace snf::persist
 {
+
+namespace
+{
+
+constexpr std::uint64_t kLineBytes = mem::RemapTable::kLineBytes;
+
+/**
+ * Recovery's window onto the crash image: every read and write is
+ * translated through the image's remap table (a promoted log slot's
+ * live bytes are at its spare), every write is counted in 64-byte-line
+ * units and suppressed once the crashAfterWrites budget is spent, so
+ * one code path serves normal recovery, I9 write collection, and the
+ * crash-during-recovery sweeps.
+ */
+struct ImageIO
+{
+    mem::BackingStore &img;
+    const mem::RemapTable *remap = nullptr;
+    std::uint64_t budget = ~0ULL;
+    bool collect = false;
+    const sim::ProbeFn *probe = nullptr;
+
+    std::uint64_t issued = 0;
+    std::uint64_t applied = 0;
+    std::vector<Addr> touched;
+
+    Addr
+    translate(Addr a) const
+    {
+        if (!remap)
+            return a;
+        Addr line = a & ~static_cast<Addr>(kLineBytes - 1);
+        if (auto spare = remap->find(line))
+            return *spare + (a - line);
+        return a;
+    }
+
+    void
+    read(Addr a, std::uint64_t n, void *out) const
+    {
+        auto *dst = static_cast<std::uint8_t *>(out);
+        while (n > 0) {
+            Addr line_end = (a | (kLineBytes - 1)) + 1;
+            std::uint64_t seg = std::min<std::uint64_t>(n,
+                                                        line_end - a);
+            img.read(translate(a), seg, dst);
+            dst += seg;
+            a += seg;
+            n -= seg;
+        }
+    }
+
+    std::uint64_t
+    read64(Addr a) const
+    {
+        std::uint64_t v = 0;
+        read(a, sizeof(v), &v);
+        return v;
+    }
+
+    void
+    write(Addr a, std::uint64_t n, const void *in)
+    {
+        const auto *src = static_cast<const std::uint8_t *>(in);
+        while (n > 0) {
+            Addr line_end = (a | (kLineBytes - 1)) + 1;
+            std::uint64_t seg = std::min<std::uint64_t>(n,
+                                                        line_end - a);
+            Addr line = a & ~static_cast<Addr>(kLineBytes - 1);
+            ++issued;
+            if (probe && *probe)
+                (*probe)(sim::ProbeEvent::RecoveryWrite, issued, line);
+            if (applied < budget) {
+                img.write(translate(a), seg, src);
+                ++applied;
+                // The touched set feeds I9's physical-image diff, so
+                // record the line actually written (the spare when
+                // the logical line is remapped).
+                if (collect)
+                    touched.push_back(translate(line));
+            }
+            src += seg;
+            a += seg;
+            n -= seg;
+        }
+    }
+
+    bool contains(Addr a, std::uint64_t n) const
+    {
+        return img.contains(a, n);
+    }
+
+    bool interrupted() const { return issued > applied; }
+};
+
+RecoveryReport recoverRegionIo(ImageIO &io, Addr logBase,
+                               std::uint64_t logSize,
+                               const RecoveryOptions &opts,
+                               mem::RemapTable *promoteInto);
+
+} // namespace
 
 RecoveryReport
 Recovery::run(mem::BackingStore &image, const AddressMap &map,
@@ -29,14 +131,29 @@ Recovery::run(mem::BackingStore &image, const AddressMap &map,
     // With distributed logs, each partition is an independent
     // circular log holding complete transactions (transactions are
     // thread-private, Section III-F), so partitions recover
-    // independently and the reports sum.
+    // independently and the reports sum. The write budget, the remap
+    // table, and the touched-line set span the whole pass.
+    RecoveryReport total;
+    mem::RemapTable remap(map.remapBase(), map.remapSize ? map.remapSize
+                                                         : 128,
+                          map.spareBase(), map.spareSize);
+    bool have_remap = map.remapSize != 0;
+    if (have_remap) {
+        mem::RemapTable::LoadResult lr = remap.load(image);
+        total.remapCorrupt = lr.corrupted;
+    }
+    ImageIO io{image};
+    io.remap = have_remap ? &remap : nullptr;
+    io.budget = opts.crashAfterWrites;
+    io.collect = opts.collectWrites;
+    io.probe = &opts.probe;
+
     std::uint32_t partitions = std::max(map.logPartitions, 1u);
     std::uint64_t part_bytes = map.logSize / partitions;
-    RecoveryReport total;
     for (std::uint32_t p = 0; p < partitions; ++p) {
-        RecoveryReport r =
-            recoverRegion(image, map.logBase() + p * part_bytes,
-                          part_bytes, opts);
+        RecoveryReport r = recoverRegionIo(
+            io, map.logBase() + p * part_bytes, part_bytes, opts,
+            have_remap && opts.promoteBadLines ? &remap : nullptr);
         total.headerValid |= r.headerValid;
         total.slotsScanned += r.slotsScanned;
         total.validRecords += r.validRecords;
@@ -50,12 +167,17 @@ Recovery::run(mem::BackingStore &image, const AddressMap &map,
         total.tornSlots += r.tornSlots;
         total.crcFailSlots += r.crcFailSlots;
         total.stalePassSlots += r.stalePassSlots;
+        total.promotedLines += r.promotedLines;
         if (total.firstBadSlotAddr == 0)
             total.firstBadSlotAddr = r.firstBadSlotAddr;
         total.quarantinedTxIds.insert(total.quarantinedTxIds.end(),
                                       r.quarantinedTxIds.begin(),
                                       r.quarantinedTxIds.end());
     }
+    total.writesIssued = io.issued;
+    total.writesApplied = io.applied;
+    total.interrupted = io.interrupted();
+    total.touchedLines = std::move(io.touched);
     return total;
 }
 
@@ -73,12 +195,35 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
                         std::uint64_t logSize,
                         const RecoveryOptions &opts)
 {
+    // Legacy single-region entry point: no remap table, but the
+    // write budget and collection still apply.
+    ImageIO io{image};
+    io.budget = opts.crashAfterWrites;
+    io.collect = opts.collectWrites;
+    io.probe = &opts.probe;
+    RecoveryReport report =
+        recoverRegionIo(io, logBase, logSize, opts, nullptr);
+    report.writesIssued = io.issued;
+    report.writesApplied = io.applied;
+    report.interrupted = io.interrupted();
+    report.touchedLines = std::move(io.touched);
+    return report;
+}
+
+namespace
+{
+
+RecoveryReport
+recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
+                const RecoveryOptions &opts,
+                mem::RemapTable *promoteInto)
+{
     RecoveryReport report;
 
     // Step 1: read the log header (geometry) from NVRAM.
     Addr log_base = logBase;
-    std::uint64_t magic = image.read64(log_base);
-    std::uint64_t slots = image.read64(log_base + 8);
+    std::uint64_t magic = io.read64(log_base);
+    std::uint64_t slots = io.read64(log_base + 8);
     if (magic != LogRegion::kMagic || slots == 0 ||
         slots > (logSize - LogRegion::kHeaderBytes) /
                     LogRecord::kSlotBytes) {
@@ -87,15 +232,42 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
     }
     report.headerValid = true;
 
+    Addr slot0 = log_base + LogRegion::kHeaderBytes;
+    auto zeroAllSlots = [&]() {
+        // Chunked into whole lines so the write budget sees the same
+        // units as every other recovery write.
+        constexpr std::uint64_t kChunk = 1024;
+        std::uint8_t zeros[kChunk] = {};
+        std::uint64_t area = slots * LogRecord::kSlotBytes;
+        for (std::uint64_t off = 0; off < area; off += kChunk)
+            io.write(slot0 + off,
+                     std::min<std::uint64_t>(kChunk, area - off),
+                     zeros);
+        std::uint64_t cleared = 0;
+        io.write(log_base + LogRegion::kTruncFlagOffset,
+                 sizeof(cleared), &cleared);
+    };
+
+    // An interrupted truncation must not let a resumed recovery
+    // reinterpret the partially zeroed slot array (a zeroed prefix
+    // can detach a commit record from its updates or resurrect
+    // stale-pass records under a different window parity). The
+    // truncating flag is set — one atomic counted write — only after
+    // replay and promotion completed, so a resumed pass can skip
+    // straight to finishing the zeroing.
+    if (io.read64(log_base + LogRegion::kTruncFlagOffset) != 0) {
+        zeroAllSlots();
+        return report;
+    }
+
     // Step 2: classify every slot. classifySlot separates damage
     // (torn partial writes, CRC failures) from parseable records;
     // damaged slots never contribute replay values.
-    Addr slot0 = log_base + LogRegion::kHeaderBytes;
     std::vector<SlotInfo> info(slots);
     for (std::uint64_t i = 0; i < slots; ++i) {
         std::uint8_t img[LogRecord::kSlotBytes];
-        image.read(slot0 + i * LogRecord::kSlotBytes,
-                   LogRecord::kSlotBytes, img);
+        io.read(slot0 + i * LogRecord::kSlotBytes,
+                LogRecord::kSlotBytes, img);
         info[i] = classifySlot(img);
         if (opts.faultIgnoreCrc && info[i].cls == SlotClass::CrcFail) {
             // Injected bug: the pre-faultlab scanner trusted any slot
@@ -252,8 +424,8 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
             continue;
         const LogRecord &rec = ordered[i]->rec;
         if (rec.hasRedo && rec.size >= 1 && rec.size <= 8 &&
-            image.contains(rec.addr, rec.size)) {
-            image.write(rec.addr, rec.size, &rec.redo);
+            io.contains(rec.addr, rec.size)) {
+            io.write(rec.addr, rec.size, &rec.redo);
             ++report.redoApplied;
         }
     }
@@ -272,20 +444,68 @@ Recovery::recoverRegion(mem::BackingStore &image, Addr logBase,
     for (std::uint64_t idx : undo_order) {
         const LogRecord &rec = ordered[idx]->rec;
         if (rec.hasUndo && rec.size >= 1 && rec.size <= 8 &&
-            image.contains(rec.addr, rec.size)) {
-            image.write(rec.addr, rec.size, &rec.undo);
+            io.contains(rec.addr, rec.size)) {
+            io.write(rec.addr, rec.size, &rec.undo);
             ++report.undoApplied;
         }
     }
 
+    // Step 6b (lifelab): promote the lines of damaged slots into the
+    // persistent remap table so the next generation's log traffic
+    // avoids the suspect media. This runs BEFORE truncation — the
+    // damage evidence must survive an interrupted pass so a resumed
+    // recovery finds the same promotion set — and processes lines in
+    // ascending address order, skipping ones already promoted, so the
+    // spare assignment is deterministic across interrupt/resume.
+    if (promoteInto) {
+        std::vector<Addr> bad_lines;
+        for (std::uint64_t i = 0; i < slots; ++i) {
+            if (info[i].cls != SlotClass::Torn &&
+                info[i].cls != SlotClass::CrcFail)
+                continue;
+            Addr line = (slot0 + i * LogRecord::kSlotBytes) &
+                        ~static_cast<Addr>(kLineBytes - 1);
+            if (bad_lines.empty() || bad_lines.back() != line)
+                bad_lines.push_back(line);
+        }
+        bool grew = false;
+        for (Addr line : bad_lines) {
+            if (promoteInto->find(line) || promoteInto->full())
+                continue;
+            // Copy the line's current bytes to the spare *before*
+            // the mapping exists (afterwards reads of the line would
+            // follow the mapping), then record it.
+            std::uint8_t buf[kLineBytes];
+            io.read(line, kLineBytes, buf);
+            std::optional<Addr> spare = promoteInto->add(line);
+            SNF_ASSERT(spare, "remap add failed on unmapped line");
+            io.write(*spare, kLineBytes, buf);
+            grew = true;
+            ++report.promotedLines;
+        }
+        if (grew) {
+            // One durable table update per region; goes through the
+            // counted writer so the sweep can interrupt it at any
+            // chunk (the half-written bank stays CRC-invalid).
+            promoteInto->persist(
+                [&io](Addr a, std::uint64_t n, const void *d) {
+                    io.write(a, n, d);
+                });
+        }
+    }
+
     // Step 7: truncate the log: clear every slot (damaged ones too).
+    // The flag raised first makes the whole step atomic from a
+    // resumed recovery's point of view.
     if (opts.truncateLog) {
-        std::uint8_t zeros[LogRecord::kSlotBytes] = {};
-        for (std::uint64_t i = 0; i < slots; ++i)
-            image.write(slot0 + i * LogRecord::kSlotBytes,
-                        LogRecord::kSlotBytes, zeros);
+        std::uint64_t raised = 1;
+        io.write(log_base + LogRegion::kTruncFlagOffset,
+                 sizeof(raised), &raised);
+        zeroAllSlots();
     }
     return report;
 }
+
+} // namespace
 
 } // namespace snf::persist

@@ -19,6 +19,7 @@
 
 #include "core/system_config.hh"
 #include "mem/backing_store.hh"
+#include "sim/probe.hh"
 #include "sim/types.hh"
 
 namespace snf::persist
@@ -46,6 +47,29 @@ struct RecoveryOptions
      * sweeps a real detection bug to catch. Never set outside tests.
      */
     bool faultIgnoreCrc = false;
+
+    // --- lifelab: crash-during-recovery and self-healing ---
+    /**
+     * Interrupt recovery after this many 64-byte-line NVRAM writes:
+     * further writes are suppressed (the image is exactly what a
+     * crash at that point leaves) while bookkeeping continues, so
+     * writesIssued still reports the full pass. Recovery control
+     * flow only reads state captured before its first write, which
+     * is what makes the suppressed tail equivalent to a kill.
+     */
+    std::uint64_t crashAfterWrites = ~0ULL;
+    /** Record every 64-byte line recovery writes (report.touchedLines),
+     *  for the lifecycle's cross-generation invariant I9. */
+    bool collectWrites = false;
+    /**
+     * Promote the lines of damaged (torn / CRC-fail) log slots into
+     * the image's persistent remap table before truncation, so the
+     * next generation's log traffic avoids them. Needs a remap region
+     * in the address map (Recovery::run only).
+     */
+    bool promoteBadLines = false;
+    /** Emits one RecoveryWrite event per line write when set. */
+    sim::ProbeFn probe;
 };
 
 /** Outcome summary of one recovery pass. */
@@ -77,6 +101,23 @@ struct RecoveryReport
     Addr firstBadSlotAddr = 0;
     /** 16-bit transaction IDs of the quarantined generations. */
     std::vector<std::uint16_t> quarantinedTxIds;
+
+    // --- lifelab ---
+    /** 64-byte-line writes the full pass wants (deterministic for a
+     *  given image, budget or not). */
+    std::uint64_t writesIssued = 0;
+    /** Line writes actually applied (< writesIssued when the pass was
+     *  cut short by crashAfterWrites). */
+    std::uint64_t writesApplied = 0;
+    /** True when crashAfterWrites suppressed at least one write. */
+    bool interrupted = false;
+    /** Damaged-slot lines newly promoted into the remap table. */
+    std::uint64_t promotedLines = 0;
+    /** Both remap-table banks failed CRC on a nonzero region: the
+     *  mapping is lost and the image must not be trusted. */
+    bool remapCorrupt = false;
+    /** Lines written by this pass (only with opts.collectWrites). */
+    std::vector<Addr> touchedLines;
 
     std::uint64_t
     damagedSlots() const

@@ -10,7 +10,8 @@ TxnTracker::TxnTracker()
       begun(statGroup.counter("begun")),
       committed(statGroup.counter("committed")),
       aborted(statGroup.counter("aborted")),
-      abortRequests(statGroup.counter("abort_requests"))
+      abortRequests(statGroup.counter("abort_requests")),
+      abortEscalations(statGroup.counter("abort_escalations"))
 {
 }
 
@@ -31,6 +32,9 @@ TxnTracker::commit(std::uint64_t seq)
     auto it = active.find(seq);
     SNF_ASSERT(it != active.end(), "commit of unknown txn %llu",
                static_cast<unsigned long long>(seq));
+    // A successful commit proves the thread is making progress:
+    // reset its victim streak.
+    victimStreaks.erase(it->second.thread);
     active.erase(it);
     committed.inc();
 }
@@ -38,8 +42,13 @@ TxnTracker::commit(std::uint64_t seq)
 void
 TxnTracker::abort(std::uint64_t seq)
 {
-    if (active.erase(seq) != 0)
-        aborted.inc();
+    auto it = active.find(seq);
+    if (it == active.end())
+        return;
+    if (it->second.abortRequested)
+        ++victimStreaks[it->second.thread];
+    active.erase(it);
+    aborted.inc();
 }
 
 void
@@ -57,14 +66,30 @@ TxnTracker::logRecordCount(std::uint64_t seq) const
     return it == active.end() ? 0 : it->second.logRecords;
 }
 
-void
+bool
 TxnTracker::requestAbort(std::uint64_t seq)
 {
     auto it = active.find(seq);
-    if (it != active.end() && !it->second.abortRequested) {
-        it->second.abortRequested = true;
-        abortRequests.inc();
+    if (it == active.end())
+        return true; // already gone; nothing blocks the caller
+    if (it->second.abortRequested)
+        return true; // duplicate request, already granted
+    auto vs = victimStreaks.find(it->second.thread);
+    if (abortRetryCap != 0 && vs != victimStreaks.end() &&
+        vs->second >= abortRetryCap) {
+        abortEscalations.inc();
+        return false;
     }
+    it->second.abortRequested = true;
+    abortRequests.inc();
+    return true;
+}
+
+std::uint32_t
+TxnTracker::victimStreak(CoreId thread) const
+{
+    auto it = victimStreaks.find(thread);
+    return it == victimStreaks.end() ? 0 : it->second;
 }
 
 bool

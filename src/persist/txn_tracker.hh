@@ -65,8 +65,21 @@ class TxnTracker
      * Mark the transaction as an abort victim (log-full abort-retry
      * policy). The owning thread observes this at commit and rolls
      * back instead.
+     *
+     * Livelock guard: once the same thread has been victimized
+     * abortRetryCap consecutive times without committing, further
+     * requests against it are *denied* (returns false, counts an
+     * escalation) and the caller must fall back to the stall path —
+     * an adversarial workload can't abort one victim forever.
      */
-    void requestAbort(std::uint64_t seq);
+    bool requestAbort(std::uint64_t seq);
+
+    /** Set the consecutive-victim cap (0 disables the guard). */
+    void setAbortRetryCap(std::uint32_t cap) { abortRetryCap = cap; }
+
+    /** Consecutive times @p thread was aborted as a victim without
+     *  committing in between (livelock-guard state, for tests). */
+    std::uint32_t victimStreak(CoreId thread) const;
 
     /** Has an abort been requested for this transaction? */
     bool abortRequested(std::uint64_t seq) const;
@@ -88,6 +101,8 @@ class TxnTracker
     std::uint64_t nextSeq = 1;
     std::unordered_map<std::uint64_t, Txn> active;
     std::vector<Addr> emptySet;
+    std::uint32_t abortRetryCap = 0;
+    std::unordered_map<CoreId, std::uint32_t> victimStreaks;
     sim::StatGroup statGroup; // must precede the counter references
 
   public:
@@ -95,6 +110,9 @@ class TxnTracker
     sim::Counter &committed;
     sim::Counter &aborted;
     sim::Counter &abortRequests;
+    /** Abort requests denied by the livelock guard (the log-full
+     *  path escalated to stalling instead). */
+    sim::Counter &abortEscalations;
 };
 
 } // namespace snf::persist

@@ -52,6 +52,13 @@ enum class ProbeEvent : std::uint8_t
      * undo entries (arg = tx sequence).
      */
     TxAbort,
+    /**
+     * Post-crash recovery issued one 64-byte-line NVRAM write (redo,
+     * undo, spare copy, remap-table chunk, or truncation zeroing);
+     * arg = line address, tick = ordinal of the write within the
+     * recovery pass. Crash-during-recovery sweeps key off these.
+     */
+    RecoveryWrite,
 };
 
 /** Short stable name for reports. */
@@ -67,6 +74,7 @@ probeEventName(ProbeEvent e)
       case ProbeEvent::TxCommit:      return "tx-commit";
       case ProbeEvent::CommitDurable: return "commit-durable";
       case ProbeEvent::TxAbort:       return "tx-abort";
+      case ProbeEvent::RecoveryWrite: return "recovery-write";
     }
     return "?";
 }

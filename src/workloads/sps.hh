@@ -32,6 +32,10 @@ class Sps : public Workload
     bool verify(const mem::BackingStore &nvram,
                 std::string *why) const override;
 
+    /** Swaps preserve the multiset invariant from any starting
+     *  permutation, so SPS can resume on a recovered image. */
+    bool resumable() const override { return true; }
+
     Addr arrayBase() const { return base; }
 
     std::uint64_t elements() const { return count; }

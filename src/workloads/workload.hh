@@ -57,6 +57,16 @@ class Workload
      */
     virtual bool verify(const mem::BackingStore &nvram,
                         std::string *why) const = 0;
+
+    /**
+     * Can this workload resume on a recovered NVRAM image (lifelab)?
+     * A resumable workload's thread() must operate correctly on the
+     * structure left by a previous generation's setup()+run — the
+     * lifecycle driver skips setup() after the first generation and
+     * only restores the heap cursor, so the workload object's own
+     * members (base addresses, expected aggregates) carry over.
+     */
+    virtual bool resumable() const { return false; }
 };
 
 /** Instantiate a workload by name; fatal() on unknown names. */

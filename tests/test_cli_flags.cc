@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the shared fault-flag CLI parser (core/fault_flags.hh):
+ * the preset/explicit-rate ordering contract, the contradiction
+ * diagnostics, the seed exemption, and both flag spellings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fault_flags.hh"
+
+using namespace snf;
+
+namespace
+{
+
+/** A fault-config stand-in plus a fully wired flag set over it. */
+struct Fixture
+{
+    double bitFlip = 0.0;
+    double multiBit = 0.0;
+    double drop = 0.0;
+    std::uint64_t seed = 1;
+    FaultFlagSet flags;
+
+    Fixture()
+    {
+        flags.addRate("--fault-bitflip", &bitFlip);
+        flags.addRate("--fault-multibit", &multiBit);
+        flags.addRate("--fault-drop", &drop);
+        flags.addSeed("--fault-seed", &seed);
+        flags.setPresetFlag("--fault-preset");
+        flags.addPreset("light", {{&bitFlip, 1e-4}});
+        flags.addPreset("heavy",
+                        {{&bitFlip, 1e-3}, {&multiBit, 2e-4}});
+    }
+
+    /** Feed the whole arg vector; returns the first non-Ok result. */
+    FlagParse
+    parse(std::vector<std::string> args, std::string *err = nullptr)
+    {
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            FlagParse r = flags.consume(args, i, err);
+            if (r != FlagParse::Ok)
+                return r;
+        }
+        return FlagParse::Ok;
+    }
+};
+
+} // namespace
+
+TEST(FaultFlags, ExplicitRatesAndBothSpellings)
+{
+    Fixture f;
+    EXPECT_EQ(f.parse({"--fault-bitflip", "0.5", "--fault-drop=0.25"}),
+              FlagParse::Ok);
+    EXPECT_DOUBLE_EQ(f.bitFlip, 0.5);
+    EXPECT_DOUBLE_EQ(f.drop, 0.25);
+    EXPECT_DOUBLE_EQ(f.multiBit, 0.0);
+}
+
+TEST(FaultFlags, PresetAssignsItsFields)
+{
+    Fixture f;
+    EXPECT_EQ(f.parse({"--fault-preset", "heavy"}), FlagParse::Ok);
+    EXPECT_DOUBLE_EQ(f.bitFlip, 1e-3);
+    EXPECT_DOUBLE_EQ(f.multiBit, 2e-4);
+    EXPECT_EQ(f.flags.activePreset(), "heavy");
+}
+
+TEST(FaultFlags, PresetAfterExplicitRateIsAnError)
+{
+    // The silent-clobber bug this parser fixes: the preset would
+    // wholesale overwrite the config and the earlier explicit rate
+    // silently vanished.
+    Fixture f;
+    std::string err;
+    EXPECT_EQ(f.parse({"--fault-bitflip", "0.5", "--fault-preset",
+                       "heavy"},
+                      &err),
+              FlagParse::Error);
+    EXPECT_NE(err.find("put the preset first"), std::string::npos);
+    // The explicit rate survives untouched.
+    EXPECT_DOUBLE_EQ(f.bitFlip, 0.5);
+}
+
+TEST(FaultFlags, ZeroingAPresetFieldIsAnError)
+{
+    Fixture f;
+    std::string err;
+    EXPECT_EQ(f.parse({"--fault-preset", "heavy", "--fault-bitflip",
+                       "0"},
+                      &err),
+              FlagParse::Error);
+    EXPECT_NE(err.find("contradicts"), std::string::npos);
+    EXPECT_NE(err.find("heavy"), std::string::npos);
+    EXPECT_DOUBLE_EQ(f.bitFlip, 1e-3); // preset value untouched
+}
+
+TEST(FaultFlags, NonzeroTuneAfterPresetIsValid)
+{
+    Fixture f;
+    EXPECT_EQ(f.parse({"--fault-preset", "heavy", "--fault-bitflip",
+                       "5e-3"}),
+              FlagParse::Ok);
+    EXPECT_DOUBLE_EQ(f.bitFlip, 5e-3);
+    EXPECT_DOUBLE_EQ(f.multiBit, 2e-4); // rest of the preset stands
+}
+
+TEST(FaultFlags, ZeroingAFieldThePresetLeavesAloneIsValid)
+{
+    // 'light' only sets bitFlip; zeroing multiBit after it
+    // contradicts nothing.
+    Fixture f;
+    EXPECT_EQ(f.parse({"--fault-preset", "light", "--fault-multibit",
+                       "0"}),
+              FlagParse::Ok);
+    EXPECT_DOUBLE_EQ(f.multiBit, 0.0);
+}
+
+TEST(FaultFlags, SeedIsOrderExempt)
+{
+    Fixture f;
+    EXPECT_EQ(f.parse({"--fault-bitflip", "0.5", "--fault-seed",
+                       "42", "--fault-preset=light"}),
+              FlagParse::Error); // preset still rejected...
+    Fixture g;
+    EXPECT_EQ(g.parse({"--fault-seed=42", "--fault-preset", "light",
+                       "--fault-seed", "7"}),
+              FlagParse::Ok); // ...but the seed never is
+    EXPECT_EQ(g.seed, 7u);
+}
+
+TEST(FaultFlags, UnknownPresetIsAnError)
+{
+    Fixture f;
+    std::string err;
+    EXPECT_EQ(f.parse({"--fault-preset", "medium"}, &err),
+              FlagParse::Error);
+    EXPECT_NE(err.find("unknown preset"), std::string::npos);
+    EXPECT_NE(err.find("light"), std::string::npos);
+    EXPECT_NE(err.find("heavy"), std::string::npos);
+}
+
+TEST(FaultFlags, OutOfRangeRateIsAnError)
+{
+    Fixture f;
+    std::string err;
+    EXPECT_EQ(f.parse({"--fault-bitflip", "1.5"}, &err),
+              FlagParse::Error);
+    EXPECT_NE(err.find("probability"), std::string::npos);
+}
+
+TEST(FaultFlags, MissingValueIsAnError)
+{
+    Fixture f;
+    std::string err;
+    EXPECT_EQ(f.parse({"--fault-bitflip"}, &err), FlagParse::Error);
+    EXPECT_NE(err.find("needs a value"), std::string::npos);
+}
+
+TEST(FaultFlags, ForeignFlagsAreNotMine)
+{
+    Fixture f;
+    std::vector<std::string> args{"--workload", "sps"};
+    std::size_t i = 0;
+    EXPECT_EQ(f.flags.consume(args, i, nullptr), FlagParse::NotMine);
+    EXPECT_EQ(i, 0u);
+}

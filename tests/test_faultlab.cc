@@ -796,8 +796,10 @@ TEST(LogFullPolicy, AbortRetryRequestsVictimAbort)
     std::vector<std::uint64_t> requested;
     bool active = true;
     f.lr.setTxActive([&](std::uint64_t) { return active; });
-    f.lr.setAbortRequestSink(
-        [&](std::uint64_t seq) { requested.push_back(seq); });
+    f.lr.setAbortRequestSink([&](std::uint64_t seq) {
+        requested.push_back(seq);
+        return true; // granted, but the victim never lets go
+    });
     f.lr.setLogFullPolicy(LogFullPolicy::AbortRetry, 4, 16);
     f.fill(77);
 
@@ -815,6 +817,7 @@ TEST(LogFullPolicy, AbortRetryRequestsVictimAbort)
     f.lr.setAbortRequestSink([&](std::uint64_t seq) {
         requested.push_back(seq);
         active = false; // victim rolls back
+        return true;
     });
     f.lr.reserve(LogRecord::commit(0, 3), 600);
     EXPECT_EQ(requested.size(), 1u);

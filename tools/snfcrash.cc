@@ -31,6 +31,15 @@
  *                          undamaged-set oracle instead of the clean
  *                          invariants
  *     --fault-seed N       seed of the deterministic damage (default 1)
+ *     --fault-preset X     light | heavy canned image-damage mixes
+ *                          (must precede explicit --fault-* rates,
+ *                          which may tune but not zero its fields)
+ *     --sweep-recovery N   lifelab (extends I8): at every evaluated
+ *                          crash point, also interrupt recovery at
+ *                          every N-th interior NVRAM write, re-run
+ *                          it, and require byte-for-byte convergence
+ *                          with the uninterrupted pass (1 = every
+ *                          interior write)
  *     --inject-skip-undo   fault injection: recovery skips the undo
  *     --inject-skip-redo   phase / the redo phase (self-test: the
  *                          sweep must catch and minimize these)
@@ -52,6 +61,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_flags.hh"
 #include "crashlab/report.hh"
 #include "crashlab/sweep.hh"
 #include "sim/logging.hh"
@@ -98,6 +108,8 @@ usage()
         "                [--fault-bitflip P] [--fault-multibit P]\n"
         "                [--fault-drop-slot P] [--fault-torn-slot P] "
         "[--fault-seed N]\n"
+        "                [--fault-preset light|heavy] "
+        "[--sweep-recovery N]\n"
         "                [--no-minimize] [--inject-skip-undo] "
         "[--inject-skip-redo]\n"
         "                [--inject-ignore-crc] [--list]\n");
@@ -117,17 +129,48 @@ main(int argc, char **argv)
     SweepConfig base;
     std::string jsonPath;
 
-    for (int i = 1; i < argc; ++i) {
+    // The image-damage flag family shares its ordering rules (and the
+    // contradiction diagnostics) with snfsim/snfsoak.
+    FaultFlagSet faultFlags;
+    faultFlags.addRate("--fault-bitflip",
+                       &base.imageFaults.bitFlipProb);
+    faultFlags.addRate("--fault-multibit",
+                       &base.imageFaults.multiBitProb);
+    faultFlags.addRate("--fault-drop-slot",
+                       &base.imageFaults.dropSlotProb);
+    faultFlags.addRate("--fault-torn-slot",
+                       &base.imageFaults.tornSlotProb);
+    faultFlags.addSeed("--fault-seed", &base.imageFaults.seed);
+    faultFlags.setPresetFlag("--fault-preset");
+    faultFlags.addPreset(
+        "light", {{&base.imageFaults.bitFlipProb, 5e-3}});
+    faultFlags.addPreset(
+        "heavy", {{&base.imageFaults.bitFlipProb, 2e-2},
+                  {&base.imageFaults.multiBitProb, 5e-3},
+                  {&base.imageFaults.dropSlotProb, 5e-3},
+                  {&base.imageFaults.tornSlotProb, 5e-3}});
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string err;
+        switch (faultFlags.consume(args, i, &err)) {
+          case FlagParse::Ok:
+            continue;
+          case FlagParse::Error:
+            fatal("%s", err.c_str());
+          case FlagParse::NotMine:
+            break;
+        }
         auto arg = [&](const char *flag) -> const char * {
             std::size_t n = std::strlen(flag);
-            if (std::strncmp(argv[i], flag, n) == 0 &&
-                argv[i][n] == '=')
-                return argv[i] + n + 1;
-            if (std::strcmp(argv[i], flag) != 0)
+            if (std::strncmp(args[i].c_str(), flag, n) == 0 &&
+                args[i][n] == '=')
+                return args[i].c_str() + n + 1;
+            if (args[i] != flag)
                 return nullptr;
-            if (i + 1 >= argc)
+            if (i + 1 >= args.size())
                 fatal("%s needs a value", flag);
-            return argv[++i];
+            return args[++i].c_str();
         };
         if (const char *v = arg("--workload")) {
             workloadNames = splitCsv(v);
@@ -159,27 +202,19 @@ main(int argc, char **argv)
             base.maxPoints = static_cast<std::size_t>(std::atoi(v));
         } else if (const char *v = arg("--sample-seed")) {
             base.sampleSeed = std::strtoull(v, nullptr, 0);
-        } else if (const char *v = arg("--fault-bitflip")) {
-            base.imageFaults.bitFlipProb = std::atof(v);
-        } else if (const char *v = arg("--fault-multibit")) {
-            base.imageFaults.multiBitProb = std::atof(v);
-        } else if (const char *v = arg("--fault-drop-slot")) {
-            base.imageFaults.dropSlotProb = std::atof(v);
-        } else if (const char *v = arg("--fault-torn-slot")) {
-            base.imageFaults.tornSlotProb = std::atof(v);
-        } else if (const char *v = arg("--fault-seed")) {
-            base.imageFaults.seed = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--sweep-recovery")) {
+            base.recoverySweepStride = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--json")) {
             jsonPath = v;
-        } else if (std::strcmp(argv[i], "--no-minimize") == 0) {
+        } else if (args[i] == "--no-minimize") {
             base.minimizeFailures = false;
-        } else if (std::strcmp(argv[i], "--inject-skip-undo") == 0) {
+        } else if (args[i] == "--inject-skip-undo") {
             base.recovery.faultSkipUndo = true;
-        } else if (std::strcmp(argv[i], "--inject-skip-redo") == 0) {
+        } else if (args[i] == "--inject-skip-redo") {
             base.recovery.faultSkipRedo = true;
-        } else if (std::strcmp(argv[i], "--inject-ignore-crc") == 0) {
+        } else if (args[i] == "--inject-ignore-crc") {
             base.recovery.faultIgnoreCrc = true;
-        } else if (std::strcmp(argv[i], "--list") == 0) {
+        } else if (args[i] == "--list") {
             std::printf("workloads:");
             for (const auto &w : allWorkloadNames())
                 std::printf(" %s", w.c_str());
@@ -190,12 +225,12 @@ main(int argc, char **argv)
             std::printf("\n(* = failure-atomic, covered by "
                         "--mode all)\n");
             return 0;
-        } else if (std::strcmp(argv[i], "--help") == 0) {
+        } else if (args[i] == "--help") {
             usage();
             return 0;
         } else {
             usage();
-            fatal("unknown argument '%s'", argv[i]);
+            fatal("unknown argument '%s'", args[i].c_str());
         }
     }
 

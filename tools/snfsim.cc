@@ -26,7 +26,12 @@
  *     --fault-torn P     flips, dropped writes, torn lines, stuck
  *     --fault-stuck P    rows)
  *     --fault-seed N     fault-model seed (default 1)
- *     --fault-preset X   light | heavy (canned fault mixes)
+ *     --fault-preset X   light | heavy (canned fault mixes; must
+ *                        precede explicit --fault-* rates, which may
+ *                        then tune but not zero its fields)
+ *     --scrub            lifelab: enable bad-line remapping and the
+ *                        online log scrubber (prints the scrub
+ *                        traffic stats)
  *     --dump-stats       dump every component counter
  *     --list             list workloads and exit
  *
@@ -37,7 +42,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "core/fault_flags.hh"
 #include "sim/logging.hh"
 #include "workloads/driver.hh"
 
@@ -70,7 +78,7 @@ usage()
                 "              [--fault-torn P] [--fault-stuck P] "
                 "[--fault-seed N]\n"
                 "              [--fault-preset light|heavy] "
-                "[--dump-stats] [--list]\n");
+                "[--scrub] [--dump-stats] [--list]\n");
 }
 
 LogFullPolicy
@@ -102,18 +110,45 @@ main(int argc, char **argv)
     FaultModelConfig faults;
     faults.seed = 1;
     LogFullPolicy logFull = LogFullPolicy::Reclaim;
+    bool scrub = false;
 
-    for (int i = 1; i < argc; ++i) {
+    // The live-fault flag family shares its ordering rules (and the
+    // contradiction diagnostics) with snfcrash/snfsoak.
+    FaultFlagSet faultFlags;
+    faultFlags.addRate("--fault-bitflip", &faults.bitFlipProb);
+    faultFlags.addRate("--fault-multibit", &faults.multiBitProb);
+    faultFlags.addRate("--fault-drop", &faults.dropWriteProb);
+    faultFlags.addRate("--fault-torn", &faults.tornLineProb);
+    faultFlags.addRate("--fault-stuck", &faults.stuckRowProb);
+    faultFlags.addSeed("--fault-seed", &faults.seed);
+    faultFlags.setPresetFlag("--fault-preset");
+    faultFlags.addPreset("light", {{&faults.bitFlipProb, 1e-4}});
+    faultFlags.addPreset("heavy", {{&faults.bitFlipProb, 1e-3},
+                                   {&faults.multiBitProb, 2e-4},
+                                   {&faults.dropWriteProb, 2e-4},
+                                   {&faults.tornLineProb, 2e-4}});
+
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        std::string err;
+        switch (faultFlags.consume(args, i, &err)) {
+          case FlagParse::Ok:
+            continue;
+          case FlagParse::Error:
+            fatal("%s", err.c_str());
+          case FlagParse::NotMine:
+            break;
+        }
         auto arg = [&](const char *flag) -> const char * {
             std::size_t n = std::strlen(flag);
-            if (std::strncmp(argv[i], flag, n) == 0 &&
-                argv[i][n] == '=')
-                return argv[i] + n + 1;
-            if (std::strcmp(argv[i], flag) != 0)
+            if (std::strncmp(args[i].c_str(), flag, n) == 0 &&
+                args[i][n] == '=')
+                return args[i].c_str() + n + 1;
+            if (args[i] != flag)
                 return nullptr;
-            if (i + 1 >= argc)
+            if (i + 1 >= args.size())
                 fatal("%s needs a value", flag);
-            return argv[++i];
+            return args[++i].c_str();
         };
         if (const char *v = arg("--workload")) {
             spec.workload = v;
@@ -134,41 +169,23 @@ main(int argc, char **argv)
             crash_at = static_cast<Tick>(std::atoll(v));
         } else if (const char *v = arg("--log-full")) {
             logFull = parseLogFullPolicy(v);
-        } else if (const char *v = arg("--fault-bitflip")) {
-            faults.bitFlipProb = std::atof(v);
-        } else if (const char *v = arg("--fault-multibit")) {
-            faults.multiBitProb = std::atof(v);
-        } else if (const char *v = arg("--fault-drop")) {
-            faults.dropWriteProb = std::atof(v);
-        } else if (const char *v = arg("--fault-torn")) {
-            faults.tornLineProb = std::atof(v);
-        } else if (const char *v = arg("--fault-stuck")) {
-            faults.stuckRowProb = std::atof(v);
-        } else if (const char *v = arg("--fault-seed")) {
-            faults.seed = std::strtoull(v, nullptr, 0);
-        } else if (const char *v = arg("--fault-preset")) {
-            std::uint64_t seed = faults.seed;
-            if (std::strcmp(v, "light") == 0)
-                faults = FaultModelConfig::light(seed);
-            else if (std::strcmp(v, "heavy") == 0)
-                faults = FaultModelConfig::heavy(seed);
-            else
-                fatal("unknown fault preset '%s'", v);
-        } else if (std::strcmp(argv[i], "--strings") == 0) {
+        } else if (args[i] == "--strings") {
             spec.params.stringValues = true;
-        } else if (std::strcmp(argv[i], "--distributed-log") == 0) {
+        } else if (args[i] == "--distributed-log") {
             distributed = true;
-        } else if (std::strcmp(argv[i], "--paper") == 0) {
+        } else if (args[i] == "--paper") {
             paper = true;
-        } else if (std::strcmp(argv[i], "--dump-stats") == 0) {
+        } else if (args[i] == "--scrub") {
+            scrub = true;
+        } else if (args[i] == "--dump-stats") {
             dump = true;
-        } else if (std::strcmp(argv[i], "--list") == 0) {
+        } else if (args[i] == "--list") {
             for (const auto &w : allWorkloadNames())
                 std::printf("%s\n", w.c_str());
             return 0;
         } else {
             usage();
-            return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+            return args[i] == "--help" ? 0 : 1;
         }
     }
 
@@ -180,6 +197,13 @@ main(int argc, char **argv)
     spec.sys.persist.distributedLogs = distributed;
     spec.sys.persist.logFullPolicy = logFull;
     spec.sys.nvram.faults = faults;
+    if (scrub) {
+        spec.sys.persist.scrub = true;
+        if (spec.sys.map.remapSize == 0) {
+            spec.sys.map.remapSize = 16 * 1024;
+            spec.sys.map.spareSize = 32 * 1024;
+        }
+    }
     if (crash_at) {
         spec.sys.persist.crashJournal = true;
         spec.crashAt = crash_at;
@@ -227,17 +251,44 @@ main(int argc, char **argv)
                 "write-backs\n",
                 static_cast<unsigned long long>(s.fwbScans),
                 static_cast<unsigned long long>(s.fwbWritebacks));
-    if (s.logFullStalls != 0 || s.forcedWritebacks != 0)
+    if (s.logFullStalls != 0 || s.forcedWritebacks != 0 ||
+        s.logFullEscalations != 0)
         std::printf("  log-full        %llu stalls, %llu forced "
-                    "write-backs (%s)\n",
+                    "write-backs, %llu abort escalations (%s)\n",
                     static_cast<unsigned long long>(s.logFullStalls),
                     static_cast<unsigned long long>(
                         s.forcedWritebacks),
+                    static_cast<unsigned long long>(
+                        s.logFullEscalations),
                     logFullPolicyName(logFull));
     if (s.faultsInjected != 0)
         std::printf("  media faults    %llu injected (seed %llu)\n",
                     static_cast<unsigned long long>(s.faultsInjected),
                     static_cast<unsigned long long>(faults.seed));
+    if (scrub) {
+        std::uint64_t traffic = s.nvramReadBytes + s.nvramWriteBytes;
+        double overhead =
+            traffic == 0
+                ? 0.0
+                : 100.0 *
+                      static_cast<double>(s.scrubReadBytes +
+                                          s.scrubWriteBytes) /
+                      static_cast<double>(traffic);
+        std::printf("  scrub           %llu slots scanned, %llu "
+                    "repaired, %llu lines promoted\n",
+                    static_cast<unsigned long long>(
+                        s.scrubSlotsScanned),
+                    static_cast<unsigned long long>(s.scrubRepairs),
+                    static_cast<unsigned long long>(
+                        s.scrubPromotions));
+        std::printf("  scrub traffic   %llu read / %llu written bytes "
+                    "(%.2f%% of NVRAM traffic), %llu lines "
+                    "remapped\n",
+                    static_cast<unsigned long long>(s.scrubReadBytes),
+                    static_cast<unsigned long long>(s.scrubWriteBytes),
+                    overhead,
+                    static_cast<unsigned long long>(s.remappedLines));
+    }
     std::printf("  invariants      %llu order violations, %llu "
                 "overwrite hazards\n",
                 static_cast<unsigned long long>(s.orderViolations),
