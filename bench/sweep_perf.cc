@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark harness for the snapshot engine behind the crash
+ * sweeps: naive full-replay vs. checkpointed snapshotAt over a
+ * journaled store (the benchmark argument is the checkpoint interval,
+ * 0 = naive), repeated snapshotAt vs. the monotone Cursor along an
+ * ascending tick walk, and a small end-to-end runCrashSweep cell at
+ * both settings. CI runs this with --benchmark_min_time=0.05s as the
+ * bench-smoke job; locally, plain `sweep_perf` gives stable numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "crashlab/sweep.hh"
+#include "mem/backing_store.hh"
+#include "sim/rng.hh"
+
+using namespace snf;
+
+namespace
+{
+
+constexpr Addr kBase = 0x100000;
+constexpr std::uint64_t kSize = 8 << 20;
+constexpr std::uint64_t kJournalEntries = 50000;
+
+/**
+ * A journaled store with a synthetic but realistically shaped write
+ * stream: mostly small (<= 32 B, inline) writes over a working set
+ * far smaller than the range, completion ticks mildly out of issue
+ * order. Built once per checkpoint interval and shared across
+ * iterations (snapshotAt is const).
+ */
+const mem::BackingStore &
+journaledStore(std::size_t ckptInterval)
+{
+    static std::vector<
+        std::pair<std::size_t, std::unique_ptr<mem::BackingStore>>>
+        cache;
+    for (const auto &e : cache)
+        if (e.first == ckptInterval)
+            return *e.second;
+
+    auto bs = std::make_unique<mem::BackingStore>(kBase, kSize);
+    bs->setCheckpointInterval(ckptInterval);
+    bs->enableJournal();
+    sim::Rng rng(1234);
+    Tick now = 0;
+    for (std::uint64_t i = 0; i < kJournalEntries; ++i) {
+        now += rng.below(5);
+        std::uint8_t buf[64];
+        std::uint64_t len = rng.chance(0.9) ? 8 + 8 * rng.below(4)
+                                            : 33 + rng.below(32);
+        for (std::uint64_t b = 0; b < len; ++b)
+            buf[b] = static_cast<std::uint8_t>(rng.next());
+        Addr a = kBase + rng.below((1 << 20) - sizeof(buf));
+        bs->write(a, len, buf, now + rng.below(3));
+    }
+    bs->buildSnapshotIndex();
+    cache.emplace_back(ckptInterval, std::move(bs));
+    return *cache.back().second;
+}
+
+/** Upper bound on the synthetic stream's completion ticks (they
+ *  advance by < 5 per entry plus a completion jitter of < 3). */
+constexpr Tick kLastTick = kJournalEntries * 5 + 3;
+
+/** snapshotAt at scattered ticks; arg = checkpoint interval. */
+void
+BM_SnapshotAt(benchmark::State &state)
+{
+    const mem::BackingStore &bs =
+        journaledStore(static_cast<std::size_t>(state.range(0)));
+    sim::Rng rng(7);
+    for (auto _ : state) {
+        mem::BackingStore snap = bs.snapshotAt(rng.below(kLastTick + 1));
+        benchmark::DoNotOptimize(snap.read64(kBase));
+    }
+    state.counters["checkpoints"] =
+        static_cast<double>(bs.checkpointCount());
+}
+BENCHMARK(BM_SnapshotAt)->Arg(0)->Arg(256)->Arg(1024)->Arg(4096);
+
+/**
+ * An ascending 64-point walk — the access pattern of a crash sweep —
+ * via independent snapshotAt calls; arg = checkpoint interval.
+ */
+void
+BM_AscendingWalk_SnapshotAt(benchmark::State &state)
+{
+    const mem::BackingStore &bs =
+        journaledStore(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (Tick t = 0; t <= kLastTick; t += kLastTick / 64)
+            acc ^= bs.snapshotAt(t).read64(kBase);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_AscendingWalk_SnapshotAt)->Arg(0)->Arg(1024);
+
+/** The same walk through the monotone Cursor (one replay total). */
+void
+BM_AscendingWalk_Cursor(benchmark::State &state)
+{
+    const mem::BackingStore &bs =
+        journaledStore(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        mem::BackingStore::Cursor cursor(bs);
+        std::uint64_t acc = 0;
+        for (Tick t = 0; t <= kLastTick; t += kLastTick / 64)
+            acc ^= cursor.imageAt(t).read64(kBase);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_AscendingWalk_Cursor)->Arg(0)->Arg(1024);
+
+/**
+ * End-to-end crash sweep of a small sps/fwb cell; arg = checkpoint
+ * interval (0 = the pre-overhaul naive replay). Dominated by the
+ * recovery + checker passes, so this is the number that tracks the
+ * user-visible snfcrash speedup.
+ */
+void
+BM_CrashSweepEndToEnd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        crashlab::SweepConfig cfg;
+        cfg.run.workload = "sps";
+        cfg.run.mode = PersistMode::Fwb;
+        cfg.run.params.threads = 2;
+        cfg.run.params.txPerThread = 30;
+        cfg.run.params.seed = 1;
+        cfg.run.sys = SystemConfig::scaled(2);
+        cfg.run.sys.persist.snapshotCheckpointK =
+            static_cast<std::size_t>(state.range(0));
+        cfg.jobs = 1;
+        cfg.maxPoints = 100;
+        crashlab::SweepResult res = crashlab::runCrashSweep(cfg);
+        benchmark::DoNotOptimize(res.pointsTested);
+        state.counters["points"] =
+            static_cast<double>(res.pointsTested);
+        state.counters["replayed"] =
+            static_cast<double>(res.perf.entriesReplayed);
+    }
+}
+BENCHMARK(BM_CrashSweepEndToEnd)
+    ->Arg(0)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -118,6 +118,8 @@ class System
 
     mem::MemorySystem &mem() { return *memory; }
 
+    const mem::MemorySystem &mem() const { return *memory; }
+
     PersistentHeap &heap() { return *pheap; }
 
     BumpAllocator &dramHeap() { return *dheap; }

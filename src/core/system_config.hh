@@ -215,6 +215,15 @@ struct PersistConfig
     /** Record write journal in NVRAM for crash snapshots. */
     bool crashJournal = false;
     /**
+     * Journal-checkpoint interval of the snapshot engine: the store
+     * materializes a copy-on-write image every K journal entries so
+     * snapshotAt(t) replays only the delta past the nearest
+     * checkpoint. 0 disables checkpoints (full replay per snapshot —
+     * the naive reference mode bench/sweep_perf compares against).
+     * Only meaningful with crashJournal.
+     */
+    std::size_t snapshotCheckpointK = 1024;
+    /**
      * Distributed per-thread logs (paper Section III-F): the log
      * area is partitioned into one circular region per core, each
      * with its own log buffer. Only meaningful for hardware-logging

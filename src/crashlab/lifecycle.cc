@@ -1,14 +1,18 @@
 #include "crashlab/lifecycle.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <optional>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
 #include "crashlab/trace.hh"
 #include "mem/remap_table.hh"
+#include "persist/recovery.hh"
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -49,10 +53,8 @@ std::vector<Violation>
 checkRecoveryReentrancy(const mem::BackingStore &image,
                         const AddressMap &map,
                         const persist::RecoveryOptions &opts,
-                        std::uint64_t stride)
+                        std::uint64_t stride, std::size_t jobs)
 {
-    std::vector<Violation> out;
-
     persist::RecoveryOptions full = opts;
     full.crashAfterWrites = ~0ULL;
     full.collectWrites = false;
@@ -62,12 +64,22 @@ checkRecoveryReentrancy(const mem::BackingStore &image,
         persist::Recovery::run(ref, map, full);
     std::uint64_t total = refRep.writesIssued;
     if (total < 2)
-        return out; // no interior point to interrupt at
+        return {}; // no interior point to interrupt at
     if (stride == 0)
         stride = std::max<std::uint64_t>(1, total / 5);
 
+    // One probe per interior budget: interrupt, resume, compare. The
+    // probes recover independent COW copies, so they parallelize;
+    // like the serial loop, only the lowest failing budget reports.
+    std::vector<std::uint64_t> budgets;
     for (std::uint64_t budget = stride; budget < total;
-         budget += stride) {
+         budget += stride)
+        budgets.push_back(budget);
+    std::vector<std::vector<Violation>> probeOut(budgets.size());
+
+    auto probeAt = [&](std::size_t i) {
+        std::uint64_t budget = budgets[i];
+        std::vector<Violation> &out = probeOut[i];
         persist::RecoveryOptions cut = full;
         cut.crashAfterWrites = budget;
         mem::BackingStore probe = image;
@@ -83,7 +95,7 @@ checkRecoveryReentrancy(const mem::BackingStore &image,
                         static_cast<unsigned long long>(
                             r1.writesIssued),
                         static_cast<unsigned long long>(total)));
-            break;
+            return;
         }
         persist::Recovery::run(probe, map, full);
         if (auto diff = probe.firstDifference(ref, probe.base(),
@@ -95,16 +107,64 @@ checkRecoveryReentrancy(const mem::BackingStore &image,
                         static_cast<unsigned long long>(budget),
                         static_cast<unsigned long long>(total),
                         static_cast<unsigned long long>(*diff)));
-            break;
         }
+    };
+
+    jobs = std::max<std::size_t>(1, std::min(jobs, budgets.size()));
+    if (jobs == 1) {
+        for (std::size_t i = 0; i < budgets.size(); ++i) {
+            probeAt(i);
+            if (!probeOut[i].empty())
+                break; // matches the parallel path's report
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::uint64_t> poolRecoverNs{0};
+        auto drain = [&] {
+            std::uint64_t ns = 0;
+            persist::RecoveryTimerScope scope(&ns);
+            for (std::size_t i = next.fetch_add(1);
+                 i < budgets.size(); i = next.fetch_add(1))
+                probeAt(i);
+            poolRecoverNs.fetch_add(ns);
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t j = 0; j < jobs; ++j)
+            pool.emplace_back(drain);
+        for (auto &t : pool)
+            t.join();
+        // Credit the probes' recovery time to the caller's timer (the
+        // thread-local scope does not span the pool threads).
+        if (std::uint64_t *sink = persist::activeRecoveryTimerSink())
+            *sink += poolRecoverNs.load();
     }
-    return out;
+    for (auto &out : probeOut)
+        if (!out.empty())
+            return std::move(out);
+    return {};
 }
 
 LifecycleResult
 runLifecycle(const LifecycleConfig &cfg)
 {
+    using Clock = std::chrono::steady_clock;
+    auto secondsSince = [](Clock::time_point start) {
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+
     LifecycleResult res;
+    Clock::time_point tTotal = Clock::now();
+    std::size_t jobs = resolveJobs(cfg.jobs);
+    res.perf.jobsUsed = jobs;
+
+    // Every Recovery::run under this frame (checkers, canonical pass,
+    // re-entrancy probes — including pooled ones, which credit back)
+    // accumulates here; checkSec below is checker wall minus this.
+    std::uint64_t recoverNs = 0;
+    std::uint64_t checkWallNs = 0;
+    persist::RecoveryTimerScope recoveryTimer(&recoverNs);
 
     SystemConfig sysCfg = cfg.run.sys;
     sysCfg.persist.crashJournal = true; // snapshots depend on it
@@ -138,6 +198,7 @@ runLifecycle(const LifecycleConfig &cfg)
         GenerationResult gr;
         gr.generation = g;
 
+        Clock::time_point tRun = Clock::now();
         System sys(sysCfg, cfg.run.mode);
         if (g == 0) {
             workload->setup(sys, cfg.run.params);
@@ -178,6 +239,7 @@ runLifecycle(const LifecycleConfig &cfg)
         gr.logWraps = stats.logWraps;
         gr.scrubRepairs = stats.scrubRepairs;
         gr.scrubPromotions = stats.scrubPromotions;
+        res.perf.refRunSec += secondsSince(tRun);
 
         // Crash instant: a harvested point from the middle half of
         // the run, varied per generation by the soak seed.
@@ -193,7 +255,10 @@ runLifecycle(const LifecycleConfig &cfg)
             gr.crashTick = points[lo + rng.next() % (hi - lo)].tick;
         }
 
+        Clock::time_point tSnap = Clock::now();
         mem::BackingStore image = sys.crashSnapshot(gr.crashTick);
+        res.perf.snapshotSec += secondsSince(tSnap);
+        Clock::time_point tCheck = Clock::now();
 
         CrashFacts facts;
         facts.tick = gr.crashTick;
@@ -263,7 +328,7 @@ runLifecycle(const LifecycleConfig &cfg)
                 1, gr.recovery.writesIssued /
                        (cfg.reentrancyBudgets + 1));
             std::vector<Violation> v = checkRecoveryReentrancy(
-                *preRecovery, map, canon, stride);
+                *preRecovery, map, canon, stride, jobs);
             gr.violations.insert(gr.violations.end(), v.begin(),
                                  v.end());
         }
@@ -319,6 +384,13 @@ runLifecycle(const LifecycleConfig &cfg)
             }
         }
 
+        checkWallNs += static_cast<std::uint64_t>(
+            secondsSince(tCheck) * 1e9);
+        const mem::BackingStore &st = sys.mem().nvram().store();
+        res.perf.journalEntries += st.journalSize();
+        res.perf.entriesReplayed += st.entriesReplayed();
+        res.perf.pagesCloned += st.pagesCloned();
+
         const bool stop = sabotaged || gr.recovery.remapCorrupt;
         if (gr.recovery.remapCorrupt)
             res.aborted = true; // image untrusted: end the soak
@@ -329,6 +401,10 @@ runLifecycle(const LifecycleConfig &cfg)
         adopted.emplace(std::move(image));
     }
 
+    res.perf.recoverSec = recoverNs * 1e-9;
+    res.perf.checkSec =
+        (checkWallNs - std::min(checkWallNs, recoverNs)) * 1e-9;
+    res.perf.totalSec = secondsSince(tTotal);
     return res;
 }
 

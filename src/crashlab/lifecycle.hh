@@ -35,6 +35,7 @@
 
 #include "crashlab/faultlab.hh"
 #include "crashlab/invariants.hh"
+#include "crashlab/sweep.hh"
 #include "workloads/driver.hh"
 
 namespace snf::crashlab
@@ -69,6 +70,12 @@ struct LifecycleConfig
     bool checkReentrancy = true;
     /** Interior write budgets probed by the re-entrancy check. */
     std::uint64_t reentrancyBudgets = 4;
+    /**
+     * Worker threads for the re-entrancy budget probes (each probe
+     * recovers an independent COW copy); 0 = one per hardware thread
+     * (resolveJobs).
+     */
+    std::size_t jobs = 0;
 };
 
 /** What one generation did and found. */
@@ -95,6 +102,15 @@ struct LifecycleResult
     std::vector<GenerationResult> generations;
     /** True when the soak stopped early (untrusted remap table). */
     bool aborted = false;
+    /**
+     * Phase timing + snapshot-engine counters summed over every
+     * generation (refRunSec = simulation, snapshotSec = crash-image
+     * reconstruction, recoverSec = recovery passes, checkSec =
+     * checker work minus recovery; journal/replay/clone counters from
+     * each generation's store). Shares the sweep's struct so snfsoak
+     * --bench-json emits the same schema as snfcrash.
+     */
+    SweepPerf perf;
 
     std::uint64_t
     totalViolations() const
@@ -121,13 +137,15 @@ LifecycleResult runLifecycle(const LifecycleConfig &cfg);
  * that writesIssued is identical across passes (recovery's write plan
  * depends only on pre-write reads). @p opts should be the canonical
  * recovery options (promotion + truncation). @p image is not
- * modified.
+ * modified. @p jobs > 1 probes the (independent) budgets on that many
+ * threads; the reported violations are those of the lowest failing
+ * budget either way.
  */
 std::vector<Violation>
 checkRecoveryReentrancy(const mem::BackingStore &image,
                         const AddressMap &map,
                         const persist::RecoveryOptions &opts,
-                        std::uint64_t stride);
+                        std::uint64_t stride, std::size_t jobs = 1);
 
 } // namespace snf::crashlab
 

@@ -80,8 +80,66 @@ writeTextSummary(std::ostream &os, const CellResult &cell)
     }
 }
 
+void
+writePerfSummary(std::ostream &os, const CellResult &cell)
+{
+    const SweepPerf &p = cell.sweep.perf;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  perf: total %.3fs = ref-run %.3fs + harvest "
+                  "%.3fs + index %.3fs + eval (jobs=%zu)\n",
+                  p.totalSec, p.refRunSec, p.harvestSec, p.indexSec,
+                  p.jobsUsed);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "  perf: eval worker-sec: snapshot %.3f, recover "
+                  "%.3f, check %.3f; minimize %.3fs\n",
+                  p.snapshotSec, p.recoverSec, p.checkSec,
+                  p.minimizeSec);
+    os << line;
+    std::snprintf(
+        line, sizeof(line),
+        "  perf: journal %llu entries, %llu checkpoints, %llu "
+        "replayed, %llu pages cloned\n",
+        static_cast<unsigned long long>(p.journalEntries),
+        static_cast<unsigned long long>(p.checkpointsBuilt),
+        static_cast<unsigned long long>(p.entriesReplayed),
+        static_cast<unsigned long long>(p.pagesCloned));
+    os << line;
+}
+
 namespace
 {
+
+void
+writePerfJson(std::ostream &os, const SweepPerf &p,
+              const char *indent)
+{
+    char line[192];
+    os << indent << "\"perf\": {\n";
+    auto secs = [&](const char *key, double v, bool comma = true) {
+        std::snprintf(line, sizeof(line), "%s  \"%s_sec\": %.6f%s\n",
+                      indent, key, v, comma ? "," : "");
+        os << line;
+    };
+    secs("ref_run", p.refRunSec);
+    secs("harvest", p.harvestSec);
+    secs("index", p.indexSec);
+    secs("snapshot", p.snapshotSec);
+    secs("recover", p.recoverSec);
+    secs("check", p.checkSec);
+    secs("minimize", p.minimizeSec);
+    secs("total", p.totalSec);
+    os << indent << "  \"journal_entries\": " << p.journalEntries
+       << ",\n";
+    os << indent << "  \"checkpoints_built\": " << p.checkpointsBuilt
+       << ",\n";
+    os << indent << "  \"entries_replayed\": " << p.entriesReplayed
+       << ",\n";
+    os << indent << "  \"pages_cloned\": " << p.pagesCloned << ",\n";
+    os << indent << "  \"jobs\": " << p.jobsUsed << "\n";
+    os << indent << "}";
+}
 
 void
 writeCell(std::ostream &os, const CellResult &cell,
@@ -142,6 +200,9 @@ writeCell(std::ostream &os, const CellResult &cell,
         os << indent << "  \"minimized_detail\": \""
            << jsonEscape(sw.minimizedDetail) << "\",\n";
     }
+    writePerfJson(os, sw.perf,
+                  (std::string(indent) + "  ").c_str());
+    os << ",\n";
     os << indent << "  \"passed\": "
        << (sw.passed() ? "true" : "false") << "\n";
     os << indent << "}";
@@ -167,6 +228,34 @@ writeJsonReport(std::ostream &os,
     os << (cells.empty() ? "]" : "\n  ]") << ",\n";
     os << "  \"cells_total\": " << cells.size() << ",\n";
     os << "  \"cells_failed\": " << failed << "\n";
+    os << "}\n";
+}
+
+void
+writeBenchJson(std::ostream &os, const std::string &tool,
+               const std::vector<CellResult> &cells)
+{
+    os << "{\n";
+    os << "  \"schema\": \"snf-bench-sweep-v1\",\n";
+    os << "  \"tool\": \"" << jsonEscape(tool) << "\",\n";
+    os << "  \"cells\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellResult &c = cells[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"workload\": \"" << jsonEscape(c.workload)
+           << "\",\n";
+        os << "      \"mode\": \"" << persistModeName(c.mode)
+           << "\",\n";
+        os << "      \"seed\": " << c.seed << ",\n";
+        os << "      \"threads\": " << c.threads << ",\n";
+        os << "      \"tx_per_thread\": " << c.txPerThread << ",\n";
+        os << "      \"points_tested\": " << c.sweep.pointsTested
+           << ",\n";
+        writePerfJson(os, c.sweep.perf, "      ");
+        os << "\n    }";
+    }
+    os << (cells.empty() ? "]" : "\n  ]") << "\n";
     os << "}\n";
 }
 

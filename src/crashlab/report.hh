@@ -34,9 +34,21 @@ struct CellResult
 /** One-paragraph human summary of a cell. */
 void writeTextSummary(std::ostream &os, const CellResult &cell);
 
+/** Per-phase timing + snapshot-engine counter lines of a cell. */
+void writePerfSummary(std::ostream &os, const CellResult &cell);
+
 /** The whole matrix as a JSON document. */
 void writeJsonReport(std::ostream &os,
                      const std::vector<CellResult> &cells);
+
+/**
+ * The perf trajectory document (BENCH_sweep.json, --bench-json): one
+ * record per cell with the phase wall-clocks and snapshot-engine
+ * counters of its sweep, schema-stable so CI can archive and diff it
+ * across commits.
+ */
+void writeBenchJson(std::ostream &os, const std::string &tool,
+                    const std::vector<CellResult> &cells);
 
 /** JSON string escaping (exposed for tests). */
 std::string jsonEscape(const std::string &s);

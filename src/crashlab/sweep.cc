@@ -1,7 +1,7 @@
 #include "crashlab/sweep.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <utility>
@@ -51,12 +51,30 @@ samplePoints(std::vector<CrashPoint> points, std::size_t keep,
     return points;
 }
 
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 } // namespace
+
+std::size_t
+resolveJobs(std::size_t requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
 
 SweepResult
 runCrashSweep(const SweepConfig &cfg)
 {
     SweepResult res;
+    Clock::time_point tTotal = Clock::now();
 
     SystemConfig sysCfg = cfg.run.sys;
     sysCfg.persist.crashJournal = true; // the sweep depends on it
@@ -65,6 +83,7 @@ runCrashSweep(const SweepConfig &cfg)
               sysCfg.numCores);
 
     // Reference run, instrumented.
+    Clock::time_point tRef = Clock::now();
     System sys(sysCfg, cfg.run.mode);
     auto workload = workloads::makeWorkload(cfg.run.workload);
     workload->setup(sys, cfg.run.params);
@@ -88,15 +107,29 @@ runCrashSweep(const SweepConfig &cfg)
     sys.flushAll(res.endTick);
     res.refVerified = workload->verify(sys.mem().nvram().store(),
                                        &res.refVerifyMessage);
+    res.perf.refRunSec = secondsSince(tRef);
 
+    Clock::time_point tHarvest = Clock::now();
     trace.finalize();
     std::vector<CrashPoint> points = trace.harvest(res.endTick);
     res.pointsHarvested = points.size();
     points = samplePoints(std::move(points), cfg.maxPoints,
                           cfg.sampleSeed);
     res.pointsTested = points.size();
+    res.perf.harvestSec = secondsSince(tHarvest);
 
     const System &csys = sys;
+    const mem::BackingStore &store = csys.mem().nvram().store();
+
+    // Build the journal index + checkpoints once, up front, so the
+    // cost shows as its own phase instead of inside the first
+    // evaluated point, and so parallel workers never contend on it.
+    Clock::time_point tIndex = Clock::now();
+    store.buildSnapshotIndex();
+    res.perf.indexSec = secondsSince(tIndex);
+    res.perf.journalEntries = store.journalSize();
+    res.perf.checkpointsBuilt = store.checkpointCount();
+
     auto factsAt = [&](Tick t) {
         CrashFacts f;
         f.tick = t;
@@ -110,9 +143,14 @@ runCrashSweep(const SweepConfig &cfg)
         f.mode = cfg.run.mode;
         return f;
     };
-    auto evaluate = [&](Tick t, persist::RecoveryReport *rep,
-                        ImageFaultPlan *plan) {
-        mem::BackingStore image = csys.crashSnapshot(t);
+    // Evaluate one crash image. @p skipReentrancy drops the
+    // interrupted-recovery sweep (each probe multiplies the cost by
+    // the interior-write budget count) — the bisection minimizer uses
+    // it for its interior probes and re-runs the full set only at the
+    // final minimized tick.
+    auto evaluate = [&](mem::BackingStore image, Tick t,
+                        persist::RecoveryReport *rep,
+                        ImageFaultPlan *plan, bool skipReentrancy) {
         std::vector<Violation> violations;
         if (cfg.imageFaults.enabled()) {
             violations = checkFaultedCrashPoint(
@@ -126,7 +164,7 @@ runCrashSweep(const SweepConfig &cfg)
         // Crash-during-recovery (I8 extension): recovery of this
         // snapshot, interrupted at any interior write and re-run,
         // must converge with the uninterrupted pass.
-        if (cfg.recoverySweepStride != 0) {
+        if (cfg.recoverySweepStride != 0 && !skipReentrancy) {
             if (cfg.imageFaults.enabled())
                 applyImageFaults(image, csys.config().map,
                                  cfg.imageFaults, t);
@@ -142,28 +180,70 @@ runCrashSweep(const SweepConfig &cfg)
         return violations;
     };
 
-    // Parallel evaluation. Workers only read the (const) System and
-    // trace, and write disjoint slots of the outcome vector.
+    // Parallel evaluation: the sampled points are in ascending tick
+    // order, so each worker takes a contiguous chunk and advances one
+    // copy-on-write image through it with a monotone cursor — the
+    // whole sweep replays the journal once per worker instead of once
+    // per point. Workers only read the (const) System and trace, and
+    // write disjoint slots of the outcome vector.
     std::vector<PointOutcome> outcomes(points.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        for (std::size_t i = next.fetch_add(1); i < points.size();
-             i = next.fetch_add(1)) {
+    std::size_t jobs = resolveJobs(cfg.jobs);
+    if (!points.empty())
+        jobs = std::min(jobs, points.size());
+    jobs = std::max<std::size_t>(jobs, 1);
+    res.perf.jobsUsed = jobs;
+
+    struct WorkerPerf
+    {
+        std::uint64_t snapshotNs = 0;
+        std::uint64_t evalNs = 0;
+        std::uint64_t recoverNs = 0;
+    };
+    std::vector<WorkerPerf> workerPerf(jobs);
+    std::size_t chunk = points.empty()
+                            ? 0
+                            : (points.size() + jobs - 1) / jobs;
+    auto worker = [&](std::size_t w) {
+        std::size_t begin = w * chunk;
+        std::size_t end = std::min(points.size(), begin + chunk);
+        if (begin >= end)
+            return;
+        WorkerPerf &perf = workerPerf[w];
+        persist::RecoveryTimerScope recoveryTimer(&perf.recoverNs);
+        mem::BackingStore::Cursor cursor(store);
+        for (std::size_t i = begin; i < end; ++i) {
+            Clock::time_point t0 = Clock::now();
+            mem::BackingStore image = cursor.imageAt(points[i].tick);
+            Clock::time_point t1 = Clock::now();
             outcomes[i].point = points[i];
-            outcomes[i].violations =
-                evaluate(points[i].tick, &outcomes[i].report,
-                         &outcomes[i].plan);
+            outcomes[i].violations = evaluate(
+                std::move(image), points[i].tick, &outcomes[i].report,
+                &outcomes[i].plan, false);
+            Clock::time_point t2 = Clock::now();
+            perf.snapshotNs += std::chrono::duration_cast<
+                                   std::chrono::nanoseconds>(t1 - t0)
+                                   .count();
+            perf.evalNs += std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(t2 - t1)
+                               .count();
         }
     };
-    std::size_t jobs = std::max<std::size_t>(cfg.jobs, 1);
     if (jobs == 1 || points.size() <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> pool;
+        pool.reserve(jobs);
         for (std::size_t j = 0; j < jobs; ++j)
-            pool.emplace_back(worker);
+            pool.emplace_back(worker, j);
         for (auto &t : pool)
             t.join();
+    }
+    for (const WorkerPerf &perf : workerPerf) {
+        res.perf.snapshotSec += perf.snapshotNs * 1e-9;
+        res.perf.recoverSec += perf.recoverNs * 1e-9;
+        res.perf.checkSec +=
+            (perf.evalNs - std::min(perf.evalNs, perf.recoverNs)) *
+            1e-9;
     }
 
     for (auto &o : outcomes) {
@@ -177,14 +257,19 @@ runCrashSweep(const SweepConfig &cfg)
     }
 
     // Minimize: bisect down from the earliest observed failure to the
-    // earliest failing tick. Snapshot evaluation is cheap, so probing
-    // arbitrary mid ticks (not just harvested ones) is fine.
+    // earliest failing tick. Checkpointed snapshot reconstruction is
+    // cheap, so probing arbitrary mid ticks (not just harvested ones)
+    // is fine. Interior probes skip the re-entrancy sweep; the full
+    // checker set re-runs at the final minimized tick below.
     if (!res.failures.empty() && cfg.minimizeFailures) {
+        Clock::time_point tMin = Clock::now();
         Tick lo = 0;
         Tick hi = res.failures.front().point.tick; // known failing
         while (lo < hi) {
             Tick mid = lo + (hi - lo) / 2;
-            if (!evaluate(mid, nullptr, nullptr).empty())
+            if (!evaluate(csys.crashSnapshot(mid), mid, nullptr,
+                          nullptr, true)
+                     .empty())
                 hi = mid;
             else
                 lo = mid + 1;
@@ -192,7 +277,8 @@ runCrashSweep(const SweepConfig &cfg)
         res.minimizedTick = hi;
 
         persist::RecoveryReport rep;
-        auto violations = evaluate(hi, &rep, nullptr);
+        auto violations =
+            evaluate(csys.crashSnapshot(hi), hi, &rep, nullptr, false);
         CrashFacts f = factsAt(hi);
         std::string detail;
         char line[256];
@@ -238,8 +324,12 @@ runCrashSweep(const SweepConfig &cfg)
         detail += describeLogWindow(csys.crashSnapshot(hi),
                                     csys.config().map);
         res.minimizedDetail = std::move(detail);
+        res.perf.minimizeSec = secondsSince(tMin);
     }
 
+    res.perf.entriesReplayed = store.entriesReplayed();
+    res.perf.pagesCloned = store.pagesCloned();
+    res.perf.totalSec = secondsSince(tTotal);
     return res;
 }
 

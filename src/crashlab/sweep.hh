@@ -39,8 +39,8 @@ struct SweepConfig
      * picks its own crash points); crashJournal is forced on.
      */
     workloads::RunSpec run;
-    /** Worker threads evaluating crash points. */
-    std::size_t jobs = 1;
+    /** Worker threads evaluating crash points; 0 = one per core. */
+    std::size_t jobs = 0;
     /** Cap on evaluated points; 0 = all harvested. */
     std::size_t maxPoints = 0;
     /** Seed of the deterministic down-sampling of crash points. */
@@ -77,6 +77,34 @@ struct PointOutcome
     ImageFaultPlan plan;
 };
 
+/**
+ * Per-phase wall-clock and engine counters of one sweep.
+ * refRun/harvest/index/minimize/total are wall-clock; snapshot,
+ * recover and check are summed across the evaluation workers (worker
+ * CPU seconds), so with J jobs their sum can exceed totalSec.
+ */
+struct SweepPerf
+{
+    double refRunSec = 0;   ///< instrumented reference simulation
+    double harvestSec = 0;  ///< trace finalize + harvest + sampling
+    double indexSec = 0;    ///< journal sort + checkpoint build
+    double snapshotSec = 0; ///< crash-image reconstruction (workers)
+    double recoverSec = 0;  ///< recovery passes inside checkers
+    double checkSec = 0;    ///< checker work minus recovery
+    double minimizeSec = 0; ///< bisection of the earliest failure
+    double totalSec = 0;    ///< whole runCrashSweep call
+    /** Journaled NVRAM writes of the reference run. */
+    std::uint64_t journalEntries = 0;
+    /** Checkpoints the snapshot index materialized. */
+    std::uint64_t checkpointsBuilt = 0;
+    /** Journal entries replayed across every snapshot taken. */
+    std::uint64_t entriesReplayed = 0;
+    /** Pages cloned by copy-on-write across the sweep. */
+    std::uint64_t pagesCloned = 0;
+    /** Worker threads actually used (after resolveJobs). */
+    std::size_t jobsUsed = 0;
+};
+
 /** Everything one sweep produced. */
 struct SweepResult
 {
@@ -100,8 +128,18 @@ struct SweepResult
     std::uint64_t totalQuarantined = 0;
     std::uint64_t totalSlotsFaulted = 0;
 
+    /** Phase timing and snapshot-engine counters. */
+    SweepPerf perf;
+
     bool passed() const { return pointsFailed == 0 && refVerified; }
 };
+
+/**
+ * Resolve a requested worker count: 0 means one per hardware thread
+ * (std::thread::hardware_concurrency(), at least 1). Tools print the
+ * resolved value in their report headers.
+ */
+std::size_t resolveJobs(std::size_t requested);
 
 /** Run one sweep cell. fatal() on misconfiguration. */
 SweepResult runCrashSweep(const SweepConfig &cfg);

@@ -8,25 +8,181 @@
 namespace snf::mem
 {
 
+// --- JournalEntry (small-buffer payload storage) ---------------------
+
+void
+BackingStore::JournalEntry::adopt(const void *src, std::uint64_t n)
+{
+    SNF_ASSERT(n <= ~std::uint32_t{0}, "journal write of %llu bytes",
+               static_cast<unsigned long long>(n));
+    len = static_cast<std::uint32_t>(n);
+    if (len <= kInlineCapacity) {
+        std::memcpy(inlineBytes, src, len);
+    } else {
+        heapBytes = new std::uint8_t[len];
+        std::memcpy(heapBytes, src, len);
+    }
+}
+
+void
+BackingStore::JournalEntry::release()
+{
+    if (len > kInlineCapacity)
+        delete[] heapBytes;
+    len = 0;
+}
+
+BackingStore::JournalEntry::JournalEntry(Tick done_, Addr addr_,
+                                         const void *src,
+                                         std::uint64_t n)
+    : done(done_), addr(addr_)
+{
+    adopt(src, n);
+}
+
+BackingStore::JournalEntry::JournalEntry(const JournalEntry &other)
+    : done(other.done), addr(other.addr)
+{
+    adopt(other.data(), other.len);
+}
+
+BackingStore::JournalEntry::JournalEntry(JournalEntry &&other) noexcept
+    : done(other.done), addr(other.addr), len(other.len)
+{
+    if (len <= kInlineCapacity)
+        std::memcpy(inlineBytes, other.inlineBytes, len);
+    else
+        heapBytes = other.heapBytes;
+    other.len = 0; // heap payload (if any) now owned here
+}
+
+BackingStore::JournalEntry &
+BackingStore::JournalEntry::operator=(const JournalEntry &other)
+{
+    if (this == &other)
+        return *this;
+    release();
+    done = other.done;
+    addr = other.addr;
+    adopt(other.data(), other.len);
+    return *this;
+}
+
+BackingStore::JournalEntry &
+BackingStore::JournalEntry::operator=(JournalEntry &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    release();
+    done = other.done;
+    addr = other.addr;
+    len = other.len;
+    if (len <= kInlineCapacity)
+        std::memcpy(inlineBytes, other.inlineBytes, len);
+    else
+        heapBytes = other.heapBytes;
+    other.len = 0;
+    return *this;
+}
+
+BackingStore::JournalEntry::~JournalEntry()
+{
+    release();
+}
+
+// --- construction / copying ------------------------------------------
+
 BackingStore::BackingStore(Addr base, std::uint64_t size)
     : rangeBase(base), rangeSize(size)
 {
 }
 
-const std::uint8_t *
+void
+BackingStore::copyFrom(const BackingStore &other)
+{
+    rangeBase = other.rangeBase;
+    rangeSize = other.rangeSize;
+    pages = other.pages;
+    journalOn = other.journalOn;
+    journalBase = other.journalBase;
+    journal = other.journal;
+    ckptInterval = other.ckptInterval;
+    indexValid = other.indexValid;
+    indexedEntries = other.indexedEntries;
+    sortedIdx = other.sortedIdx;
+    checkpoints = other.checkpoints;
+    statReplayed = other.statReplayed.load();
+    statCloned = other.statCloned.load();
+}
+
+void
+BackingStore::moveFrom(BackingStore &&other) noexcept
+{
+    rangeBase = other.rangeBase;
+    rangeSize = other.rangeSize;
+    pages = std::move(other.pages);
+    journalOn = other.journalOn;
+    journalBase = std::move(other.journalBase);
+    journal = std::move(other.journal);
+    ckptInterval = other.ckptInterval;
+    indexValid = other.indexValid;
+    indexedEntries = other.indexedEntries;
+    sortedIdx = std::move(other.sortedIdx);
+    checkpoints = std::move(other.checkpoints);
+    statReplayed = other.statReplayed.load();
+    statCloned = other.statCloned.load();
+    other.indexValid = false;
+    other.indexedEntries = 0;
+}
+
+BackingStore::BackingStore(const BackingStore &other)
+{
+    copyFrom(other);
+}
+
+BackingStore::BackingStore(BackingStore &&other) noexcept
+{
+    moveFrom(std::move(other));
+}
+
+BackingStore &
+BackingStore::operator=(const BackingStore &other)
+{
+    if (this != &other)
+        copyFrom(other);
+    return *this;
+}
+
+BackingStore &
+BackingStore::operator=(BackingStore &&other) noexcept
+{
+    if (this != &other)
+        moveFrom(std::move(other));
+    return *this;
+}
+
+// --- page access (copy-on-write) -------------------------------------
+
+const BackingStore::Page *
 BackingStore::pagePtr(std::uint64_t pageIdx) const
 {
     auto it = pages.find(pageIdx);
-    return it == pages.end() ? nullptr : it->second.data();
+    return it == pages.end() ? nullptr : it->second.get();
 }
 
 std::uint8_t *
 BackingStore::pagePtrMut(std::uint64_t pageIdx)
 {
-    auto &page = pages[pageIdx];
-    if (page.empty())
-        page.assign(kPageBytes, 0);
-    return page.data();
+    PageRef &ref = pages[pageIdx];
+    if (!ref) {
+        ref = std::make_shared<Page>(); // value-initialized: zeroed
+    } else if (ref.use_count() > 1) {
+        // Shared with a snapshot, checkpoint, or sibling image:
+        // clone before the first write diverges us from them.
+        ref = std::make_shared<Page>(*ref);
+        statCloned.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ref->bytes;
 }
 
 void
@@ -42,9 +198,9 @@ BackingStore::read(Addr addr, std::uint64_t size, void *out) const
         std::uint64_t page = off / kPageBytes;
         std::uint64_t in_page = off % kPageBytes;
         std::uint64_t n = std::min(size, kPageBytes - in_page);
-        const std::uint8_t *src = pagePtr(page);
+        const Page *src = pagePtr(page);
         if (src)
-            std::memcpy(dst, src + in_page, n);
+            std::memcpy(dst, src->bytes + in_page, n);
         else
             std::memset(dst, 0, n);
         dst += n;
@@ -78,14 +234,8 @@ BackingStore::write(Addr addr, std::uint64_t size, const void *in,
                static_cast<unsigned long long>(addr),
                static_cast<unsigned long long>(size));
     rawWrite(addr, size, in);
-    if (journalOn) {
-        JournalEntry e;
-        e.done = doneTick;
-        e.addr = addr;
-        e.bytes.assign(static_cast<const std::uint8_t *>(in),
-                       static_cast<const std::uint8_t *>(in) + size);
-        journal.push_back(std::move(e));
-    }
+    if (journalOn)
+        journal.emplace_back(doneTick, addr, in, size);
 }
 
 std::uint64_t
@@ -102,39 +252,185 @@ BackingStore::write64(Addr addr, std::uint64_t v, Tick doneTick)
     write(addr, sizeof(v), &v, doneTick);
 }
 
+// --- journal / snapshot index ----------------------------------------
+
 void
 BackingStore::enableJournal()
 {
     SNF_ASSERT(!journalOn, "journal already enabled");
     journalOn = true;
-    journalBase = pages;
+    journalBase = pages; // COW share: O(pages) pointer copies
     journal.clear();
+    invalidateIndex();
+}
+
+void
+BackingStore::setCheckpointInterval(std::size_t k)
+{
+    ckptInterval = k;
+    invalidateIndex();
+}
+
+void
+BackingStore::invalidateIndex()
+{
+    std::lock_guard<std::mutex> guard(indexMutex);
+    indexValid = false;
+    indexedEntries = 0;
+    sortedIdx.clear();
+    checkpoints.clear();
+}
+
+std::size_t
+BackingStore::checkpointCount() const
+{
+    std::lock_guard<std::mutex> guard(indexMutex);
+    return checkpoints.size();
+}
+
+void
+BackingStore::ensureIndex() const
+{
+    std::lock_guard<std::mutex> guard(indexMutex);
+    if (indexValid && indexedEntries == journal.size())
+        return;
+
+    // Writes are journaled in issue order but can complete out of
+    // order (bank conflicts, read priority); at the crash instant the
+    // device holds the value of the *latest-completing* write, so
+    // replay order is (completion tick, issue order) — the index
+    // tiebreak makes the sort stable.
+    sortedIdx.resize(journal.size());
+    for (std::uint32_t i = 0; i < sortedIdx.size(); ++i)
+        sortedIdx[i] = i;
+    std::sort(sortedIdx.begin(), sortedIdx.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  if (journal[a].done != journal[b].done)
+                      return journal[a].done < journal[b].done;
+                  return a < b;
+              });
+
+    // Materialize a checkpoint image every ckptInterval entries. The
+    // working image and every checkpoint share pages copy-on-write,
+    // so each checkpoint costs O(pages) pointer copies plus one clone
+    // per page touched in the following interval.
+    checkpoints.clear();
+    if (ckptInterval != 0 && journal.size() >= ckptInterval) {
+        BackingStore work(rangeBase, rangeSize);
+        work.pages = journalBase;
+        std::size_t applied = 0;
+        for (std::uint32_t idx : sortedIdx) {
+            const JournalEntry &e = journal[idx];
+            work.rawWrite(e.addr, e.size(), e.data());
+            ++applied;
+            if (applied % ckptInterval == 0) {
+                checkpoints.push_back(
+                    Checkpoint{e.done, applied, work.pages});
+            }
+        }
+        statCloned.fetch_add(work.statCloned.load(),
+                             std::memory_order_relaxed);
+    }
+
+    indexValid = true;
+    indexedEntries = journal.size();
+}
+
+const BackingStore::Checkpoint *
+BackingStore::checkpointFor(Tick tick) const
+{
+    // Last checkpoint whose newest entry completed at or before tick;
+    // lastDone values are non-decreasing in checkpoint order.
+    auto it = std::upper_bound(
+        checkpoints.begin(), checkpoints.end(), tick,
+        [](Tick t, const Checkpoint &c) { return t < c.lastDone; });
+    if (it == checkpoints.begin())
+        return nullptr;
+    return &*(it - 1);
 }
 
 BackingStore
 BackingStore::snapshotAt(Tick tick) const
 {
     SNF_ASSERT(journalOn, "snapshotAt without journaling");
+    ensureIndex();
+
     BackingStore snap(rangeBase, rangeSize);
-    snap.pages = journalBase;
-    // Writes are journaled in issue order but can complete out of
-    // order (bank conflicts, read priority); at the crash instant the
-    // device holds the value of the *latest-completing* write, so
-    // replay in completion order. The sort is stable: simultaneous
-    // completions keep issue order.
-    std::vector<const JournalEntry *> replay;
-    replay.reserve(journal.size());
-    for (const auto &e : journal)
-        if (e.done <= tick)
-            replay.push_back(&e);
-    std::stable_sort(replay.begin(), replay.end(),
-                     [](const JournalEntry *a, const JournalEntry *b) {
-                         return a->done < b->done;
-                     });
-    for (const JournalEntry *e : replay)
-        snap.rawWrite(e->addr, e->bytes.size(), e->bytes.data());
+    std::size_t start = 0;
+    if (const Checkpoint *ck = checkpointFor(tick)) {
+        snap.pages = ck->pages;
+        start = ck->count;
+    } else {
+        snap.pages = journalBase;
+    }
+    std::uint64_t replayed = 0;
+    for (std::size_t i = start; i < sortedIdx.size(); ++i) {
+        const JournalEntry &e = journal[sortedIdx[i]];
+        if (e.done > tick)
+            break;
+        snap.rawWrite(e.addr, e.size(), e.data());
+        ++replayed;
+    }
+    statReplayed.fetch_add(replayed, std::memory_order_relaxed);
+    statCloned.fetch_add(snap.statCloned.load(),
+                         std::memory_order_relaxed);
+    snap.statCloned = 0;
     return snap;
 }
+
+// --- monotone cursor --------------------------------------------------
+
+BackingStore::Cursor::Cursor(const BackingStore &source)
+    : src(&source),
+      image(std::make_unique<BackingStore>(source.rangeBase,
+                                           source.rangeSize))
+{
+    SNF_ASSERT(source.journalOn, "Cursor without journaling");
+    source.ensureIndex();
+    image->pages = source.journalBase;
+}
+
+BackingStore::Cursor::~Cursor() = default;
+
+BackingStore
+BackingStore::Cursor::imageAt(Tick t)
+{
+    SNF_ASSERT(!started || t >= lastTick,
+               "Cursor ticks must be non-decreasing (%llu after %llu)",
+               static_cast<unsigned long long>(t),
+               static_cast<unsigned long long>(lastTick));
+    started = true;
+    lastTick = t;
+
+    // Fast-forward through checkpoints when that skips at least one
+    // full interval of replay; re-basing the image is only O(pages)
+    // pointer copies.
+    if (const Checkpoint *ck = src->checkpointFor(t)) {
+        if (ck->count > pos &&
+            ck->count - pos >= std::max<std::size_t>(
+                                   1, src->ckptInterval / 2)) {
+            image->pages = ck->pages;
+            pos = ck->count;
+        }
+    }
+
+    std::uint64_t replayed = 0;
+    while (pos < src->sortedIdx.size()) {
+        const JournalEntry &e = src->journal[src->sortedIdx[pos]];
+        if (e.done > t)
+            break;
+        image->rawWrite(e.addr, e.size(), e.data());
+        ++pos;
+        ++replayed;
+    }
+    src->statReplayed.fetch_add(replayed, std::memory_order_relaxed);
+    src->statCloned.fetch_add(image->statCloned.load(),
+                              std::memory_order_relaxed);
+    image->statCloned = 0;
+    return *image; // COW copy: O(pages) pointer copies
+}
+
+// --- whole-image operations ------------------------------------------
 
 void
 BackingStore::assignFrom(const BackingStore &other)
@@ -142,10 +438,11 @@ BackingStore::assignFrom(const BackingStore &other)
     SNF_ASSERT(rangeBase == other.rangeBase &&
                    rangeSize == other.rangeSize,
                "assignFrom with mismatched store geometry");
-    pages = other.pages;
+    pages = other.pages; // COW share
     if (journalOn) {
         journalBase = pages;
         journal.clear();
+        invalidateIndex();
     }
 }
 
@@ -156,7 +453,7 @@ BackingStore::forEachJournalWrite(
 {
     for (const auto &e : journal)
         if (e.done <= maxTick)
-            fn(e.addr, e.bytes.size());
+            fn(e.addr, e.size());
 }
 
 std::optional<Addr>
@@ -167,7 +464,7 @@ BackingStore::firstDifference(const BackingStore &other, Addr from,
                "firstDifference needs equal store bases");
     SNF_ASSERT(contains(from, size) && other.contains(from, size),
                "firstDifference range outside store");
-    static const std::vector<std::uint8_t> kZeroPage(kPageBytes, 0);
+    static const Page kZeroPage{};
     std::uint64_t first_page = (from - rangeBase) / kPageBytes;
     std::uint64_t last_off = from - rangeBase + size; // exclusive
     std::uint64_t last_page = (last_off + kPageBytes - 1) / kPageBytes;
@@ -188,12 +485,12 @@ BackingStore::firstDifference(const BackingStore &other, Addr from,
         std::unique(candidates.begin(), candidates.end()),
         candidates.end());
     for (std::uint64_t p : candidates) {
-        const std::uint8_t *a = pagePtr(p);
-        const std::uint8_t *b = other.pagePtr(p);
-        if (a == nullptr && b == nullptr)
+        const Page *a = pagePtr(p);
+        const Page *b = other.pagePtr(p);
+        if (a == b) // both absent, or one COW-shared page
             continue;
-        const std::uint8_t *pa = a ? a : kZeroPage.data();
-        const std::uint8_t *pb = b ? b : kZeroPage.data();
+        const std::uint8_t *pa = a ? a->bytes : kZeroPage.bytes;
+        const std::uint8_t *pb = b ? b->bytes : kZeroPage.bytes;
         std::uint64_t lo = std::max<std::uint64_t>(
             p * kPageBytes, from - rangeBase);
         std::uint64_t hi =

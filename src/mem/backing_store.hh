@@ -3,13 +3,28 @@
  * Sparse byte-accurate backing store for a simulated memory device,
  * with an optional timestamped write journal used to reconstruct the
  * device image as of a simulated crash instant.
+ *
+ * Snapshot engine (perf): pages are immutable-by-sharing and
+ * copy-on-write (`shared_ptr`-backed), so cloning an image is
+ * O(pages present) pointer copies instead of byte copies; the journal
+ * keeps a lazily built completion-tick index with materialized
+ * checkpoints every K entries, so snapshotAt(t) replays only the
+ * delta past the nearest checkpoint instead of the whole journal; and
+ * journal entries store payloads of up to 32 bytes (the common
+ * line/word write) inline, eliminating one heap allocation per
+ * journaled NVRAM write. The monotone Cursor turns a sequence of
+ * ascending-tick snapshots (a crash sweep) into a single incremental
+ * replay: O(journal + points × delta) instead of O(points × journal).
  */
 
 #ifndef SNF_MEM_BACKING_STORE_HH
 #define SNF_MEM_BACKING_STORE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,11 +39,22 @@ namespace snf::mem
  * allocated lazily and zero-filled. When journaling is enabled, every
  * write is recorded with its completion tick so snapshotAt() can
  * rebuild the exact persistent image at any earlier tick.
+ *
+ * Thread safety: concurrent const use (snapshotAt, read,
+ * firstDifference, Cursor) on a quiescent store is safe — the lazy
+ * snapshot index is built once under an internal lock, and page
+ * sharing is via atomic shared_ptr refcounts. Mutation requires
+ * exclusive access, as before.
  */
 class BackingStore
 {
   public:
     BackingStore(Addr base, std::uint64_t size);
+
+    BackingStore(const BackingStore &other);
+    BackingStore(BackingStore &&other) noexcept;
+    BackingStore &operator=(const BackingStore &other);
+    BackingStore &operator=(BackingStore &&other) noexcept;
 
     /** Read @p size bytes at @p addr into @p out. */
     void read(Addr addr, std::uint64_t size, void *out) const;
@@ -56,12 +82,72 @@ class BackingStore
     std::size_t journalSize() const { return journal.size(); }
 
     /**
+     * Set the journal-checkpoint interval: a materialized image is
+     * kept every @p k journal entries (in completion-tick order), and
+     * snapshotAt(t) replays only the delta past the nearest
+     * checkpoint at or before t. 0 disables checkpoints (every
+     * snapshot replays the full prefix — the naive reference mode the
+     * equivalence tests and sweep_perf compare against). Resets any
+     * index already built.
+     */
+    void setCheckpointInterval(std::size_t k);
+
+    std::size_t checkpointInterval() const { return ckptInterval; }
+
+    /**
+     * Build the completion-tick index and checkpoints now (they are
+     * otherwise built lazily by the first snapshotAt/Cursor). Exposed
+     * so sweeps can time the build as its own phase.
+     */
+    void buildSnapshotIndex() const { ensureIndex(); }
+
+    /** Checkpoints materialized by the last index build. */
+    std::size_t checkpointCount() const;
+
+    /** Journal entries replayed by snapshots/cursors so far. */
+    std::uint64_t entriesReplayed() const { return statReplayed; }
+
+    /** Pages cloned by copy-on-write so far. */
+    std::uint64_t pagesCloned() const { return statCloned; }
+
+    /**
      * Reconstruct the device image as of @p tick: the journal-base
      * image plus every journaled write with doneTick <= @p tick,
      * applied in completion-tick order (the bus serializes by
-     * completion, not by issue). Requires enableJournal().
+     * completion, not by issue). Requires enableJournal(). The
+     * returned image shares unmodified pages with this store
+     * (copy-on-write), so the call is O(pages + replay delta).
      */
     BackingStore snapshotAt(Tick tick) const;
+
+    /**
+     * Incremental snapshot construction for monotone tick sequences.
+     * imageAt(t) advances an internal image by exactly the journal
+     * delta since the previous call and returns a COW copy, so a
+     * whole ascending sweep costs one journal replay total. Ticks
+     * must be non-decreasing across calls. The source store must
+     * outlive the cursor and stay unmodified while it is used.
+     */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const BackingStore &source);
+        ~Cursor();
+
+        Cursor(const Cursor &) = delete;
+        Cursor &operator=(const Cursor &) = delete;
+
+        /** The image as of @p t (>= the previous call's tick). */
+        BackingStore imageAt(Tick t);
+
+      private:
+        const BackingStore *src;
+        /** Working image (pointer: BackingStore is incomplete here). */
+        std::unique_ptr<BackingStore> image;
+        std::size_t pos = 0; ///< sorted journal entries applied
+        Tick lastTick = 0;
+        bool started = false;
+    };
 
     /**
      * Replace this store's contents with @p other's (same range
@@ -85,7 +171,9 @@ class BackingStore
      * Lowest address in [from, from+size) at which this store and
      * @p other differ (absent pages compare as zero), or nullopt if
      * the ranges are byte-identical. Both stores must cover the
-     * range. Compares page-wise, so sparse images stay cheap.
+     * range. Compares page-wise and skips pages the two stores share
+     * (COW siblings diff only where they actually diverged), so
+     * sparse images stay cheap.
      */
     std::optional<Addr> firstDifference(const BackingStore &other,
                                         Addr from,
@@ -103,27 +191,96 @@ class BackingStore
 
   private:
     static constexpr std::uint64_t kPageBytes = 4096;
+    static constexpr std::size_t kDefaultCheckpointInterval = 1024;
 
-    struct JournalEntry
+    struct Page
     {
+        std::uint8_t bytes[kPageBytes];
+    };
+    using PageRef = std::shared_ptr<Page>;
+    using PageMap = std::unordered_map<std::uint64_t, PageRef>;
+
+    /**
+     * One journaled write. Payloads of up to kInlineCapacity bytes
+     * (the common case: words, log slots, half-lines) live inside the
+     * entry; larger ones on the heap.
+     */
+    class JournalEntry
+    {
+      public:
+        JournalEntry(Tick done, Addr addr, const void *src,
+                     std::uint64_t len);
+        JournalEntry(const JournalEntry &other);
+        JournalEntry(JournalEntry &&other) noexcept;
+        JournalEntry &operator=(const JournalEntry &other);
+        JournalEntry &operator=(JournalEntry &&other) noexcept;
+        ~JournalEntry();
+
         Tick done;
         Addr addr;
-        std::vector<std::uint8_t> bytes;
+
+        std::uint32_t size() const { return len; }
+
+        const std::uint8_t *
+        data() const
+        {
+            return len <= kInlineCapacity ? inlineBytes : heapBytes;
+        }
+
+      private:
+        static constexpr std::uint32_t kInlineCapacity = 32;
+
+        void adopt(const void *src, std::uint64_t n);
+        void release();
+
+        std::uint32_t len;
+        union
+        {
+            std::uint8_t inlineBytes[kInlineCapacity];
+            std::uint8_t *heapBytes;
+        };
     };
 
-    const std::uint8_t *pagePtr(std::uint64_t pageIdx) const;
+    /** Image after the first `count` index entries, for delta replay. */
+    struct Checkpoint
+    {
+        Tick lastDone;     ///< doneTick of the last entry included
+        std::size_t count; ///< index entries materialized
+        PageMap pages;
+    };
+
+    const Page *pagePtr(std::uint64_t pageIdx) const;
     std::uint8_t *pagePtrMut(std::uint64_t pageIdx);
 
     void rawWrite(Addr addr, std::uint64_t size, const void *in);
 
+    void copyFrom(const BackingStore &other);
+    void moveFrom(BackingStore &&other) noexcept;
+    void invalidateIndex();
+    void ensureIndex() const;
+
+    /** Largest checkpoint with lastDone <= tick, or nullptr. */
+    const Checkpoint *checkpointFor(Tick tick) const;
+
     Addr rangeBase;
     std::uint64_t rangeSize;
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pages;
+    PageMap pages;
 
     bool journalOn = false;
-    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
-        journalBase;
+    PageMap journalBase;
     std::vector<JournalEntry> journal;
+    std::size_t ckptInterval = kDefaultCheckpointInterval;
+
+    /** Lazily built snapshot index (guarded by indexMutex). */
+    mutable std::mutex indexMutex;
+    mutable bool indexValid = false;
+    mutable std::size_t indexedEntries = 0;
+    /** Journal indices, sorted by (doneTick, issue order). */
+    mutable std::vector<std::uint32_t> sortedIdx;
+    mutable std::vector<Checkpoint> checkpoints;
+
+    mutable std::atomic<std::uint64_t> statReplayed{0};
+    mutable std::atomic<std::uint64_t> statCloned{0};
 };
 
 } // namespace snf::mem

@@ -29,8 +29,11 @@ MemorySystem::MemorySystem(const SystemConfig &config)
     statGroup.addChild(&dramDev.stats());
     statGroup.addChild(&wcbuf.stats());
     statGroup.addChild(&busMonitor.stats());
-    if (cfg.persist.crashJournal)
+    if (cfg.persist.crashJournal) {
+        nvramDev.store().setCheckpointInterval(
+            cfg.persist.snapshotCheckpointK);
         nvramDev.store().enableJournal();
+    }
 }
 
 MemDevice &

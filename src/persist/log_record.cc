@@ -1,5 +1,6 @@
 #include "persist/log_record.hh"
 
+#include <array>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -74,12 +75,22 @@ LogRecord::payloadBytes() const
 std::uint32_t
 LogRecord::crc32(const std::uint8_t *data, std::uint32_t n)
 {
+    // Table-driven, same polynomial (and therefore same values) as
+    // the original bitwise loop. The recovery scan CRCs every written
+    // log slot, which puts this on the crash sweep's critical path.
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int b = 0; b < 8; ++b)
+                c = (c >> 1) ^ (0xedb88320u & (~(c & 1) + 1));
+            t[i] = c;
+        }
+        return t;
+    }();
     std::uint32_t crc = 0xffffffffu;
-    for (std::uint32_t i = 0; i < n; ++i) {
-        crc ^= data[i];
-        for (int b = 0; b < 8; ++b)
-            crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1) + 1));
-    }
+    for (std::uint32_t i = 0; i < n; ++i)
+        crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xffu];
     return ~crc;
 }
 

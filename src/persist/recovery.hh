@@ -126,6 +126,36 @@ struct RecoveryReport
     }
 };
 
+/**
+ * Installs a thread-local nanosecond accumulator that every
+ * Recovery::run(image, map, ...) on this thread adds its wall-clock
+ * to while the scope is alive. The crash sweep uses this to split
+ * its per-point evaluation time into recover vs. check without
+ * threading timers through every checker. Scopes nest (the previous
+ * sink is restored on destruction); a null previous sink means
+ * timing is off, which is the default.
+ */
+class RecoveryTimerScope
+{
+  public:
+    explicit RecoveryTimerScope(std::uint64_t *sinkNs);
+    ~RecoveryTimerScope();
+
+    RecoveryTimerScope(const RecoveryTimerScope &) = delete;
+    RecoveryTimerScope &operator=(const RecoveryTimerScope &) = delete;
+
+  private:
+    std::uint64_t *prev;
+};
+
+/**
+ * The accumulator the innermost RecoveryTimerScope of this thread
+ * installed, or null. Lets code that fans recovery work out to a
+ * thread pool credit the workers' recovery time back to the caller's
+ * timer (the thread-local scope does not span other threads).
+ */
+std::uint64_t *activeRecoveryTimerSink();
+
 /** See file comment. */
 class Recovery
 {

@@ -17,11 +17,17 @@
  *     --threads N          workload threads (default 2)
  *     --tx N               transactions per thread (default 50)
  *     --footprint N        elements in the initial structure
- *     --jobs N             parallel crash-point workers (default 1)
+ *     --jobs N             parallel crash-point workers; 0 or
+ *                          omitted = one per hardware thread (the
+ *                          resolved count is printed in the header)
  *     --max-points N       sample N crash points per cell (0 = all)
  *     --sample-seed N      seed of the crash-point sampling
  *     --json FILE          write the JSON report to FILE ("-" =
  *                          stdout)
+ *     --bench-json FILE    write the perf trajectory (phase timings
+ *                          + snapshot-engine counters per cell, e.g.
+ *                          BENCH_sweep.json) to FILE ("-" = stdout)
+ *                          and print the per-cell perf summary
  *     --no-minimize        skip bisection of failing points
  *     --fault-bitflip P    faultlab: damage each crash snapshot's log
  *     --fault-multibit P   slots with the given per-slot probability
@@ -95,6 +101,17 @@ parseMode(const std::string &name)
     fatal("unknown mode '%s'", name.c_str());
 }
 
+/** Strict unsigned parse: the whole value must be a number. */
+std::uint64_t
+parseCount(const char *flag, const char *v)
+{
+    char *end = nullptr;
+    std::uint64_t n = std::strtoull(v, &end, 0);
+    if (end == v || *end != '\0')
+        fatal("%s needs a number, got '%s'", flag, v);
+    return n;
+}
+
 void
 usage()
 {
@@ -105,6 +122,7 @@ usage()
         "[--jobs N]\n"
         "                [--max-points N] [--sample-seed N] "
         "[--json FILE]\n"
+        "                [--bench-json FILE]\n"
         "                [--fault-bitflip P] [--fault-multibit P]\n"
         "                [--fault-drop-slot P] [--fault-torn-slot P] "
         "[--fault-seed N]\n"
@@ -128,6 +146,7 @@ main(int argc, char **argv)
     params.txPerThread = 50;
     SweepConfig base;
     std::string jsonPath;
+    std::string benchJsonPath;
 
     // The image-damage flag family shares its ordering rules (and the
     // contradiction diagnostics) with snfsim/snfsoak.
@@ -197,15 +216,19 @@ main(int argc, char **argv)
         } else if (const char *v = arg("--footprint")) {
             params.footprint = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--jobs")) {
-            base.jobs = static_cast<std::size_t>(std::atoi(v));
+            base.jobs =
+                static_cast<std::size_t>(parseCount("--jobs", v));
         } else if (const char *v = arg("--max-points")) {
-            base.maxPoints = static_cast<std::size_t>(std::atoi(v));
+            base.maxPoints = static_cast<std::size_t>(
+                parseCount("--max-points", v));
         } else if (const char *v = arg("--sample-seed")) {
             base.sampleSeed = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--sweep-recovery")) {
             base.recoverySweepStride = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--json")) {
             jsonPath = v;
+        } else if (const char *v = arg("--bench-json")) {
+            benchJsonPath = v;
         } else if (args[i] == "--no-minimize") {
             base.minimizeFailures = false;
         } else if (args[i] == "--inject-skip-undo") {
@@ -234,6 +257,10 @@ main(int argc, char **argv)
         }
     }
 
+    std::printf("snfcrash: jobs=%zu%s\n", resolveJobs(base.jobs),
+                base.jobs == 0 ? " (auto: one per hardware thread)"
+                               : "");
+
     std::vector<CellResult> cells;
     for (const auto &wl : workloadNames) {
         for (PersistMode mode : modes) {
@@ -252,6 +279,8 @@ main(int argc, char **argv)
                 cell.txPerThread = params.txPerThread;
                 cell.sweep = runCrashSweep(cfg);
                 writeTextSummary(std::cout, cell);
+                if (!benchJsonPath.empty())
+                    writePerfSummary(std::cout, cell);
                 cells.push_back(std::move(cell));
             }
         }
@@ -265,6 +294,17 @@ main(int argc, char **argv)
             if (!f)
                 fatal("cannot write '%s'", jsonPath.c_str());
             writeJsonReport(f, cells);
+        }
+    }
+
+    if (!benchJsonPath.empty()) {
+        if (benchJsonPath == "-") {
+            writeBenchJson(std::cout, "snfcrash", cells);
+        } else {
+            std::ofstream f(benchJsonPath);
+            if (!f)
+                fatal("cannot write '%s'", benchJsonPath.c_str());
+            writeBenchJson(f, "snfcrash", cells);
         }
     }
 

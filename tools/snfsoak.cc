@@ -19,6 +19,12 @@
  *     --footprint N        elements in the initial structure
  *     --seed N             base seed (workload + crash choice)
  *     --generations N      generations to run (default 5)
+ *     --jobs N             worker threads for the re-entrancy budget
+ *                          probes; 0 or omitted = one per hardware
+ *                          thread (resolved count in the header)
+ *     --bench-json FILE    write the perf trajectory (phase timings
+ *                          + snapshot-engine counters, same schema
+ *                          as snfcrash) to FILE ("-" = stdout)
  *     --fault-bitflip P    faultlab image damage per generation
  *     --fault-multibit P   (per-slot probabilities; the resulting
  *     --fault-drop-slot P  bad lines persist across generations via
@@ -43,11 +49,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/fault_flags.hh"
 #include "crashlab/lifecycle.hh"
+#include "crashlab/report.hh"
 #include "sim/logging.hh"
 #include "workloads/driver.hh"
 
@@ -67,6 +76,17 @@ parseMode(const char *name)
     fatal("unknown mode '%s'", name);
 }
 
+/** Strict unsigned parse: the whole value must be a number. */
+std::uint64_t
+parseCount(const char *flag, const char *v)
+{
+    char *end = nullptr;
+    std::uint64_t n = std::strtoull(v, &end, 0);
+    if (end == v || *end != '\0')
+        fatal("%s needs a number, got '%s'", flag, v);
+    return n;
+}
+
 void
 usage()
 {
@@ -74,6 +94,7 @@ usage()
         "usage: snfsoak [--workload W] [--mode M] [--threads N] "
         "[--tx N]\n"
         "               [--footprint N] [--seed N] [--generations N]\n"
+        "               [--jobs N] [--bench-json FILE]\n"
         "               [--fault-bitflip P] [--fault-multibit P]\n"
         "               [--fault-drop-slot P] [--fault-torn-slot P] "
         "[--fault-seed N]\n"
@@ -95,6 +116,7 @@ main(int argc, char **argv)
     cfg.run.params.txPerThread = 300;
     std::uint32_t threads = 2;
     bool scrub = true;
+    std::string benchJsonPath;
 
     // The image-damage flag family shares its ordering rules (and the
     // contradiction diagnostics) with snfsim/snfcrash.
@@ -142,6 +164,11 @@ main(int argc, char **argv)
             cfg.run.workload = v;
         } else if (const char *v = arg("--mode")) {
             cfg.run.mode = parseMode(v);
+        } else if (const char *v = arg("--jobs")) {
+            cfg.jobs =
+                static_cast<std::size_t>(parseCount("--jobs", v));
+        } else if (const char *v = arg("--bench-json")) {
+            benchJsonPath = v;
         } else if (const char *v = arg("--threads")) {
             threads = static_cast<std::uint32_t>(std::atoi(v));
         } else if (const char *v = arg("--tx")) {
@@ -191,12 +218,13 @@ main(int argc, char **argv)
     cfg.run.sys.persist.scrub = scrub;
 
     std::printf("snfsoak: workload=%s mode=%s threads=%u tx/gen=%llu "
-                "generations=%u%s%s\n",
+                "generations=%u jobs=%zu%s%s%s\n",
                 cfg.run.workload.c_str(),
                 persistModeName(cfg.run.mode), threads,
                 static_cast<unsigned long long>(
                     cfg.run.params.txPerThread * threads),
-                cfg.generations,
+                cfg.generations, resolveJobs(cfg.jobs),
+                cfg.jobs == 0 ? " (auto)" : "",
                 cfg.imageFaults.enabled() ? " (image faults)" : "",
                 cfg.sabotageGeneration != LifecycleConfig::kNoSabotage
                     ? " (SABOTAGE self-test)"
@@ -224,6 +252,30 @@ main(int argc, char **argv)
         for (const Violation &v : g.violations)
             std::printf("  VIOLATION %s: %s\n", v.invariant.c_str(),
                         v.detail.c_str());
+    }
+
+    if (!benchJsonPath.empty()) {
+        // Same BENCH_sweep.json schema as snfcrash: one cell whose
+        // perf block is the soak's whole-lifecycle totals.
+        CellResult cell;
+        cell.workload = cfg.run.workload;
+        cell.mode = cfg.run.mode;
+        cell.seed = cfg.seed;
+        cell.threads = threads;
+        cell.txPerThread = cfg.run.params.txPerThread;
+        cell.sweep.pointsTested = res.generations.size();
+        cell.sweep.perf = res.perf;
+        std::vector<CellResult> cells;
+        cells.push_back(std::move(cell));
+        writePerfSummary(std::cout, cells.front());
+        if (benchJsonPath == "-") {
+            writeBenchJson(std::cout, "snfsoak", cells);
+        } else {
+            std::ofstream f(benchJsonPath);
+            if (!f)
+                fatal("cannot write '%s'", benchJsonPath.c_str());
+            writeBenchJson(f, "snfsoak", cells);
+        }
     }
 
     std::printf("snfsoak: %zu generation(s), %llu violation(s)%s\n",
