@@ -1,0 +1,79 @@
+/**
+ * @file
+ * conformlab differential runner: execute one transaction program
+ * through three backends — the hardware HWL+FWB pipeline, the
+ * software-logging reference, and the pure ModelOracle — and require
+ * them to agree.
+ *
+ * Two comparisons per program:
+ *
+ * 1. Final image: after a graceful run + flush, every heap slot of
+ *    both simulated backends must equal the oracle's full-commit
+ *    image, field by field (and the raw heap ranges must be
+ *    byte-identical across the backends).
+ *
+ * 2. Crash-point differential: each backend is crashed at the same
+ *    logical program points — the instants its n-th commit record
+ *    became durable (plus the tick just before, plus the harvested
+ *    NVRAM-visible event ticks of crashlab's trace) — recovered with
+ *    persist::Recovery, and the recovered image is checked for
+ *    model-consistency: every thread partition must equal the oracle
+ *    applied to a prefix-closed set of committed transactions whose
+ *    per-thread depth lies between the commits already durable at the
+ *    crash instant and the commit records initiated by then.
+ */
+
+#ifndef SNF_CONFORMLAB_DIFFRUN_HH
+#define SNF_CONFORMLAB_DIFFRUN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "conformlab/program.hh"
+#include "core/system_config.hh"
+#include "persist/recovery.hh"
+
+namespace snf::conformlab
+{
+
+/** Knobs of one differential evaluation. */
+struct DiffConfig
+{
+    /** The hardware backend (HWL + force write-back). */
+    PersistMode hwMode = PersistMode::Fwb;
+    /** The software-logging reference backend. */
+    PersistMode swMode = PersistMode::UndoClwb;
+    /** Run the crash-point differential (final-image always runs). */
+    bool crashDifferential = true;
+    /**
+     * Cap on harvested trace points evaluated per backend; the
+     * durable-commit boundary points are always evaluated on top.
+     */
+    std::size_t maxCrashPoints = 32;
+    /**
+     * Recovery knobs per backend. The --inject-* self-test flags of
+     * tools/snfdiff sabotage hwRecovery so the differential has a
+     * real ordering bug to catch and shrink.
+     */
+    persist::RecoveryOptions hwRecovery;
+    persist::RecoveryOptions swRecovery;
+};
+
+/** Outcome of one program's differential evaluation. */
+struct DiffResult
+{
+    bool passed = true;
+    /** First divergence, with backend / tick / thread diagnostics. */
+    std::string detail;
+    /** Crash points evaluated across both simulated backends. */
+    std::size_t crashPointsChecked = 0;
+    /** Committed transactions of the program (oracle view). */
+    std::size_t committedTx = 0;
+};
+
+/** Evaluate one program. Deterministic per (program, config). */
+DiffResult runDiff(const Program &p, const DiffConfig &cfg);
+
+} // namespace snf::conformlab
+
+#endif // SNF_CONFORMLAB_DIFFRUN_HH

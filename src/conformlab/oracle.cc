@@ -1,0 +1,49 @@
+#include "conformlab/oracle.hh"
+
+#include "sim/logging.hh"
+
+namespace snf::conformlab
+{
+
+ModelOracle::ModelOracle(const Program &p)
+    : prog(p)
+{
+    committedByThread.resize(prog.threads);
+    prefixes.resize(prog.threads);
+    for (std::size_t i = 0; i < prog.txs.size(); ++i) {
+        const ProgTx &tx = prog.txs[i];
+        SNF_ASSERT(tx.thread < prog.threads,
+                   "program tx thread out of range");
+        if (!tx.aborts)
+            committedByThread[tx.thread].push_back(i);
+    }
+    for (std::uint32_t t = 0; t < prog.threads; ++t) {
+        totalCommitted += committedByThread[t].size();
+        std::vector<std::uint64_t> state(prog.slotsPerThread);
+        for (std::uint32_t s = 0; s < prog.slotsPerThread; ++s)
+            state[s] = initValue(prog.globalSlot(t, s));
+        prefixes[t].push_back(state);
+        for (std::size_t i : committedByThread[t]) {
+            for (const ProgStore &st : prog.txs[i].stores) {
+                SNF_ASSERT(st.slot < prog.slotsPerThread,
+                           "program store slot out of range");
+                state[st.slot] = st.value;
+            }
+            prefixes[t].push_back(state);
+        }
+    }
+}
+
+std::vector<std::uint64_t>
+ModelOracle::finalImage() const
+{
+    std::vector<std::uint64_t> image(prog.totalSlots());
+    for (std::uint32_t t = 0; t < prog.threads; ++t) {
+        const auto &full = prefixes[t].back();
+        for (std::uint32_t s = 0; s < prog.slotsPerThread; ++s)
+            image[prog.globalSlot(t, s)] = full[s];
+    }
+    return image;
+}
+
+} // namespace snf::conformlab

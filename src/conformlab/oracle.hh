@@ -1,0 +1,73 @@
+/**
+ * @file
+ * ModelOracle — the pure in-memory reference semantics of a
+ * conformlab program: committed transactions apply their stores
+ * atomically in per-thread program order, aborted transactions apply
+ * nothing, and the heap starts from initValue().
+ *
+ * Because partitions are thread-disjoint (program.hh), any
+ * *prefix-closed* set of committed transactions — per thread, a
+ * prefix of that thread's committed subsequence — yields a
+ * well-defined image. The differential runner checks every recovered
+ * crash image against these prefix states: the recovered partition of
+ * thread t must equal prefixImage(t, k) for some k between the
+ * transactions already durable at the crash instant (recovery must
+ * not lose them) and the commit records initiated by then (recovery
+ * cannot commit what was never committed).
+ */
+
+#ifndef SNF_CONFORMLAB_ORACLE_HH
+#define SNF_CONFORMLAB_ORACLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "conformlab/program.hh"
+
+namespace snf::conformlab
+{
+
+/** See file comment. */
+class ModelOracle
+{
+  public:
+    explicit ModelOracle(const Program &p);
+
+    const Program &program() const { return prog; }
+
+    /** Committed transactions of @p thread, as indices into
+     *  program().txs, in program order. */
+    const std::vector<std::size_t> &
+    committedTxs(std::uint32_t thread) const
+    {
+        return committedByThread[thread];
+    }
+
+    /** Total committed transactions across all threads. */
+    std::size_t committedCount() const { return totalCommitted; }
+
+    /**
+     * The partition of @p thread after its first @p k committed
+     * transactions (k = 0 .. committedTxs(thread).size()), as
+     * slotsPerThread slot values.
+     */
+    const std::vector<std::uint64_t> &
+    prefixImage(std::uint32_t thread, std::size_t k) const
+    {
+        return prefixes[thread][k];
+    }
+
+    /** The full-commit final image over all global slots. */
+    std::vector<std::uint64_t> finalImage() const;
+
+  private:
+    Program prog;
+    /** prefixes[t][k] = partition after k committed txs of t. */
+    std::vector<std::vector<std::vector<std::uint64_t>>> prefixes;
+    std::vector<std::vector<std::size_t>> committedByThread;
+    std::size_t totalCommitted = 0;
+};
+
+} // namespace snf::conformlab
+
+#endif // SNF_CONFORMLAB_ORACLE_HH

@@ -1,0 +1,94 @@
+#include "conformlab/proggen.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace snf::conformlab
+{
+
+namespace
+{
+
+/** Child-stream ids under the program seed (stable API surface). */
+enum Stream : std::uint64_t
+{
+    kShape = 0,   ///< threads, slots, tx counts, abort/skew picks
+    kAddress = 1, ///< slot selection
+    kValue = 2,   ///< store values
+    kDelay = 3,   ///< scheduler-jitter compute delays
+    kOrder = 4,   ///< cross-thread interleaving of the tx list
+};
+
+} // namespace
+
+Program
+generateProgram(std::uint64_t seed, const ProgGenConfig &cfg)
+{
+    sim::Rng root(seed);
+    sim::Rng shape = root.split(kShape);
+    sim::Rng address = root.split(kAddress);
+    sim::Rng value = root.split(kValue);
+    sim::Rng delay = root.split(kDelay);
+    sim::Rng order = root.split(kOrder);
+
+    Program p;
+    p.seed = seed;
+    p.threads = cfg.threads != 0
+                    ? cfg.threads
+                    : static_cast<std::uint32_t>(
+                          shape.range(1, cfg.maxThreads));
+    p.slotsPerThread =
+        cfg.slotsPerThread != 0
+            ? cfg.slotsPerThread
+            : static_cast<std::uint32_t>(
+                  shape.range(4, cfg.maxSlotsPerThread));
+
+    bool skewed = shape.chance(cfg.skewRate) && p.slotsPerThread > 1;
+    sim::Zipf zipf(p.slotsPerThread,
+                   skewed ? cfg.skewTheta : 0.5 /* unused */);
+
+    // Per-thread transaction counts, then an interleaved global
+    // order: repeatedly pick a random thread that still has
+    // transactions left. The per-thread subsequences are the program
+    // semantics; the global order only styles the repro file.
+    std::vector<std::uint32_t> remaining(p.threads);
+    std::size_t total = 0;
+    for (std::uint32_t t = 0; t < p.threads; ++t) {
+        remaining[t] = static_cast<std::uint32_t>(
+            shape.range(1, std::max<std::uint32_t>(
+                               1, 2 * cfg.txPerThread)));
+        total += remaining[t];
+    }
+
+    for (std::size_t n = 0; n < total; ++n) {
+        std::uint32_t t;
+        do {
+            t = static_cast<std::uint32_t>(order.below(p.threads));
+        } while (remaining[t] == 0);
+        --remaining[t];
+
+        ProgTx tx;
+        tx.thread = t;
+        tx.aborts = shape.chance(cfg.abortRate);
+        tx.delay = cfg.maxDelay == 0
+                       ? 0
+                       : static_cast<std::uint32_t>(
+                             delay.below(cfg.maxDelay + 1));
+        std::uint32_t stores = static_cast<std::uint32_t>(
+            shape.range(1, cfg.maxStoresPerTx));
+        for (std::uint32_t s = 0; s < stores; ++s) {
+            ProgStore st;
+            st.slot = static_cast<std::uint32_t>(
+                skewed ? zipf.sample(address)
+                       : address.below(p.slotsPerThread));
+            st.value = value.next();
+            tx.stores.push_back(st);
+        }
+        p.txs.push_back(tx);
+    }
+    return p;
+}
+
+} // namespace snf::conformlab

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Seeded random-program generator for conformlab. One 64-bit seed
+ * fully determines a program; the generator draws its shape
+ * (threads, transaction counts, skew, abort rate), addresses, values,
+ * and scheduler-jitter delays from independent Rng::split() child
+ * streams so the program is stable under generator evolution in any
+ * one dimension.
+ */
+
+#ifndef SNF_CONFORMLAB_PROGGEN_HH
+#define SNF_CONFORMLAB_PROGGEN_HH
+
+#include <cstdint>
+
+#include "conformlab/program.hh"
+
+namespace snf::conformlab
+{
+
+/** Knobs of the program space to draw from. */
+struct ProgGenConfig
+{
+    /** Fixed thread count; 0 = draw 1..maxThreads from the seed. */
+    std::uint32_t threads = 0;
+    std::uint32_t maxThreads = 3;
+    /** Fixed partition size; 0 = draw 4..maxSlotsPerThread. */
+    std::uint32_t slotsPerThread = 0;
+    std::uint32_t maxSlotsPerThread = 24;
+    /** Mean transactions per thread (actual count drawn 1..2*mean). */
+    std::uint32_t txPerThread = 6;
+    /** Stores per transaction drawn 1..maxStoresPerTx. */
+    std::uint32_t maxStoresPerTx = 6;
+    /** Probability a transaction ends with tx_abort(). */
+    double abortRate = 0.15;
+    /**
+     * Probability the seed selects Zipf-skewed slot addressing
+     * (hot-slot contention within the partition) instead of uniform.
+     */
+    double skewRate = 0.5;
+    /** Zipf theta used when skew is selected. */
+    double skewTheta = 0.8;
+    /** Max compute-jitter ticks before a transaction (interleaving). */
+    std::uint32_t maxDelay = 40;
+};
+
+/**
+ * Generate the program for @p seed. Deterministic: the same (seed,
+ * config) always yields the same program, on any platform.
+ */
+Program generateProgram(std::uint64_t seed,
+                        const ProgGenConfig &cfg = ProgGenConfig{});
+
+} // namespace snf::conformlab
+
+#endif // SNF_CONFORMLAB_PROGGEN_HH

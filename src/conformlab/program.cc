@@ -1,0 +1,167 @@
+#include "conformlab/program.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace snf::conformlab
+{
+
+std::size_t
+Program::operationCount() const
+{
+    std::size_t n = 0;
+    for (const ProgTx &tx : txs)
+        n += 2 + tx.stores.size(); // begin + stores + commit/abort
+    return n;
+}
+
+std::string
+emitProgram(const Program &p)
+{
+    std::ostringstream out;
+    out << "snfprog 1\n";
+    out << "threads " << p.threads << "\n";
+    out << "slots " << p.slotsPerThread << "\n";
+    out << "seed " << p.seed << "\n";
+    for (const ProgTx &tx : p.txs) {
+        out << "tx " << tx.thread << " "
+            << (tx.aborts ? "abort" : "commit") << " " << tx.delay
+            << "\n";
+        for (const ProgStore &st : tx.stores) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          static_cast<unsigned long long>(st.value));
+            out << "  store " << st.slot << " " << buf << "\n";
+        }
+    }
+    out << "end\n";
+    return out.str();
+}
+
+namespace
+{
+
+bool
+fail(std::string *err, std::size_t lineNo, const std::string &what)
+{
+    if (err)
+        *err = strfmt("line %zu: %s", lineNo, what.c_str());
+    return false;
+}
+
+} // namespace
+
+bool
+parseProgram(const std::string &text, Program *out, std::string *err)
+{
+    Program p;
+    p.txs.clear();
+    bool sawHeader = false;
+    bool sawEnd = false;
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word) || word[0] == '#')
+            continue;
+        if (sawEnd)
+            return fail(err, lineNo, "content after 'end'");
+        if (!sawHeader) {
+            std::uint32_t version = 0;
+            if (word != "snfprog" || !(ls >> version) || version != 1)
+                return fail(err, lineNo,
+                            "expected 'snfprog 1' header");
+            sawHeader = true;
+            continue;
+        }
+        if (word == "threads") {
+            if (!(ls >> p.threads) || p.threads == 0 ||
+                p.threads > 64)
+                return fail(err, lineNo, "bad thread count");
+        } else if (word == "slots") {
+            if (!(ls >> p.slotsPerThread) || p.slotsPerThread == 0)
+                return fail(err, lineNo, "bad slots-per-thread");
+        } else if (word == "seed") {
+            if (!(ls >> p.seed))
+                return fail(err, lineNo, "bad seed");
+        } else if (word == "tx") {
+            ProgTx tx;
+            std::string outcome;
+            if (!(ls >> tx.thread >> outcome >> tx.delay))
+                return fail(err, lineNo,
+                            "expected 'tx THREAD commit|abort DELAY'");
+            if (tx.thread >= p.threads)
+                return fail(err, lineNo, "tx thread out of range");
+            if (outcome == "abort")
+                tx.aborts = true;
+            else if (outcome != "commit")
+                return fail(err, lineNo,
+                            "tx outcome must be commit or abort");
+            p.txs.push_back(tx);
+        } else if (word == "store") {
+            if (p.txs.empty())
+                return fail(err, lineNo, "store before any tx");
+            ProgStore st;
+            std::string value;
+            if (!(ls >> st.slot >> value))
+                return fail(err, lineNo,
+                            "expected 'store SLOT VALUE'");
+            if (st.slot >= p.slotsPerThread)
+                return fail(err, lineNo, "store slot out of range");
+            char *endp = nullptr;
+            st.value = std::strtoull(value.c_str(), &endp, 0);
+            if (endp == value.c_str() || *endp != '\0')
+                return fail(err, lineNo, "bad store value");
+            p.txs.back().stores.push_back(st);
+        } else if (word == "end") {
+            sawEnd = true;
+        } else {
+            return fail(err, lineNo, "unknown directive '" + word +
+                                         "'");
+        }
+    }
+    if (!sawHeader)
+        return fail(err, lineNo, "missing 'snfprog 1' header");
+    if (!sawEnd)
+        return fail(err, lineNo, "missing 'end'");
+    *out = p;
+    return true;
+}
+
+bool
+loadProgramFile(const std::string &path, Program *out,
+                std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (!parseProgram(text.str(), out, err)) {
+        if (err)
+            *err = path + ": " + *err;
+        return false;
+    }
+    return true;
+}
+
+bool
+saveProgramFile(const std::string &path, const Program &p)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << emitProgram(p);
+    return static_cast<bool>(out);
+}
+
+} // namespace snf::conformlab

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * conformlab program representation: a nested-free sequence of
+ * persistent-memory transactions (begin / store* / commit-or-abort)
+ * over a slotted heap, plus the deterministic `.snfprog` text
+ * serialization every failure repro is written in.
+ *
+ * The heap is partitioned per thread: thread t owns slots
+ * [t*slotsPerThread, (t+1)*slotsPerThread). Disjoint partitions are
+ * what make the pure oracle well-defined — the final image is
+ * independent of cross-thread commit order, so three backends with
+ * different timing can be compared field-by-field (the same
+ * restriction the distributed-log extension documents: shared
+ * addresses across partitions cannot be ordered at recovery).
+ */
+
+#ifndef SNF_CONFORMLAB_PROGRAM_HH
+#define SNF_CONFORMLAB_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snf::conformlab
+{
+
+/** One 64-bit store to a slot of the owning thread's partition. */
+struct ProgStore
+{
+    std::uint32_t slot = 0; ///< index within the thread's partition
+    std::uint64_t value = 0;
+
+    bool
+    operator==(const ProgStore &o) const
+    {
+        return slot == o.slot && value == o.value;
+    }
+};
+
+/** One transaction: begin, the stores, then commit or abort. */
+struct ProgTx
+{
+    std::uint32_t thread = 0;
+    /** End with tx_abort() (runtime rollback) instead of commit. */
+    bool aborts = false;
+    /** Compute ticks burned before tx_begin — scheduler-interleaving
+     *  jitter, part of the program so replays are exact. */
+    std::uint32_t delay = 0;
+    std::vector<ProgStore> stores;
+
+    bool
+    operator==(const ProgTx &o) const
+    {
+        return thread == o.thread && aborts == o.aborts &&
+               delay == o.delay && stores == o.stores;
+    }
+};
+
+/** See file comment. */
+struct Program
+{
+    std::uint32_t threads = 1;
+    std::uint32_t slotsPerThread = 16;
+    /** Generator seed (provenance only; replay never re-generates). */
+    std::uint64_t seed = 0;
+    /** Program order; the per-thread subsequences are what execute. */
+    std::vector<ProgTx> txs;
+
+    std::uint32_t totalSlots() const { return threads * slotsPerThread; }
+
+    /** Global slot index of (thread, slot-in-partition). */
+    std::uint32_t
+    globalSlot(std::uint32_t thread, std::uint32_t slot) const
+    {
+        return thread * slotsPerThread + slot;
+    }
+
+    /**
+     * Operation count used by the shrinker's reporting: one for each
+     * begin, store, and commit/abort.
+     */
+    std::size_t operationCount() const;
+
+    bool
+    operator==(const Program &o) const
+    {
+        return threads == o.threads &&
+               slotsPerThread == o.slotsPerThread && txs == o.txs;
+    }
+};
+
+/**
+ * Initial value of a global slot before any transaction runs. The
+ * workload adapter prewrites these and the oracle starts from them.
+ */
+inline std::uint64_t
+initValue(std::uint32_t globalSlot)
+{
+    return 0x1000u + globalSlot;
+}
+
+/** Serialize to the `.snfprog` text format (deterministic). */
+std::string emitProgram(const Program &p);
+
+/**
+ * Parse a `.snfprog` document. Returns false and sets @p err on
+ * malformed input (unknown directive, out-of-range thread/slot,
+ * missing end marker).
+ */
+bool parseProgram(const std::string &text, Program *out,
+                  std::string *err);
+
+/** Read + parse a `.snfprog` file. */
+bool loadProgramFile(const std::string &path, Program *out,
+                     std::string *err);
+
+/** Write a program to @p path; returns false on I/O failure. */
+bool saveProgramFile(const std::string &path, const Program &p);
+
+} // namespace snf::conformlab
+
+#endif // SNF_CONFORMLAB_PROGRAM_HH

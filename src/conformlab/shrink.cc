@@ -1,0 +1,182 @@
+#include "conformlab/shrink.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snf::conformlab
+{
+
+namespace
+{
+
+/** Renumber threads/slots after reductions left gaps. */
+Program
+normalize(Program p)
+{
+    std::vector<std::uint32_t> threadMap(p.threads, 0);
+    std::vector<bool> threadUsed(p.threads, false);
+    std::uint32_t maxSlot = 0;
+    for (const ProgTx &tx : p.txs) {
+        threadUsed[tx.thread] = true;
+        for (const ProgStore &st : tx.stores)
+            maxSlot = std::max(maxSlot, st.slot);
+    }
+    std::uint32_t next = 0;
+    for (std::uint32_t t = 0; t < p.threads; ++t)
+        if (threadUsed[t])
+            threadMap[t] = next++;
+    if (next == 0)
+        next = 1; // keep a degenerate program well-formed
+    for (ProgTx &tx : p.txs)
+        tx.thread = threadMap[tx.thread];
+    p.threads = next;
+    p.slotsPerThread =
+        std::min<std::uint32_t>(p.slotsPerThread, maxSlot + 1);
+    if (p.slotsPerThread == 0)
+        p.slotsPerThread = 1;
+    return p;
+}
+
+class Shrinker
+{
+  public:
+    Shrinker(const std::function<bool(const Program &)> &pred,
+             const ShrinkOptions &opts, ShrinkStats *stats)
+        : pred(pred), opts(opts), stats(stats)
+    {
+    }
+
+    bool
+    fails(const Program &p)
+    {
+        if (stats)
+            ++stats->evals;
+        if (++evals > opts.maxEvals) {
+            if (stats)
+                stats->budgetExhausted = true;
+            return false; // budget gone: reject further reductions
+        }
+        return pred(normalize(p));
+    }
+
+    bool budgetLeft() const { return evals <= opts.maxEvals; }
+
+  private:
+    const std::function<bool(const Program &)> &pred;
+    ShrinkOptions opts;
+    ShrinkStats *stats;
+    std::size_t evals = 0;
+};
+
+/** ddmin-style removal over the transaction list. */
+bool
+dropTxs(Program &p, Shrinker &sh)
+{
+    bool any = false;
+    std::size_t chunk = std::max<std::size_t>(1, p.txs.size() / 2);
+    while (chunk >= 1 && sh.budgetLeft()) {
+        bool removedAtThisGranularity = false;
+        for (std::size_t at = 0;
+             at < p.txs.size() && sh.budgetLeft();) {
+            Program cand = p;
+            std::size_t n =
+                std::min(chunk, cand.txs.size() - at);
+            cand.txs.erase(cand.txs.begin() + at,
+                           cand.txs.begin() + at + n);
+            if (!cand.txs.empty() && sh.fails(cand)) {
+                p = cand;
+                any = removedAtThisGranularity = true;
+            } else {
+                at += chunk;
+            }
+        }
+        if (chunk == 1 && !removedAtThisGranularity)
+            break;
+        if (!removedAtThisGranularity)
+            chunk /= 2;
+    }
+    return any;
+}
+
+/** Drop stores inside each surviving transaction, one at a time. */
+bool
+dropStores(Program &p, Shrinker &sh)
+{
+    bool any = false;
+    for (std::size_t i = 0; i < p.txs.size() && sh.budgetLeft();
+         ++i) {
+        for (std::size_t s = 0;
+             s < p.txs[i].stores.size() && sh.budgetLeft();) {
+            if (p.txs[i].stores.size() == 1)
+                break; // keep transactions non-empty
+            Program cand = p;
+            cand.txs[i].stores.erase(cand.txs[i].stores.begin() +
+                                     s);
+            if (sh.fails(cand)) {
+                p = cand;
+                any = true;
+            } else {
+                ++s;
+            }
+        }
+    }
+    return any;
+}
+
+/** Narrow values / strip delays to canonical small forms. */
+bool
+simplify(Program &p, Shrinker &sh)
+{
+    bool any = false;
+    for (std::size_t i = 0; i < p.txs.size() && sh.budgetLeft();
+         ++i) {
+        if (p.txs[i].delay != 0) {
+            Program cand = p;
+            cand.txs[i].delay = 0;
+            if (sh.fails(cand)) {
+                p = cand;
+                any = true;
+            }
+        }
+        for (std::size_t s = 0;
+             s < p.txs[i].stores.size() && sh.budgetLeft(); ++s) {
+            for (std::uint64_t narrow :
+                 {std::uint64_t(1),
+                  std::uint64_t(p.txs[i].stores[s].slot + 1)}) {
+                if (p.txs[i].stores[s].value == narrow)
+                    continue;
+                Program cand = p;
+                cand.txs[i].stores[s].value = narrow;
+                if (sh.fails(cand)) {
+                    p = cand;
+                    any = true;
+                    break;
+                }
+            }
+        }
+    }
+    return any;
+}
+
+} // namespace
+
+Program
+shrinkProgram(const Program &p,
+              const std::function<bool(const Program &)> &stillFails,
+              const ShrinkOptions &opts, ShrinkStats *stats)
+{
+    Shrinker sh(stillFails, opts, stats);
+    Program best = p;
+    // Coarse-to-fine passes to a fixpoint (or budget).
+    bool progress = true;
+    while (progress && sh.budgetLeft()) {
+        progress = false;
+        progress |= dropTxs(best, sh);
+        progress |= dropStores(best, sh);
+        progress |= simplify(best, sh);
+    }
+    return normalize(best);
+}
+
+} // namespace snf::conformlab

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Program-level failure minimizer — the crash sweep's bisection idea
+ * generalized from "earliest failing tick" to "smallest failing
+ * program". Reductions, coarse to fine, each re-validated against the
+ * caller's still-fails predicate:
+ *
+ *   1. drop transactions (ddmin-style chunk bisection, then singles)
+ *   2. drop stores within the surviving transactions
+ *   3. narrow store values to small canonical constants
+ *   4. strip delays, unused threads, and unused slots
+ *
+ * The result is a deterministic fixpoint (subject to the evaluation
+ * budget) suitable for writing out as a `.snfprog` repro.
+ */
+
+#ifndef SNF_CONFORMLAB_SHRINK_HH
+#define SNF_CONFORMLAB_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "conformlab/program.hh"
+
+namespace snf::conformlab
+{
+
+struct ShrinkOptions
+{
+    /** Cap on still-fails evaluations (each runs the program). */
+    std::size_t maxEvals = 400;
+};
+
+struct ShrinkStats
+{
+    std::size_t evals = 0;
+    bool budgetExhausted = false;
+};
+
+/**
+ * Minimize @p p with respect to @p stillFails (which must return
+ * true for @p p itself). Returns the smallest failing program found.
+ */
+Program shrinkProgram(const Program &p,
+                      const std::function<bool(const Program &)>
+                          &stillFails,
+                      const ShrinkOptions &opts = ShrinkOptions{},
+                      ShrinkStats *stats = nullptr);
+
+} // namespace snf::conformlab
+
+#endif // SNF_CONFORMLAB_SHRINK_HH

@@ -78,6 +78,21 @@ usesCommitClwb(PersistMode mode)
     }
 }
 
+bool
+supportsAbort(PersistMode mode)
+{
+    switch (mode) {
+      case PersistMode::UnsafeUndo:
+      case PersistMode::UndoClwb:
+      case PersistMode::HwUlog:
+      case PersistMode::Hwl:
+      case PersistMode::Fwb:
+        return true;
+      default:
+        return false;
+    }
+}
+
 SystemConfig
 SystemConfig::paper(std::uint32_t cores)
 {

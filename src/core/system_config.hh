@@ -52,6 +52,14 @@ bool isSoftwareLogging(PersistMode mode);
 /** True for modes that issue clwb over the transaction write-set. */
 bool usesCommitClwb(PersistMode mode);
 
+/**
+ * True for modes whose log carries undo values, i.e. the only modes
+ * where tx_abort() can roll stolen data back (Section II-B: redo-only
+ * logging cannot tolerate steal). Workloads with aborting
+ * transactions must skip them under the other modes.
+ */
+bool supportsAbort(PersistMode mode);
+
 /** Geometry and latency of one cache level. */
 struct CacheConfig
 {

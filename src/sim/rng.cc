@@ -29,10 +29,23 @@ rotl(std::uint64_t x, int k)
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
+    : origin(seed)
 {
     std::uint64_t x = seed;
     for (auto &w : s)
         w = splitmix64(x);
+}
+
+Rng
+Rng::split(std::uint64_t stream) const
+{
+    // Two splitmix rounds over (origin, stream). Using the stored
+    // construction seed instead of the live xoshiro state is what
+    // makes children independent of the parent's draw history.
+    std::uint64_t x = origin + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+    std::uint64_t derived = splitmix64(x);
+    derived ^= splitmix64(x);
+    return Rng(derived);
 }
 
 std::uint64_t

@@ -22,6 +22,20 @@ class Rng
   public:
     explicit Rng(std::uint64_t seed = 0x5eed5eedULL);
 
+    /**
+     * Derive an independent child stream. The child's sequence is a
+     * pure function of this stream's *seed* and @p stream — never of
+     * how many values have been drawn — so consumers holding split
+     * streams (program generator, scheduler jitter, fault model) stay
+     * reproducible under one top-level seed even when one of them
+     * changes how many draws it makes. Children can be split again;
+     * split(a) and split(b) are distinct for a != b.
+     */
+    Rng split(std::uint64_t stream) const;
+
+    /** The seed this stream was constructed from. */
+    std::uint64_t seed() const { return origin; }
+
     /** Next raw 64-bit value. */
     std::uint64_t next();
 
@@ -41,6 +55,7 @@ class Rng
     std::string str(std::size_t len);
 
   private:
+    std::uint64_t origin;
     std::uint64_t s[4];
 };
 

@@ -1,0 +1,102 @@
+#include "workloads/prog.hh"
+
+#include "conformlab/proggen.hh"
+#include "sim/logging.hh"
+
+namespace snf::workloads
+{
+
+using conformlab::ModelOracle;
+using conformlab::Program;
+using conformlab::ProgStore;
+using conformlab::ProgTx;
+
+ProgWorkload::ProgWorkload(Program p)
+    : prog(std::move(p)), fixedProgram(true)
+{
+}
+
+void
+ProgWorkload::setup(System &sys, const WorkloadParams &params)
+{
+    if (!fixedProgram) {
+        conformlab::ProgGenConfig gen;
+        gen.threads = params.threads;
+        if (params.footprint != 0)
+            gen.slotsPerThread =
+                static_cast<std::uint32_t>(params.footprint);
+        if (params.txPerThread != 0)
+            gen.txPerThread =
+                static_cast<std::uint32_t>(params.txPerThread);
+        prog = conformlab::generateProgram(params.seed, gen);
+    }
+    SNF_ASSERT(prog.threads == params.threads,
+               "program has %u threads but the run spawns %u",
+               prog.threads, params.threads);
+
+    model = std::make_unique<ModelOracle>(prog);
+    txSeqs.assign(prog.txs.size(), 0);
+    base = sys.heap().alloc(
+        static_cast<std::uint64_t>(prog.totalSlots()) * 8, 64);
+    for (std::uint32_t g = 0; g < prog.totalSlots(); ++g)
+        sys.heap().prewrite64(slotAddr(g), conformlab::initValue(g));
+}
+
+sim::Co<void>
+ProgWorkload::thread(System &sys, Thread &t,
+                     const WorkloadParams &params)
+{
+    (void)params;
+    // Aborting transactions need undo values to roll back; under the
+    // redo-only and non-persistent modes tx_abort() would leave the
+    // stolen stores in place, so those transactions are skipped — the
+    // oracle's "aborted transactions apply nothing" then still holds.
+    bool canAbort = supportsAbort(sys.mode());
+    for (std::size_t i = 0; i < prog.txs.size(); ++i) {
+        const ProgTx &tx = prog.txs[i];
+        if (tx.thread != t.id())
+            continue;
+        if (tx.aborts && !canAbort)
+            continue;
+        if (tx.delay != 0)
+            co_await t.compute(tx.delay);
+        co_await t.txBegin();
+        txSeqs[i] = t.currentTxSeq();
+        for (const ProgStore &st : tx.stores) {
+            co_await t.store64(
+                slotAddr(prog.globalSlot(tx.thread, st.slot)),
+                st.value);
+        }
+        if (tx.aborts)
+            co_await t.txAbort();
+        else
+            co_await t.txCommit();
+    }
+}
+
+bool
+ProgWorkload::verify(const mem::BackingStore &nvram,
+                     std::string *why) const
+{
+    for (std::uint32_t t = 0; t < prog.threads; ++t) {
+        std::vector<std::uint64_t> partition(prog.slotsPerThread);
+        for (std::uint32_t s = 0; s < prog.slotsPerThread; ++s)
+            partition[s] =
+                nvram.read64(slotAddr(prog.globalSlot(t, s)));
+
+        std::size_t m = model->committedTxs(t).size();
+        bool matched = false;
+        for (std::size_t k = 0; k <= m && !matched; ++k)
+            matched = partition == model->prefixImage(t, k);
+        if (!matched) {
+            if (why)
+                *why = strfmt("thread %u partition matches no "
+                              "committed prefix (0..%zu)",
+                              t, m);
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace snf::workloads

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Program-driven workload adapter: runs a conformlab transaction
+ * program (fixed or generated from the run seed) through the standard
+ * Workload interface, so random programs plug into the driver, the
+ * crash sweep, and the differential runner unchanged.
+ */
+
+#ifndef SNF_WORKLOADS_PROG_HH
+#define SNF_WORKLOADS_PROG_HH
+
+#include <memory>
+#include <vector>
+
+#include "conformlab/oracle.hh"
+#include "conformlab/program.hh"
+#include "workloads/workload.hh"
+
+namespace snf::workloads
+{
+
+/** See file comment. */
+class ProgWorkload : public Workload
+{
+  public:
+    /** Generate the program from WorkloadParams at setup() time
+     *  (snfsim/snfcrash `--workload prog`): params.seed is the
+     *  program seed, params.threads the thread count, and
+     *  params.footprint (if nonzero) the partition size. */
+    ProgWorkload() = default;
+
+    /** Run a fixed program (conformlab differential runner). */
+    explicit ProgWorkload(conformlab::Program p);
+
+    std::string name() const override { return "prog"; }
+
+    void setup(System &sys, const WorkloadParams &params) override;
+
+    sim::Co<void> thread(System &sys, Thread &t,
+                         const WorkloadParams &params) override;
+
+    /**
+     * Model-consistency check: every thread partition must equal the
+     * oracle applied to some prefix of that thread's committed
+     * transactions. Sound for graceful images (the full prefix) and
+     * recovered crash images alike; the differential runner layers
+     * the durable/initiated bounds on top via txSeqOf().
+     */
+    bool verify(const mem::BackingStore &nvram,
+                std::string *why) const override;
+
+    const conformlab::Program &program() const { return prog; }
+
+    const conformlab::ModelOracle &oracle() const { return *model; }
+
+    /** NVRAM address of a global slot (valid after setup). */
+    Addr
+    slotAddr(std::uint32_t globalSlot) const
+    {
+        return base + static_cast<Addr>(globalSlot) * 8;
+    }
+
+    /**
+     * Tracker sequence number the run assigned to program tx @p i
+     * (0 until that tx_begin executed). Lets the differential runner
+     * match probe events back to program transactions.
+     */
+    std::uint64_t txSeqOf(std::size_t i) const { return txSeqs[i]; }
+
+  private:
+    conformlab::Program prog;
+    bool fixedProgram = false;
+    std::unique_ptr<conformlab::ModelOracle> model;
+    Addr base = 0;
+    std::vector<std::uint64_t> txSeqs;
+};
+
+} // namespace snf::workloads
+
+#endif // SNF_WORKLOADS_PROG_HH

@@ -3,6 +3,7 @@
 #include "sim/logging.hh"
 #include "workloads/btree.hh"
 #include "workloads/hash.hh"
+#include "workloads/prog.hh"
 #include "workloads/rbtree.hh"
 #include "workloads/sps.hh"
 #include "workloads/ssca2.hh"
@@ -29,6 +30,8 @@ makeWorkload(const std::string &name)
         return std::make_unique<BTree>();
     if (name == "ssca2")
         return std::make_unique<Ssca2>();
+    if (name == "prog")
+        return std::make_unique<ProgWorkload>();
     if (name == "ctree")
         return std::make_unique<WhisperCtree>();
     if (name == "hashmap")
@@ -68,6 +71,9 @@ allWorkloadNames()
     std::vector<std::string> all = microbenchNames();
     const auto &w = whisperNames();
     all.insert(all.end(), w.begin(), w.end());
+    // conformlab's program-driven adapter: a random transaction
+    // program generated from the run seed.
+    all.push_back("prog");
     return all;
 }
 

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Tests for conformlab: the `.snfprog` program representation and
+ * serialization, the seeded program generator, the pure model oracle
+ * (golden images and metamorphic commutation), the three-way
+ * differential runner, and the program shrinker (including the
+ * end-to-end self-test: an injected recovery bug must be caught and
+ * minimized to a trivial repro).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "conformlab/diffrun.hh"
+#include "conformlab/oracle.hh"
+#include "conformlab/proggen.hh"
+#include "conformlab/program.hh"
+#include "conformlab/shrink.hh"
+#include "workloads/driver.hh"
+
+using namespace snf;
+using namespace snf::conformlab;
+
+#ifndef SNF_CORPUS_DIR
+#define SNF_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace
+{
+
+Program
+twoThreadProgram()
+{
+    Program p;
+    p.threads = 2;
+    p.slotsPerThread = 4;
+    p.txs.push_back({0, false, 0, {{0, 0xa}, {1, 0xb}}});
+    p.txs.push_back({1, false, 3, {{0, 0xc}}});
+    p.txs.push_back({0, true, 0, {{2, 0xdead}}});
+    p.txs.push_back({1, false, 0, {{0, 0xd}, {3, 0xe}}});
+    return p;
+}
+
+} // namespace
+
+// ------------------------ representation -------------------------
+
+TEST(Program, EmitParseRoundTrip)
+{
+    Program p = twoThreadProgram();
+    p.seed = 99;
+    Program q;
+    std::string err;
+    ASSERT_TRUE(parseProgram(emitProgram(p), &q, &err)) << err;
+    EXPECT_EQ(p, q);
+    EXPECT_EQ(q.seed, 99u);
+    // The emission itself is deterministic (repro files are diffable).
+    EXPECT_EQ(emitProgram(p), emitProgram(q));
+}
+
+TEST(Program, ParseRejectsMalformedDocuments)
+{
+    Program q;
+    std::string err;
+    EXPECT_FALSE(parseProgram("", &q, &err));
+    EXPECT_FALSE(parseProgram("snfprog 2\nthreads 1\nslots 1\nend\n",
+                              &q, &err))
+        << "unknown version must be rejected";
+    // Store outside the owning thread's partition.
+    EXPECT_FALSE(parseProgram("snfprog 1\nthreads 1\nslots 2\n"
+                              "seed 0\ntx 0 commit 0\n"
+                              "  store 2 0x1\nend\n",
+                              &q, &err));
+    // Transaction on a nonexistent thread.
+    EXPECT_FALSE(parseProgram("snfprog 1\nthreads 1\nslots 2\n"
+                              "seed 0\ntx 1 commit 0\nend\n",
+                              &q, &err));
+    // Missing end marker (truncated repro).
+    EXPECT_FALSE(parseProgram("snfprog 1\nthreads 1\nslots 2\n"
+                              "seed 0\ntx 0 commit 0\n",
+                              &q, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Program, CorpusFilesLoadAndEmitBack)
+{
+    for (const char *name : {"basic", "abort", "wide"}) {
+        Program p;
+        std::string err;
+        std::string path = std::string(SNF_CORPUS_DIR) + "/" + name +
+                           ".snfprog";
+        ASSERT_TRUE(loadProgramFile(path, &p, &err)) << err;
+        Program q;
+        ASSERT_TRUE(parseProgram(emitProgram(p), &q, &err)) << err;
+        EXPECT_EQ(p, q) << name;
+    }
+}
+
+// ---------------------------- oracle -----------------------------
+
+TEST(ModelOracle, GoldenImageOfBasicCorpusProgram)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(loadProgramFile(
+        std::string(SNF_CORPUS_DIR) + "/basic.snfprog", &p, &err))
+        << err;
+    ModelOracle o(p);
+    EXPECT_EQ(o.committedCount(), 2u);
+    std::vector<std::uint64_t> img = o.finalImage();
+    ASSERT_EQ(img.size(), 4u);
+    EXPECT_EQ(img[0], 0x20u);
+    EXPECT_EQ(img[1], 0x11u);
+    EXPECT_EQ(img[2], 0x12u);
+    EXPECT_EQ(img[3], initValue(3));
+}
+
+TEST(ModelOracle, AbortedTransactionsLeaveNoTrace)
+{
+    Program p;
+    std::string err;
+    ASSERT_TRUE(loadProgramFile(
+        std::string(SNF_CORPUS_DIR) + "/abort.snfprog", &p, &err))
+        << err;
+    ModelOracle o(p);
+    EXPECT_EQ(o.committedCount(), 2u);
+    std::vector<std::uint64_t> img = o.finalImage();
+    EXPECT_EQ(img[0], 0xau);
+    EXPECT_EQ(img[1], 0xbu);
+    // No prefix image may contain the aborted tx's 0xdead values.
+    for (std::size_t k = 0; k <= o.committedTxs(0).size(); ++k)
+        for (std::uint64_t v : o.prefixImage(0, k))
+            EXPECT_NE(v, 0xdeadu);
+}
+
+TEST(ModelOracle, PrefixImagesChainIncrementally)
+{
+    Program p = twoThreadProgram();
+    ModelOracle o(p);
+    ASSERT_EQ(o.committedTxs(0).size(), 1u);
+    ASSERT_EQ(o.committedTxs(1).size(), 2u);
+    // k=0 is the initial image.
+    EXPECT_EQ(o.prefixImage(0, 0)[0], initValue(0));
+    EXPECT_EQ(o.prefixImage(1, 0)[0], initValue(4));
+    // Thread 1's two commits both hit its slot 0: 0xc then 0xd.
+    EXPECT_EQ(o.prefixImage(1, 1)[0], 0xcu);
+    EXPECT_EQ(o.prefixImage(1, 2)[0], 0xdu);
+    EXPECT_EQ(o.prefixImage(1, 2)[3], 0xeu);
+}
+
+TEST(ModelOracle, MetamorphicCrossThreadCommutation)
+{
+    // Transactions of different threads touch disjoint partitions,
+    // so swapping their program order must not change the final
+    // image — the property that makes the differential well-defined
+    // under arbitrary backend timing.
+    Program p = twoThreadProgram();
+    ModelOracle base(p);
+    for (std::size_t i = 0; i + 1 < p.txs.size(); ++i) {
+        if (p.txs[i].thread == p.txs[i + 1].thread)
+            continue;
+        Program q = p;
+        std::swap(q.txs[i], q.txs[i + 1]);
+        EXPECT_EQ(ModelOracle(q).finalImage(), base.finalImage())
+            << "swap at " << i;
+    }
+}
+
+// --------------------------- generator ---------------------------
+
+TEST(ProgGen, DeterministicPerSeed)
+{
+    EXPECT_EQ(generateProgram(7), generateProgram(7));
+    EXPECT_FALSE(generateProgram(7) == generateProgram(8));
+}
+
+TEST(ProgGen, ProgramsAreWellFormed)
+{
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        Program p = generateProgram(seed);
+        EXPECT_GE(p.threads, 1u);
+        EXPECT_GE(p.slotsPerThread, 1u);
+        EXPECT_FALSE(p.txs.empty());
+        for (const ProgTx &tx : p.txs) {
+            EXPECT_LT(tx.thread, p.threads);
+            EXPECT_FALSE(tx.stores.empty());
+            for (const ProgStore &st : tx.stores)
+                EXPECT_LT(st.slot, p.slotsPerThread);
+        }
+        // Round-trips through the repro format.
+        Program q;
+        std::string err;
+        ASSERT_TRUE(parseProgram(emitProgram(p), &q, &err)) << err;
+        EXPECT_EQ(p, q);
+    }
+}
+
+TEST(ProgGen, SomeSeedsAbortAndInterleave)
+{
+    bool sawAbort = false, sawMultiThread = false, sawDelay = false;
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+        Program p = generateProgram(seed);
+        sawMultiThread |= p.threads > 1;
+        for (const ProgTx &tx : p.txs) {
+            sawAbort |= tx.aborts;
+            sawDelay |= tx.delay != 0;
+        }
+    }
+    EXPECT_TRUE(sawAbort);
+    EXPECT_TRUE(sawMultiThread);
+    EXPECT_TRUE(sawDelay);
+}
+
+// -------------------------- differential -------------------------
+
+TEST(DiffRun, SeededProgramsAgreeAcrossBackends)
+{
+    for (std::uint64_t seed : {1, 2, 3}) {
+        DiffConfig cfg;
+        cfg.maxCrashPoints = 8; // keep the unit test quick
+        DiffResult r = runDiff(generateProgram(seed), cfg);
+        EXPECT_TRUE(r.passed) << "seed " << seed << ": " << r.detail;
+        EXPECT_GT(r.crashPointsChecked, 0u);
+    }
+}
+
+TEST(DiffRun, CorpusProgramsAgreeAcrossBackends)
+{
+    for (const char *name : {"basic", "abort", "wide"}) {
+        Program p;
+        std::string err;
+        ASSERT_TRUE(loadProgramFile(std::string(SNF_CORPUS_DIR) +
+                                        "/" + name + ".snfprog",
+                                    &p, &err))
+            << err;
+        DiffResult r = runDiff(p, DiffConfig{});
+        EXPECT_TRUE(r.passed) << name << ": " << r.detail;
+    }
+}
+
+TEST(DiffRun, CatchesSkippedRedoAndShrinksToTrivialRepro)
+{
+    // The acceptance self-test: sabotage the hardware backend's
+    // recovery (skip the redo phase — under no-force a durable
+    // commit's data is still volatile, so recovery silently loses
+    // it) and require the differential to catch it and the shrinker
+    // to minimize the failure to a near-minimal program.
+    DiffConfig cfg;
+    cfg.hwRecovery.faultSkipRedo = true;
+    cfg.maxCrashPoints = 8;
+
+    Program failing;
+    bool found = false;
+    for (std::uint64_t seed = 1; seed <= 10 && !found; ++seed) {
+        Program p = generateProgram(seed);
+        if (!runDiff(p, cfg).passed) {
+            failing = p;
+            found = true;
+        }
+    }
+    ASSERT_TRUE(found) << "injected bug must be detectable";
+
+    ShrinkStats stats;
+    Program minimal = shrinkProgram(
+        failing,
+        [&](const Program &cand) { return !runDiff(cand, cfg).passed; },
+        ShrinkOptions{}, &stats);
+    EXPECT_FALSE(runDiff(minimal, cfg).passed);
+    EXPECT_LE(minimal.operationCount(), 5u)
+        << "shrink left " << minimal.operationCount()
+        << " operations after " << stats.evals << " evaluations";
+    // And the repro replays: a healthy recovery passes it.
+    EXPECT_TRUE(runDiff(minimal, DiffConfig{}).passed);
+}
+
+// --------------------------- shrinker ----------------------------
+
+TEST(Shrink, ReducesToTheCulpritTransaction)
+{
+    // Predicate: "fails" iff the program still stores 0x666 on
+    // thread 0. Everything else must be stripped.
+    Program p = generateProgram(5);
+    p.txs.push_back({0, false, 17, {{0, 0x666}, {1, 0x42}}});
+    auto hasPoison = [](const Program &cand) {
+        for (const ProgTx &tx : cand.txs)
+            for (const ProgStore &st : tx.stores)
+                if (st.value == 0x666)
+                    return true;
+        return false;
+    };
+    ShrinkStats stats;
+    Program minimal = shrinkProgram(p, hasPoison, ShrinkOptions{},
+                                    &stats);
+    EXPECT_TRUE(hasPoison(minimal));
+    EXPECT_EQ(minimal.txs.size(), 1u);
+    ASSERT_EQ(minimal.txs[0].stores.size(), 1u);
+    EXPECT_EQ(minimal.txs[0].stores[0].value, 0x666u);
+    EXPECT_EQ(minimal.txs[0].delay, 0u);
+    EXPECT_EQ(minimal.threads, 1u);
+    EXPECT_EQ(minimal.operationCount(), 3u);
+    EXPECT_GT(stats.evals, 0u);
+}
+
+TEST(Shrink, HonorsEvaluationBudget)
+{
+    Program p = generateProgram(6);
+    ShrinkOptions opts;
+    opts.maxEvals = 3;
+    ShrinkStats stats;
+    shrinkProgram(
+        p, [](const Program &) { return true; }, opts, &stats);
+    EXPECT_TRUE(stats.budgetExhausted);
+}
+
+// ----------------------- workload adapter ------------------------
+
+TEST(ProgWorkload, RunsUnderDriverInBothBackends)
+{
+    for (PersistMode mode :
+         {PersistMode::Fwb, PersistMode::UndoClwb}) {
+        workloads::RunSpec spec;
+        spec.workload = "prog";
+        spec.mode = mode;
+        spec.params.threads = 2;
+        spec.params.seed = 12;
+        spec.sys = SystemConfig::scaled(2);
+        auto o = workloads::runWorkload(spec);
+        EXPECT_TRUE(o.verified)
+            << persistModeName(mode) << ": " << o.verifyMessage;
+        EXPECT_GT(o.stats.committedTx, 0u);
+    }
+}
+
+TEST(ProgWorkload, CrashRecoverVerifyRoundTrip)
+{
+    workloads::RunSpec spec;
+    spec.workload = "prog";
+    spec.mode = PersistMode::Fwb;
+    spec.params.threads = 2;
+    spec.params.seed = 12;
+    spec.sys = SystemConfig::scaled(2);
+    spec.sys.persist.crashJournal = true;
+    spec.crashAt = 4000;
+    auto o = workloads::runWorkload(spec);
+    EXPECT_TRUE(o.crashed);
+    EXPECT_TRUE(o.verified) << o.verifyMessage;
+}

@@ -207,6 +207,25 @@ TEST(LogRecordV2, SlackBitFlipsLeaveRecordIntact)
     }
 }
 
+namespace
+{
+
+// A coroutine proper (not a capturing coroutine lambda): @p base is
+// copied into the coroutine frame, so it stays valid across
+// suspensions after the spawning scope's temporaries are gone.
+sim::Co<void>
+flipWorkerBody(Thread &t, Addr base)
+{
+    Addr mine = base + t.id() * 128;
+    for (int i = 0; i < 6; ++i) {
+        co_await t.txBegin();
+        co_await t.store64(mine + 8 * (i % 4), i + 1);
+        co_await t.txCommit();
+    }
+}
+
+} // namespace
+
 // Satellite property: across ALL nine persistence modes, run a real
 // workload, drain everything to NVRAM, and then try every single-bit
 // flip (and a deterministic sample of double-bit flips) on every
@@ -220,13 +239,8 @@ TEST(LogRecordV2, EveryFlipInDrainedWindowDetectedAcrossModes)
         System sys(cfg, mode);
         Addr base = sys.heap().alloc(1024, 64);
         for (CoreId c = 0; c < 2; ++c) {
-            sys.spawn(c, [&](Thread &t) -> sim::Co<void> {
-                Addr mine = base + t.id() * 128;
-                for (int i = 0; i < 6; ++i) {
-                    co_await t.txBegin();
-                    co_await t.store64(mine + 8 * (i % 4), i + 1);
-                    co_await t.txCommit();
-                }
+            sys.spawn(c, [base](Thread &t) {
+                return flipWorkerBody(t, base);
             });
         }
         Tick end = sys.run();
@@ -403,6 +417,37 @@ TEST(FaultInjector, LiveRunFaultCountIsDeterministic)
     EXPECT_EQ(a.verified, b.verified);
 }
 
+TEST(FaultInjector, LogRegionFaultParityAcrossBackends)
+{
+    // Software logging writes its records through the same
+    // uncacheable-write → WCB → media path as the hardware engines,
+    // so log-region-scoped media faults must inject under BOTH
+    // backends. This pins the FaultModel parity the conformlab
+    // differential depends on: neither backend's log writes may
+    // bypass the injector.
+    auto run = [](PersistMode mode) {
+        workloads::RunSpec spec;
+        spec.workload = "sps";
+        spec.mode = mode;
+        spec.params.threads = 2;
+        spec.params.txPerThread = 200;
+        spec.sys = SystemConfig::scaled(2);
+        FaultModelConfig faults;
+        faults.seed = 11;
+        faults.bitFlipProb = 5e-3;
+        faults.regionBase = spec.sys.map.logBase();
+        faults.regionSize = spec.sys.map.logSize;
+        spec.sys.nvram.faults = faults;
+        return workloads::runWorkload(spec);
+    };
+    auto hw = run(PersistMode::Fwb);
+    auto sw = run(PersistMode::UndoClwb);
+    EXPECT_GT(hw.stats.faultsInjected, 0u)
+        << "hardware log writes bypass the fault injector";
+    EXPECT_GT(sw.stats.faultsInjected, 0u)
+        << "software log writes bypass the fault injector";
+}
+
 // --------------------- image faulting (sweep) --------------------
 
 TEST(ImageFaults, OnlyValidSlotsDamagedAndPlanIsExact)
@@ -557,6 +602,22 @@ TEST(Salvage, IgnoreCrcFaultInjectionReplaysGarbage)
     EXPECT_NE(f.image.read64(f.data(0)), 1u); // garbage replayed
 }
 
+namespace
+{
+
+sim::Co<void>
+counterWorkerBody(Thread &t, Addr base, int iters)
+{
+    Addr mine = base + t.id() * 64;
+    for (int i = 0; i < iters; ++i) {
+        co_await t.txBegin();
+        co_await t.store64(mine, i + 1);
+        co_await t.txCommit();
+    }
+}
+
+} // namespace
+
 TEST(Salvage, FaultedCheckerPassesOnHonestRecovery)
 {
     // End-to-end: a real crash snapshot, deterministic image damage,
@@ -566,13 +627,8 @@ TEST(Salvage, FaultedCheckerPassesOnHonestRecovery)
     System sys(cfg, PersistMode::Fwb);
     Addr base = sys.heap().alloc(512, 64);
     for (CoreId c = 0; c < 2; ++c) {
-        sys.spawn(c, [&](Thread &t) -> sim::Co<void> {
-            Addr mine = base + t.id() * 64;
-            for (int i = 0; i < 20; ++i) {
-                co_await t.txBegin();
-                co_await t.store64(mine, i + 1);
-                co_await t.txCommit();
-            }
+        sys.spawn(c, [base](Thread &t) {
+            return counterWorkerBody(t, base, 20);
         });
     }
     Tick end = sys.run();
@@ -683,19 +739,30 @@ TEST(TxAbort, RedoOnlyModeLeavesGenerationUncommitted)
     EXPECT_EQ(image.read64(addr), 100u);
 }
 
+namespace
+{
+
+sim::Co<void>
+abortThenCommitBody(Thread &t, Addr addr)
+{
+    co_await t.txBegin();
+    co_await t.store64(addr, 7);
+    co_await t.txAbort();
+    co_await t.txBegin();
+    co_await t.store64(addr, 9);
+    co_await t.txCommit();
+    EXPECT_FALSE(t.lastTxAborted());
+}
+
+} // namespace
+
 TEST(TxAbort, ThreadContinuesAfterAbort)
 {
     SystemConfig cfg = SystemConfig::scaled(1);
     System sys(cfg, PersistMode::Fwb);
     Addr addr = sys.heap().alloc(64, 64);
-    sys.spawn(0, [&](Thread &t) -> sim::Co<void> {
-        co_await t.txBegin();
-        co_await t.store64(addr, 7);
-        co_await t.txAbort();
-        co_await t.txBegin();
-        co_await t.store64(addr, 9);
-        co_await t.txCommit();
-        EXPECT_FALSE(t.lastTxAborted());
+    sys.spawn(0, [addr](Thread &t) {
+        return abortThenCommitBody(t, addr);
     });
     Tick end = sys.run();
     sys.flushAll(end);
@@ -824,6 +891,25 @@ TEST(LogFullPolicy, AbortRetryRequestsVictimAbort)
     EXPECT_EQ(f.lr.hazards.value(), hazardsBefore);
 }
 
+namespace
+{
+
+sim::Co<void>
+divertedCommitBody(Thread &t, System &sys, Addr addr)
+{
+    co_await t.txBegin();
+    co_await t.store64(addr, 1);
+    co_await t.txCommit();
+
+    co_await t.txBegin();
+    co_await t.store64(addr, 2);
+    sys.txns().requestAbort(t.currentTxSeq());
+    co_await t.txCommit(); // diverted into an abort
+    EXPECT_TRUE(t.lastTxAborted());
+}
+
+} // namespace
+
 TEST(LogFullPolicy, AbortRequestDivertsNextCommit)
 {
     // System-level: a requested abort is honored at the victim's
@@ -831,16 +917,8 @@ TEST(LogFullPolicy, AbortRequestDivertsNextCommit)
     SystemConfig cfg = SystemConfig::scaled(1);
     System sys(cfg, PersistMode::Fwb);
     Addr addr = sys.heap().alloc(64, 64);
-    sys.spawn(0, [&](Thread &t) -> sim::Co<void> {
-        co_await t.txBegin();
-        co_await t.store64(addr, 1);
-        co_await t.txCommit();
-
-        co_await t.txBegin();
-        co_await t.store64(addr, 2);
-        sys.txns().requestAbort(t.currentTxSeq());
-        co_await t.txCommit(); // diverted into an abort
-        EXPECT_TRUE(t.lastTxAborted());
+    sys.spawn(0, [&sys, addr](Thread &t) {
+        return divertedCommitBody(t, sys, addr);
     });
     Tick end = sys.run();
     sys.flushAll(end);

@@ -134,6 +134,55 @@ TEST(Rng, StrLengthAndCharset)
         EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
 }
 
+TEST(Rng, SplitIsIndependentOfDrawOrder)
+{
+    // The regression the split() API exists for: drawing from the
+    // parent (or a sibling) before splitting must not change what a
+    // child stream produces.
+    Rng fresh(42);
+    Rng drained(42);
+    for (int i = 0; i < 57; ++i)
+        drained.next();
+    Rng sibling = drained.split(9);
+    (void)sibling.next();
+
+    Rng a = fresh.split(3);
+    Rng b = drained.split(3);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SplitStreamsAreDistinct)
+{
+    Rng root(42);
+    Rng a = root.split(0);
+    Rng b = root.split(1);
+    bool differsFromSibling = false;
+    bool differsFromParent = false;
+    Rng parent(42);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        differsFromSibling |= va != b.next();
+        differsFromParent |= va != parent.next();
+    }
+    EXPECT_TRUE(differsFromSibling);
+    EXPECT_TRUE(differsFromParent);
+}
+
+TEST(Rng, SplitNestsDeterministically)
+{
+    Rng a = Rng(7).split(1).split(2);
+    Rng b = Rng(7).split(1).split(2);
+    Rng other = Rng(7).split(2).split(1);
+    bool pathMatters = false;
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        ASSERT_EQ(va, b.next());
+        pathMatters |= va != other.next();
+    }
+    EXPECT_TRUE(pathMatters);
+}
+
 TEST(Zipf, SkewsTowardsSmallKeys)
 {
     Rng rng(17);

@@ -80,6 +80,17 @@ bytesRoundTrip(Thread &t, Addr addr, bool *ok)
     *ok = std::equal(in, in + sizeof(in), out);
 }
 
+sim::Co<void>
+openForever(Thread &t, Addr addr)
+{
+    co_await t.txBegin();
+    co_await t.store64(addr, 0xbad);
+    co_await t.clwb(addr); // steal the line into NVRAM
+    co_await t.fence();
+    co_await t.compute(1000000); // never commits before crash
+    co_await t.txCommit();
+}
+
 } // namespace
 
 TEST(SystemFacade, RunsSingleTransaction)
@@ -224,13 +235,8 @@ TEST(SystemFacade, RecoveryUndoesUncommittedAtCrash)
     Env env(PersistMode::Fwb, 1, /*journal=*/true);
     // A transaction that stays open forever (simulates crashing
     // mid-transaction).
-    env.sys.spawn(0, [&](Thread &t) -> sim::Co<void> {
-        co_await t.txBegin();
-        co_await t.store64(env.a + 8, 0xbad);
-        co_await t.clwb(env.a + 8); // steal the line into NVRAM
-        co_await t.fence();
-        co_await t.compute(1000000); // never commits before crash
-        co_await t.txCommit();
+    env.sys.spawn(0, [a8 = env.a + 8](Thread &t) {
+        return openForever(t, a8);
     });
     Tick crash = 50000;
     env.sys.run(crash);

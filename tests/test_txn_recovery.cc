@@ -58,6 +58,57 @@ TEST(TxnTracker, AbortRemovesTxn)
     EXPECT_EQ(t.committed.value(), 0u);
 }
 
+TEST(TxnTracker, AbortRetryCapDeniesRepeatVictim)
+{
+    // Log-full abort-retry livelock guard: after the cap is hit on
+    // one thread's consecutive victimizations, further requests are
+    // denied (escalating to the stall path) until it commits.
+    TxnTracker t;
+    t.setAbortRetryCap(2);
+    std::uint64_t s1 = t.begin(3);
+    EXPECT_TRUE(t.requestAbort(s1));
+    EXPECT_TRUE(t.abortRequested(s1));
+    t.abort(s1);
+    std::uint64_t s2 = t.begin(3);
+    EXPECT_TRUE(t.requestAbort(s2));
+    t.abort(s2);
+    EXPECT_EQ(t.victimStreak(3), 2u);
+
+    std::uint64_t s3 = t.begin(3);
+    EXPECT_FALSE(t.requestAbort(s3)) << "cap must deny the third";
+    EXPECT_FALSE(t.abortRequested(s3));
+    EXPECT_EQ(t.abortEscalations.value(), 1u);
+
+    // A commit clears the streak and re-arms the guard.
+    t.commit(s3);
+    EXPECT_EQ(t.victimStreak(3), 0u);
+    std::uint64_t s4 = t.begin(3);
+    EXPECT_TRUE(t.requestAbort(s4));
+}
+
+TEST(TxnTracker, RequestAbortAfterLogFullAbortKeepsStateClean)
+{
+    // A stale abort request against a victim that already rolled
+    // back must not wedge the log-full path: the request trivially
+    // succeeds (nothing blocks the caller), no escalation is
+    // counted, and the write-set/log-record bookkeeping is released.
+    TxnTracker t;
+    std::uint64_t seq = t.begin(1);
+    t.recordWrite(seq, 0x1000);
+    t.noteLogRecord(seq);
+    EXPECT_EQ(t.logRecordCount(seq), 1u);
+    EXPECT_TRUE(t.requestAbort(seq));
+    EXPECT_TRUE(t.requestAbort(seq)) << "duplicate already granted";
+    EXPECT_EQ(t.abortRequests.value(), 1u);
+    t.abort(seq);
+    EXPECT_FALSE(t.isActive(seq));
+    EXPECT_TRUE(t.requestAbort(seq)) << "dead seq never blocks";
+    EXPECT_FALSE(t.abortRequested(seq));
+    EXPECT_EQ(t.abortEscalations.value(), 0u);
+    EXPECT_EQ(t.writeSet(seq).size(), 0u);
+    EXPECT_EQ(t.logRecordCount(seq), 0u);
+}
+
 // ---------------------------- Recovery ---------------------------
 
 namespace
@@ -221,6 +272,39 @@ TEST(Recovery, TornRecordIsIgnored)
     // The torn record has no written marker: not replayed.
     EXPECT_EQ(report.validRecords, 0u);
     EXPECT_EQ(f.image.read64(f.data(3)), 77u);
+}
+
+TEST(Recovery, TornCommitRecordRollsTxBack)
+{
+    // A crash can tear the commit record itself. The transaction's
+    // updates are intact, but without a durable commit marker the tx
+    // must be treated as uncommitted and its stolen data undone —
+    // treating a torn commit as committed would expose a non-atomic
+    // state the differential oracle rejects.
+    Fixture f;
+    f.image.write64(f.data(9), 88); // stolen new value
+    f.log.append(LogRecord::update(0, 60, f.data(9), 8, 44, 88));
+    f.log.appendTorn(LogRecord::commit(0, 60));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 0u);
+    EXPECT_EQ(report.uncommittedTxns, 1u);
+    EXPECT_EQ(report.undoApplied, 1u);
+    EXPECT_EQ(f.image.read64(f.data(9)), 44u);
+}
+
+TEST(Recovery, TornCommitFollowedByIntactCommitStillCommits)
+{
+    // Only the torn marker is ignored: if the commit record was
+    // re-written intact later (e.g. a retried flush landed), the
+    // transaction is committed and redo applies.
+    Fixture f;
+    f.image.write64(f.data(9), 44); // stale value
+    f.log.append(LogRecord::update(0, 61, f.data(9), 8, 44, 88));
+    f.log.appendTorn(LogRecord::commit(0, 61));
+    f.log.append(LogRecord::commit(0, 61));
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.committedTxns, 1u);
+    EXPECT_EQ(f.image.read64(f.data(9)), 88u);
 }
 
 TEST(Recovery, WindowSpansWrapInOrder)
