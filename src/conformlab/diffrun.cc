@@ -29,12 +29,13 @@ struct BackendRun
 };
 
 BackendRun
-runBackend(const Program &p, PersistMode mode)
+runBackend(const Program &p, PersistMode mode, CcMode cc)
 {
     BackendRun b;
     b.mode = mode;
     SystemConfig cfg = SystemConfig::scaled(p.threads);
     cfg.persist.crashJournal = true;
+    cfg.persist.ccMode = cc;
     b.sys = std::make_unique<System>(cfg, mode);
     b.wl = std::make_unique<workloads::ProgWorkload>(p);
 
@@ -106,6 +107,21 @@ buildTimeline(const BackendRun &b, const ModelOracle &oracle)
         }
     }
     return tl;
+}
+
+/** The timeline as SerialOracle input (same ordinal alignment). */
+std::vector<ObservedCommit>
+observedCommits(const ModelOracle &oracle, const CommitTimeline &tl)
+{
+    const Program &p = oracle.program();
+    std::vector<ObservedCommit> commits;
+    for (std::uint32_t t = 0; t < p.threads; ++t) {
+        const auto &mine = oracle.committedTxs(t);
+        for (std::size_t j = 0; j < mine.size(); ++j)
+            commits.push_back(
+                {mine[j], tl.durable[t][j], tl.initiated[t][j]});
+    }
+    return commits;
 }
 
 std::size_t
@@ -211,6 +227,17 @@ checkRecoveredImage(const mem::BackingStore &image,
     return true;
 }
 
+/** All global slots of @p b's program as stored in @p store. */
+std::vector<std::uint64_t>
+readSlots(const mem::BackingStore &store, const BackendRun &b)
+{
+    const Program &p = b.wl->program();
+    std::vector<std::uint64_t> slots(p.totalSlots());
+    for (std::uint32_t g = 0; g < p.totalSlots(); ++g)
+        slots[g] = store.read64(b.wl->slotAddr(g));
+    return slots;
+}
+
 } // namespace
 
 DiffResult
@@ -220,55 +247,96 @@ runDiff(const Program &p, const DiffConfig &cfg)
     ModelOracle oracle(p);
     res.committedTx = oracle.committedCount();
 
-    BackendRun hw = runBackend(p, cfg.hwMode);
-    BackendRun sw = runBackend(p, cfg.swMode);
+    // Conflicting programs need concurrency control to serialize;
+    // the lost-update self-test deliberately withholds it.
+    CcMode cc = p.hasConflicts() && !cfg.injectLostUpdate
+                    ? cfg.ccMode
+                    : CcMode::None;
+    BackendRun hw = runBackend(p, cfg.hwMode, cc);
+    BackendRun sw = runBackend(p, cfg.swMode, cc);
     SNF_ASSERT(hw.wl->slotAddr(0) == sw.wl->slotAddr(0),
                "backend heap layouts diverged");
 
-    // --- Final-image differential (field by field vs the oracle) ---
-    std::vector<std::uint64_t> expect = oracle.finalImage();
-    const mem::BackingStore &hwStore = hw.sys->mem().nvram().store();
-    const mem::BackingStore &swStore = sw.sys->mem().nvram().store();
-    for (std::uint32_t g = 0; g < p.totalSlots(); ++g) {
-        Addr a = hw.wl->slotAddr(g);
-        std::uint64_t hv = hwStore.read64(a);
-        std::uint64_t sv = swStore.read64(a);
-        if (hv != expect[g] || sv != expect[g]) {
+    if (!p.hasConflicts()) {
+        // --- Final-image differential (field by field vs the
+        // oracle; commit order is immaterial without conflicts) ---
+        std::vector<std::uint64_t> expect = oracle.finalImage();
+        const mem::BackingStore &hwStore =
+            hw.sys->mem().nvram().store();
+        const mem::BackingStore &swStore =
+            sw.sys->mem().nvram().store();
+        for (std::uint32_t g = 0; g < p.totalSlots(); ++g) {
+            Addr a = hw.wl->slotAddr(g);
+            std::uint64_t hv = hwStore.read64(a);
+            std::uint64_t sv = swStore.read64(a);
+            if (hv != expect[g] || sv != expect[g]) {
+                res.passed = false;
+                res.detail = strfmt(
+                    "final image slot %u (thread %u): oracle 0x%llx, "
+                    "%s 0x%llx, %s 0x%llx",
+                    g, g / p.slotsPerThread,
+                    static_cast<unsigned long long>(expect[g]),
+                    persistModeName(cfg.hwMode),
+                    static_cast<unsigned long long>(hv),
+                    persistModeName(cfg.swMode),
+                    static_cast<unsigned long long>(sv));
+                return res;
+            }
+        }
+        // Raw byte comparison over the whole slot range, so a backend
+        // cannot hide damage between the sampled fields.
+        if (auto d = hwStore.firstDifference(
+                swStore, hw.wl->slotAddr(0),
+                static_cast<std::uint64_t>(p.totalSlots()) * 8)) {
             res.passed = false;
-            res.detail = strfmt(
-                "final image slot %u (thread %u): oracle 0x%llx, "
-                "%s 0x%llx, %s 0x%llx",
-                g, g / p.slotsPerThread,
-                static_cast<unsigned long long>(expect[g]),
-                persistModeName(cfg.hwMode),
-                static_cast<unsigned long long>(hv),
-                persistModeName(cfg.swMode),
-                static_cast<unsigned long long>(sv));
+            res.detail = strfmt("final heap images differ at 0x%llx",
+                                static_cast<unsigned long long>(*d));
             return res;
         }
     }
-    // Raw byte comparison over the whole slot range, so a backend
-    // cannot hide damage between the sampled fields.
-    if (auto d = hwStore.firstDifference(
-            swStore, hw.wl->slotAddr(0),
-            static_cast<std::uint64_t>(p.totalSlots()) * 8)) {
-        res.passed = false;
-        res.detail = strfmt("final heap images differ at 0x%llx",
-                            static_cast<unsigned long long>(*d));
-        return res;
-    }
 
-    if (!cfg.crashDifferential)
-        return res;
-
-    // --- Crash-point differential -------------------------------
     for (BackendRun *b : {&hw, &sw}) {
         const persist::RecoveryOptions &ropts =
             b == &hw ? cfg.hwRecovery : cfg.swRecovery;
         CommitTimeline tl = buildTimeline(*b, oracle);
+
+        // --- Serializability differential (conflicting programs):
+        // each backend is judged against its own durable commit
+        // order, since the two may legitimately serialize
+        // differently.
+        std::unique_ptr<SerialOracle> serial;
+        if (p.hasConflicts()) {
+            serial = std::make_unique<SerialOracle>(
+                p, observedCommits(oracle, tl));
+            std::string why;
+            if (!serial->checkFinalImage(
+                    readSlots(b->sys->mem().nvram().store(), *b),
+                    &why)) {
+                res.passed = false;
+                res.detail = strfmt("mode %s: %s",
+                                    persistModeName(b->mode),
+                                    why.c_str());
+                return res;
+            }
+            for (const ObservedCommit &c : serial->order()) {
+                if (!serial->checkReads(c.txIndex,
+                                        b->wl->readsOf(c.txIndex),
+                                        &why)) {
+                    res.passed = false;
+                    res.detail = strfmt("mode %s: %s",
+                                        persistModeName(b->mode),
+                                        why.c_str());
+                    return res;
+                }
+            }
+        }
+
+        if (!cfg.crashDifferential)
+            continue;
+
+        // --- Crash-point differential ---------------------------
         std::vector<Tick> ticks =
             crashTicks(*b, tl, cfg.maxCrashPoints);
-
         const mem::BackingStore &store =
             b->sys->mem().nvram().store();
         store.buildSnapshotIndex();
@@ -279,10 +347,18 @@ runDiff(const Program &p, const DiffConfig &cfg)
                                    ropts);
             ++res.crashPointsChecked;
             std::string why;
-            if (!checkRecoveredImage(image, *b, oracle, tl, t,
-                                     &why)) {
+            bool ok =
+                serial ? serial->checkCrashImage(
+                             readSlots(image, *b), t, &why)
+                       : checkRecoveredImage(image, *b, oracle, tl,
+                                             t, &why);
+            if (!ok) {
                 res.passed = false;
-                res.detail = why;
+                res.detail =
+                    serial ? strfmt("mode %s: %s",
+                                    persistModeName(b->mode),
+                                    why.c_str())
+                           : why;
                 return res;
             }
         }

@@ -21,6 +21,17 @@
  *    applied to a prefix-closed set of committed transactions whose
  *    per-thread depth lies between the commits already durable at the
  *    crash instant and the commit records initiated by then.
+ *
+ * Programs with a shared conflict region (Program::hasConflicts())
+ * run both backends under the configured CC scheme and are judged by
+ * the commit-order SerialOracle instead: the final image must equal
+ * the replay of each backend's own durable commit order, every
+ * committed transaction's loads must match that order
+ * (checkReads), and every recovered crash image must equal the
+ * replay of *some* per-thread depth combination inside the
+ * durable/initiated window (checkCrashImage). The raw hw-vs-sw byte
+ * equality is skipped — the two backends legitimately serialize
+ * conflicting commits differently.
  */
 
 #ifndef SNF_CONFORMLAB_DIFFRUN_HH
@@ -57,6 +68,15 @@ struct DiffConfig
      */
     persist::RecoveryOptions hwRecovery;
     persist::RecoveryOptions swRecovery;
+    /** CC scheme both backends use for conflicting programs. */
+    CcMode ccMode = CcMode::TwoPhase;
+    /**
+     * Self-test sabotage: run conflicting programs with concurrency
+     * control disabled, so racing transactions produce the classic
+     * lost-update/dirty-read anomalies the serializability oracle
+     * exists to catch (and the shrinker then minimizes).
+     */
+    bool injectLostUpdate = false;
 };
 
 /** Outcome of one program's differential evaluation. */

@@ -1,33 +1,64 @@
 #include "conformlab/oracle.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace snf::conformlab
 {
 
-ModelOracle::ModelOracle(const Program &p)
-    : prog(p)
+ModelOracle::ModelOracle(const Program &p) : prog(p)
 {
     committedByThread.resize(prog.threads);
     prefixes.resize(prog.threads);
+    sharedVals.resize(prog.sharedSlots);
+    for (std::uint32_t s = 0; s < prog.sharedSlots; ++s)
+        sharedVals[s].push_back(initValue(prog.sharedGlobalSlot(s)));
+
     for (std::size_t i = 0; i < prog.txs.size(); ++i) {
         const ProgTx &tx = prog.txs[i];
         SNF_ASSERT(tx.thread < prog.threads,
                    "program tx thread out of range");
-        if (!tx.aborts)
-            committedByThread[tx.thread].push_back(i);
+        if (tx.aborts)
+            continue;
+        committedByThread[tx.thread].push_back(i);
+        ++totalCommitted;
+
+        // Last value per shared slot within this tx; transactions
+        // are atomic so only their final write can surface.
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> last;
+        for (const ProgOp &op : tx.ops) {
+            if (op.isLoad() || !op.isShared())
+                continue;
+            bool found = false;
+            for (auto &e : last)
+                if (e.first == op.slot) {
+                    e.second = op.value;
+                    found = true;
+                }
+            if (!found)
+                last.emplace_back(op.slot, op.value);
+        }
+        for (const auto &[idx, val] : last) {
+            auto &cands = sharedVals[idx];
+            if (std::find(cands.begin(), cands.end(), val) ==
+                cands.end())
+                cands.push_back(val);
+        }
     }
+
     for (std::uint32_t t = 0; t < prog.threads; ++t) {
-        totalCommitted += committedByThread[t].size();
         std::vector<std::uint64_t> state(prog.slotsPerThread);
         for (std::uint32_t s = 0; s < prog.slotsPerThread; ++s)
             state[s] = initValue(prog.globalSlot(t, s));
         prefixes[t].push_back(state);
         for (std::size_t i : committedByThread[t]) {
-            for (const ProgStore &st : prog.txs[i].stores) {
-                SNF_ASSERT(st.slot < prog.slotsPerThread,
+            for (const ProgOp &op : prog.txs[i].ops) {
+                if (op.isLoad() || op.isShared())
+                    continue;
+                SNF_ASSERT(op.slot < prog.slotsPerThread,
                            "program store slot out of range");
-                state[st.slot] = st.value;
+                state[op.slot] = op.value;
             }
             prefixes[t].push_back(state);
         }
@@ -38,12 +69,221 @@ std::vector<std::uint64_t>
 ModelOracle::finalImage() const
 {
     std::vector<std::uint64_t> image(prog.totalSlots());
+    for (std::uint32_t g = 0; g < prog.totalSlots(); ++g)
+        image[g] = initValue(g);
     for (std::uint32_t t = 0; t < prog.threads; ++t) {
         const auto &full = prefixes[t].back();
         for (std::uint32_t s = 0; s < prog.slotsPerThread; ++s)
             image[prog.globalSlot(t, s)] = full[s];
     }
     return image;
+}
+
+SerialOracle::SerialOracle(const Program &p,
+                           std::vector<ObservedCommit> commits)
+    : prog(p), seq(std::move(commits))
+{
+    std::sort(seq.begin(), seq.end(),
+              [](const ObservedCommit &a, const ObservedCommit &b) {
+                  if (a.durable != b.durable)
+                      return a.durable < b.durable;
+                  if (a.initiated != b.initiated)
+                      return a.initiated < b.initiated;
+                  return a.txIndex < b.txIndex;
+              });
+    perThread.resize(prog.threads);
+    for (std::size_t pos = 0; pos < seq.size(); ++pos) {
+        const ObservedCommit &c = seq[pos];
+        SNF_ASSERT(c.txIndex < prog.txs.size(),
+                   "observed commit for tx %zu beyond program",
+                   c.txIndex);
+        const ProgTx &tx = prog.txs[c.txIndex];
+        SNF_ASSERT(!tx.aborts, "observed commit for aborting tx %zu",
+                   c.txIndex);
+        auto &mine = perThread[tx.thread];
+        SNF_ASSERT(mine.empty() ||
+                       seq[mine.back()].txIndex < c.txIndex,
+                   "thread %u: tx %zu durable before program-earlier "
+                   "tx %zu",
+                   tx.thread, seq[mine.back()].txIndex, c.txIndex);
+        mine.push_back(pos);
+    }
+}
+
+std::vector<std::uint64_t>
+SerialOracle::initImage() const
+{
+    std::vector<std::uint64_t> image(prog.totalSlots());
+    for (std::uint32_t g = 0; g < prog.totalSlots(); ++g)
+        image[g] = initValue(g);
+    return image;
+}
+
+void
+SerialOracle::applyTx(std::size_t txIndex,
+                      std::vector<std::uint64_t> &image) const
+{
+    const ProgTx &tx = prog.txs[txIndex];
+    for (const ProgOp &op : tx.ops)
+        if (!op.isLoad())
+            image[prog.globalSlotOf(tx.thread, op)] = op.value;
+}
+
+std::vector<std::uint64_t>
+SerialOracle::finalImage() const
+{
+    std::vector<std::uint64_t> image = initImage();
+    for (const ObservedCommit &c : seq)
+        applyTx(c.txIndex, image);
+    return image;
+}
+
+bool
+SerialOracle::checkFinalImage(const std::vector<std::uint64_t> &slots,
+                              std::string *why) const
+{
+    SNF_ASSERT(slots.size() == prog.totalSlots(),
+               "final image has %zu slots, program %u", slots.size(),
+               prog.totalSlots());
+    std::vector<std::uint64_t> want = finalImage();
+    for (std::uint32_t g = 0; g < prog.totalSlots(); ++g) {
+        if (slots[g] != want[g]) {
+            if (why)
+                *why = strfmt(
+                    "final image: global slot %u holds 0x%llx, "
+                    "commit-order replay of %zu commits gives 0x%llx",
+                    g, static_cast<unsigned long long>(slots[g]),
+                    seq.size(),
+                    static_cast<unsigned long long>(want[g]));
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+SerialOracle::checkReads(std::size_t txIndex,
+                         const std::vector<std::uint64_t> &observed,
+                         std::string *why) const
+{
+    std::size_t pos = seq.size();
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        if (seq[i].txIndex == txIndex)
+            pos = i;
+    SNF_ASSERT(pos != seq.size(),
+               "checkReads: tx %zu not in the commit order", txIndex);
+
+    std::vector<std::uint64_t> image = initImage();
+    for (std::size_t i = 0; i < pos; ++i)
+        applyTx(seq[i].txIndex, image);
+
+    const ProgTx &tx = prog.txs[txIndex];
+    SNF_ASSERT(observed.size() == tx.ops.size(),
+               "checkReads: tx %zu has %zu ops, %zu observations",
+               txIndex, tx.ops.size(), observed.size());
+    for (std::size_t j = 0; j < tx.ops.size(); ++j) {
+        const ProgOp &op = tx.ops[j];
+        std::uint32_t g = prog.globalSlotOf(tx.thread, op);
+        if (op.isLoad()) {
+            if (observed[j] != image[g]) {
+                if (why)
+                    *why = strfmt(
+                        "tx %zu (commit position %zu) op %zu loaded "
+                        "0x%llx from global slot %u; commit-order "
+                        "predecessors left 0x%llx",
+                        txIndex, pos, j,
+                        static_cast<unsigned long long>(observed[j]),
+                        g,
+                        static_cast<unsigned long long>(image[g]));
+                return false;
+            }
+        } else {
+            image[g] = op.value; // read-own-writes
+        }
+    }
+    return true;
+}
+
+bool
+SerialOracle::checkCrashImage(const std::vector<std::uint64_t> &slots,
+                              Tick tick, std::string *why) const
+{
+    SNF_ASSERT(slots.size() == prog.totalSlots(),
+               "crash image has %zu slots, program %u", slots.size(),
+               prog.totalSlots());
+
+    // Per-thread depth window: commits durable by the crash must
+    // survive recovery; commits whose records were not yet initiated
+    // cannot. In between, the record raced the crash either way.
+    std::vector<std::size_t> lo(prog.threads, 0);
+    std::vector<std::size_t> hi(prog.threads, 0);
+    std::size_t combos = 1;
+    for (std::uint32_t t = 0; t < prog.threads; ++t) {
+        for (std::size_t pos : perThread[t]) {
+            if (seq[pos].durable <= tick)
+                ++lo[t];
+            if (seq[pos].initiated <= tick)
+                ++hi[t];
+        }
+        SNF_ASSERT(lo[t] <= hi[t],
+                   "thread %u: commit durable before its initiation",
+                   t);
+        combos *= hi[t] - lo[t] + 1;
+        SNF_ASSERT(combos <= (1u << 20),
+                   "crash depth windows at tick %llu explode past "
+                   "2^20 combinations",
+                   static_cast<unsigned long long>(tick));
+    }
+
+    std::vector<std::size_t> rankOf(seq.size());
+    for (std::uint32_t t = 0; t < prog.threads; ++t)
+        for (std::size_t r = 0; r < perThread[t].size(); ++r)
+            rankOf[perThread[t][r]] = r;
+
+    std::string firstWhy;
+    std::vector<std::size_t> k = lo;
+    for (;;) {
+        std::vector<std::uint64_t> image = initImage();
+        for (std::size_t pos = 0; pos < seq.size(); ++pos) {
+            std::uint32_t t = prog.txs[seq[pos].txIndex].thread;
+            if (rankOf[pos] < k[t])
+                applyTx(seq[pos].txIndex, image);
+        }
+        bool match = true;
+        for (std::uint32_t g = 0; g < prog.totalSlots() && match;
+             ++g) {
+            if (slots[g] != image[g]) {
+                match = false;
+                if (firstWhy.empty())
+                    firstWhy = strfmt(
+                        "e.g. at minimum depths, global slot %u "
+                        "recovered as 0x%llx but replay gives 0x%llx",
+                        g, static_cast<unsigned long long>(slots[g]),
+                        static_cast<unsigned long long>(image[g]));
+            }
+        }
+        if (match)
+            return true;
+
+        // Odometer step over the per-thread depth windows.
+        std::uint32_t t = 0;
+        for (; t < prog.threads; ++t) {
+            if (k[t] < hi[t]) {
+                ++k[t];
+                break;
+            }
+            k[t] = lo[t];
+        }
+        if (t == prog.threads)
+            break;
+    }
+    if (why)
+        *why = strfmt(
+            "crash image at tick %llu matches none of the %zu "
+            "serializable depth combinations (%s)",
+            static_cast<unsigned long long>(tick), combos,
+            firstWhy.c_str());
+    return false;
 }
 
 } // namespace snf::conformlab

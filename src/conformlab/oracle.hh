@@ -1,28 +1,42 @@
 /**
  * @file
- * ModelOracle — the pure in-memory reference semantics of a
- * conformlab program: committed transactions apply their stores
- * atomically in per-thread program order, aborted transactions apply
- * nothing, and the heap starts from initValue().
+ * The two reference semantics of a conformlab program.
  *
- * Because partitions are thread-disjoint (program.hh), any
+ * ModelOracle — the run-independent model: committed transactions
+ * apply their stores atomically in per-thread program order, aborted
+ * transactions apply nothing, and the heap starts from initValue().
+ * Because private partitions are thread-disjoint (program.hh), any
  * *prefix-closed* set of committed transactions — per thread, a
  * prefix of that thread's committed subsequence — yields a
- * well-defined image. The differential runner checks every recovered
- * crash image against these prefix states: the recovered partition of
- * thread t must equal prefixImage(t, k) for some k between the
- * transactions already durable at the crash instant (recovery must
- * not lose them) and the commit records initiated by then (recovery
- * cannot commit what was never committed).
+ * well-defined private image, independent of cross-thread order.
+ * For the shared region the model alone can only bound the value
+ * set (sharedCandidates); ordering it needs a run.
+ *
+ * SerialOracle — the commit-order serializability checker for
+ * contended programs: fed the observed per-transaction (durable,
+ * initiated) commit ticks of one backend run, it replays committed
+ * transactions in durable-commit order. That order is the
+ * serialization order — strict 2PL holds every lock to commit, and
+ * TL2 validates its read versions at commit, so in both schemes a
+ * transaction's reads see exactly the committed state of its
+ * durable-order predecessors (conflicting commit records drain
+ * FIFO through the log, keeping durable order consistent with lock
+ * order). The rule for a crash image at tick t: recovered state
+ * must equal the replay, in commit order, of *some* per-thread
+ * depth combination between the commits durable by t (recovery
+ * must not lose them) and the commit records initiated by t
+ * (recovery cannot commit what was never committed).
  */
 
 #ifndef SNF_CONFORMLAB_ORACLE_HH
 #define SNF_CONFORMLAB_ORACLE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "conformlab/program.hh"
+#include "sim/types.hh"
 
 namespace snf::conformlab
 {
@@ -47,9 +61,9 @@ class ModelOracle
     std::size_t committedCount() const { return totalCommitted; }
 
     /**
-     * The partition of @p thread after its first @p k committed
-     * transactions (k = 0 .. committedTxs(thread).size()), as
-     * slotsPerThread slot values.
+     * The private partition of @p thread after its first @p k
+     * committed transactions (k = 0 .. committedTxs(thread).size()),
+     * as slotsPerThread slot values. Shared ops do not contribute.
      */
     const std::vector<std::uint64_t> &
     prefixImage(std::uint32_t thread, std::size_t k) const
@@ -57,15 +71,107 @@ class ModelOracle
         return prefixes[thread][k];
     }
 
-    /** The full-commit final image over all global slots. */
+    /**
+     * The full-commit final image over all global slots. Shared
+     * slots carry initValue(): the model cannot order cross-thread
+     * writes, so this is only a complete answer for programs without
+     * conflicts (use SerialOracle otherwise).
+     */
     std::vector<std::uint64_t> finalImage() const;
+
+    /**
+     * Every value shared slot @p idx may legally hold in a
+     * recovered or final image: its initValue plus, per committed
+     * transaction writing it, that transaction's last store to it
+     * (transactions are atomic, so mid-transaction values are
+     * excluded). A run-independent membership bound — the
+     * commit-order replay is the precise check.
+     */
+    const std::vector<std::uint64_t> &
+    sharedCandidates(std::uint32_t idx) const
+    {
+        return sharedVals[idx];
+    }
 
   private:
     Program prog;
     /** prefixes[t][k] = partition after k committed txs of t. */
     std::vector<std::vector<std::vector<std::uint64_t>>> prefixes;
     std::vector<std::vector<std::size_t>> committedByThread;
+    std::vector<std::vector<std::uint64_t>> sharedVals;
     std::size_t totalCommitted = 0;
+};
+
+/** One committed program transaction as observed in a backend run. */
+struct ObservedCommit
+{
+    /** Index into program().txs. */
+    std::size_t txIndex = 0;
+    /** Tick its commit record became durable in NVRAM. */
+    Tick durable = 0;
+    /** Tick tx_commit was initiated. */
+    Tick initiated = 0;
+};
+
+/** See file comment. */
+class SerialOracle
+{
+  public:
+    /**
+     * @p commits must hold one entry per committed transaction of
+     * the program; they are sorted into the durable commit order
+     * (ties broken by initiation tick, then program index).
+     */
+    SerialOracle(const Program &p, std::vector<ObservedCommit> commits);
+
+    const Program &program() const { return prog; }
+
+    /** The durable commit order (the serialization order). */
+    const std::vector<ObservedCommit> &order() const { return seq; }
+
+    /** Full replay in commit order, over all global slots. */
+    std::vector<std::uint64_t> finalImage() const;
+
+    /**
+     * Check a graceful final image (all global slots, in global-slot
+     * order) against the full commit-order replay.
+     */
+    bool checkFinalImage(const std::vector<std::uint64_t> &slots,
+                         std::string *why) const;
+
+    /**
+     * Check the values the committed transaction @p txIndex loaded:
+     * @p observed holds one value per op (entries at non-load
+     * positions are ignored). Serializability requires each load to
+     * see the replayed state of the transaction's durable-order
+     * predecessors, plus its own earlier stores.
+     */
+    bool checkReads(std::size_t txIndex,
+                    const std::vector<std::uint64_t> &observed,
+                    std::string *why) const;
+
+    /**
+     * The crash rule (file comment): @p slots is the recovered image
+     * at crash tick @p tick over all global slots. Enumerates every
+     * per-thread depth combination within [durable-by-tick,
+     * initiated-by-tick] and accepts if any commit-order replay of a
+     * combination matches.
+     */
+    bool checkCrashImage(const std::vector<std::uint64_t> &slots,
+                         Tick tick, std::string *why) const;
+
+  private:
+    std::vector<std::uint64_t> initImage() const;
+
+    /** Apply the stores of tx @p txIndex to @p image. */
+    void applyTx(std::size_t txIndex,
+                 std::vector<std::uint64_t> &image) const;
+
+    Program prog;
+    /** Commits in durable order. */
+    std::vector<ObservedCommit> seq;
+    /** Positions into seq per thread, in (asserted) program order. */
+    std::vector<std::vector<std::size_t>> perThread;
 };
 
 } // namespace snf::conformlab

@@ -19,6 +19,8 @@ enum Stream : std::uint64_t
     kValue = 2,   ///< store values
     kDelay = 3,   ///< scheduler-jitter compute delays
     kOrder = 4,   ///< cross-thread interleaving of the tx list
+    kConflict = 5, ///< shared-region sizing and per-op targeting
+    kOpKind = 6,  ///< load-vs-store pick per op
 };
 
 } // namespace
@@ -32,6 +34,8 @@ generateProgram(std::uint64_t seed, const ProgGenConfig &cfg)
     sim::Rng value = root.split(kValue);
     sim::Rng delay = root.split(kDelay);
     sim::Rng order = root.split(kOrder);
+    sim::Rng conflict = root.split(kConflict);
+    sim::Rng opKind = root.split(kOpKind);
 
     Program p;
     p.seed = seed;
@@ -44,6 +48,14 @@ generateProgram(std::uint64_t seed, const ProgGenConfig &cfg)
             ? cfg.slotsPerThread
             : static_cast<std::uint32_t>(
                   shape.range(4, cfg.maxSlotsPerThread));
+
+    bool conflicts = cfg.conflictRate > 0.0;
+    if (conflicts)
+        p.sharedSlots =
+            cfg.sharedSlots != 0
+                ? cfg.sharedSlots
+                : static_cast<std::uint32_t>(
+                      conflict.range(2, cfg.maxSharedSlots));
 
     bool skewed = shape.chance(cfg.skewRate) && p.slotsPerThread > 1;
     sim::Zipf zipf(p.slotsPerThread,
@@ -76,15 +88,29 @@ generateProgram(std::uint64_t seed, const ProgGenConfig &cfg)
                        ? 0
                        : static_cast<std::uint32_t>(
                              delay.below(cfg.maxDelay + 1));
-        std::uint32_t stores = static_cast<std::uint32_t>(
+        std::uint32_t ops = static_cast<std::uint32_t>(
             shape.range(1, cfg.maxStoresPerTx));
-        for (std::uint32_t s = 0; s < stores; ++s) {
-            ProgStore st;
-            st.slot = static_cast<std::uint32_t>(
-                skewed ? zipf.sample(address)
-                       : address.below(p.slotsPerThread));
-            st.value = value.next();
-            tx.stores.push_back(st);
+        for (std::uint32_t s = 0; s < ops; ++s) {
+            ProgOp op;
+            bool shared =
+                conflicts && conflict.chance(cfg.conflictRate);
+            bool isLoad =
+                conflicts && opKind.chance(cfg.loadRate);
+            if (shared) {
+                op.slot = static_cast<std::uint32_t>(
+                    conflict.below(p.sharedSlots));
+                op.kind = isLoad ? ProgOpKind::SharedLoad
+                                 : ProgOpKind::SharedStore;
+            } else {
+                op.slot = static_cast<std::uint32_t>(
+                    skewed ? zipf.sample(address)
+                           : address.below(p.slotsPerThread));
+                op.kind = isLoad ? ProgOpKind::Load
+                                 : ProgOpKind::Store;
+            }
+            if (!isLoad)
+                op.value = value.next();
+            tx.ops.push_back(op);
         }
         p.txs.push_back(tx);
     }

@@ -42,6 +42,24 @@ struct ProgGenConfig
     double skewTheta = 0.8;
     /** Max compute-jitter ticks before a transaction (interleaving). */
     std::uint32_t maxDelay = 40;
+    /**
+     * Probability any one op targets the shared conflict region
+     * instead of the thread's private partition. 0 keeps the program
+     * conflict-free and byte-identical to the pre-shared generator
+     * for the same seed (the conflict draws come from fresh child
+     * streams).
+     */
+    double conflictRate = 0.0;
+    /** Shared slot count; 0 = draw 2..maxSharedSlots when
+     *  conflictRate > 0. */
+    std::uint32_t sharedSlots = 0;
+    std::uint32_t maxSharedSlots = 8;
+    /**
+     * Probability an op is a load instead of a store. Only applied
+     * when conflictRate > 0 — loads are what make read-validation
+     * (TL2) and lost-update detection meaningful.
+     */
+    double loadRate = 0.25;
 };
 
 /**

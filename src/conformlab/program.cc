@@ -9,12 +9,22 @@
 namespace snf::conformlab
 {
 
+bool
+Program::hasLoads() const
+{
+    for (const ProgTx &tx : txs)
+        for (const ProgOp &op : tx.ops)
+            if (op.isLoad())
+                return true;
+    return false;
+}
+
 std::size_t
 Program::operationCount() const
 {
     std::size_t n = 0;
     for (const ProgTx &tx : txs)
-        n += 2 + tx.stores.size(); // begin + stores + commit/abort
+        n += 2 + tx.ops.size(); // begin + ops + commit/abort
     return n;
 }
 
@@ -22,19 +32,35 @@ std::string
 emitProgram(const Program &p)
 {
     std::ostringstream out;
-    out << "snfprog 1\n";
+    bool v2 = p.sharedSlots != 0 || p.hasLoads();
+    out << "snfprog " << (v2 ? 2 : 1) << "\n";
     out << "threads " << p.threads << "\n";
     out << "slots " << p.slotsPerThread << "\n";
+    if (p.sharedSlots != 0)
+        out << "shared " << p.sharedSlots << "\n";
     out << "seed " << p.seed << "\n";
     for (const ProgTx &tx : p.txs) {
         out << "tx " << tx.thread << " "
             << (tx.aborts ? "abort" : "commit") << " " << tx.delay
             << "\n";
-        for (const ProgStore &st : tx.stores) {
+        for (const ProgOp &op : tx.ops) {
             char buf[32];
             std::snprintf(buf, sizeof(buf), "0x%llx",
-                          static_cast<unsigned long long>(st.value));
-            out << "  store " << st.slot << " " << buf << "\n";
+                          static_cast<unsigned long long>(op.value));
+            switch (op.kind) {
+              case ProgOpKind::Store:
+                out << "  store " << op.slot << " " << buf << "\n";
+                break;
+              case ProgOpKind::Load:
+                out << "  load " << op.slot << "\n";
+                break;
+              case ProgOpKind::SharedStore:
+                out << "  sstore " << op.slot << " " << buf << "\n";
+                break;
+              case ProgOpKind::SharedLoad:
+                out << "  sload " << op.slot << "\n";
+                break;
+            }
         }
     }
     out << "end\n";
@@ -52,6 +78,14 @@ fail(std::string *err, std::size_t lineNo, const std::string &what)
     return false;
 }
 
+bool
+parseValue(const std::string &text, std::uint64_t *out)
+{
+    char *endp = nullptr;
+    *out = std::strtoull(text.c_str(), &endp, 0);
+    return endp != text.c_str() && *endp == '\0';
+}
+
 } // namespace
 
 bool
@@ -59,7 +93,7 @@ parseProgram(const std::string &text, Program *out, std::string *err)
 {
     Program p;
     p.txs.clear();
-    bool sawHeader = false;
+    std::uint32_t version = 0;
     bool sawEnd = false;
     std::istringstream in(text);
     std::string line;
@@ -72,12 +106,12 @@ parseProgram(const std::string &text, Program *out, std::string *err)
             continue;
         if (sawEnd)
             return fail(err, lineNo, "content after 'end'");
-        if (!sawHeader) {
-            std::uint32_t version = 0;
-            if (word != "snfprog" || !(ls >> version) || version != 1)
+        if (version == 0) {
+            if (word != "snfprog" || !(ls >> version) ||
+                (version != 1 && version != 2))
                 return fail(err, lineNo,
-                            "expected 'snfprog 1' header");
-            sawHeader = true;
+                            "expected 'snfprog 1' or 'snfprog 2' "
+                            "header");
             continue;
         }
         if (word == "threads") {
@@ -87,6 +121,13 @@ parseProgram(const std::string &text, Program *out, std::string *err)
         } else if (word == "slots") {
             if (!(ls >> p.slotsPerThread) || p.slotsPerThread == 0)
                 return fail(err, lineNo, "bad slots-per-thread");
+        } else if (word == "shared") {
+            if (version < 2)
+                return fail(err, lineNo,
+                            "'shared' needs a format-2 header");
+            if (!(ls >> p.sharedSlots) || p.sharedSlots == 0 ||
+                p.sharedSlots > 4096)
+                return fail(err, lineNo, "bad shared slot count");
         } else if (word == "seed") {
             if (!(ls >> p.seed))
                 return fail(err, lineNo, "bad seed");
@@ -104,21 +145,50 @@ parseProgram(const std::string &text, Program *out, std::string *err)
                 return fail(err, lineNo,
                             "tx outcome must be commit or abort");
             p.txs.push_back(tx);
-        } else if (word == "store") {
+        } else if (word == "store" || word == "sstore") {
             if (p.txs.empty())
                 return fail(err, lineNo, "store before any tx");
-            ProgStore st;
+            ProgOp op;
             std::string value;
-            if (!(ls >> st.slot >> value))
+            if (!(ls >> op.slot >> value))
                 return fail(err, lineNo,
-                            "expected 'store SLOT VALUE'");
-            if (st.slot >= p.slotsPerThread)
+                            "expected '" + word + " SLOT VALUE'");
+            if (word == "sstore") {
+                if (version < 2)
+                    return fail(err, lineNo,
+                                "'sstore' needs a format-2 header");
+                op.kind = ProgOpKind::SharedStore;
+                if (op.slot >= p.sharedSlots)
+                    return fail(err, lineNo,
+                                "shared slot out of range");
+            } else if (op.slot >= p.slotsPerThread) {
                 return fail(err, lineNo, "store slot out of range");
-            char *endp = nullptr;
-            st.value = std::strtoull(value.c_str(), &endp, 0);
-            if (endp == value.c_str() || *endp != '\0')
+            }
+            if (!parseValue(value, &op.value))
                 return fail(err, lineNo, "bad store value");
-            p.txs.back().stores.push_back(st);
+            p.txs.back().ops.push_back(op);
+        } else if (word == "load" || word == "sload") {
+            if (version < 2)
+                return fail(err, lineNo,
+                            "'" + word + "' needs a format-2 header");
+            if (p.txs.empty())
+                return fail(err, lineNo, "load before any tx");
+            ProgOp op;
+            if (!(ls >> op.slot))
+                return fail(err, lineNo,
+                            "expected '" + word + " SLOT'");
+            if (word == "sload") {
+                op.kind = ProgOpKind::SharedLoad;
+                if (op.slot >= p.sharedSlots)
+                    return fail(err, lineNo,
+                                "shared slot out of range");
+            } else {
+                op.kind = ProgOpKind::Load;
+                if (op.slot >= p.slotsPerThread)
+                    return fail(err, lineNo,
+                                "load slot out of range");
+            }
+            p.txs.back().ops.push_back(op);
         } else if (word == "end") {
             sawEnd = true;
         } else {
@@ -126,8 +196,8 @@ parseProgram(const std::string &text, Program *out, std::string *err)
                                          "'");
         }
     }
-    if (!sawHeader)
-        return fail(err, lineNo, "missing 'snfprog 1' header");
+    if (version == 0)
+        return fail(err, lineNo, "missing 'snfprog' header");
     if (!sawEnd)
         return fail(err, lineNo, "missing 'end'");
     *out = p;

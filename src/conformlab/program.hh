@@ -1,17 +1,20 @@
 /**
  * @file
  * conformlab program representation: a nested-free sequence of
- * persistent-memory transactions (begin / store* / commit-or-abort)
+ * persistent-memory transactions (begin / ops / commit-or-abort)
  * over a slotted heap, plus the deterministic `.snfprog` text
  * serialization every failure repro is written in.
  *
- * The heap is partitioned per thread: thread t owns slots
- * [t*slotsPerThread, (t+1)*slotsPerThread). Disjoint partitions are
- * what make the pure oracle well-defined — the final image is
- * independent of cross-thread commit order, so three backends with
- * different timing can be compared field-by-field (the same
- * restriction the distributed-log extension documents: shared
- * addresses across partitions cannot be ordered at recovery).
+ * The heap has two regions. Private slots are partitioned per
+ * thread — thread t owns slots [t*slotsPerThread,
+ * (t+1)*slotsPerThread) — and behave like format v1: the final
+ * private image is independent of cross-thread commit order. The
+ * optional *shared* region (format v2) is addressable by every
+ * thread through the sstore/sload ops; transactions touching it
+ * contend on the same cache lines, so runs need a CC scheme
+ * (PersistConfig::ccMode) and correctness is judged by the
+ * commit-order serializability oracle (oracle.hh) instead of
+ * per-thread prefixes.
  */
 
 #ifndef SNF_CONFORMLAB_PROGRAM_HH
@@ -24,20 +27,50 @@
 namespace snf::conformlab
 {
 
-/** One 64-bit store to a slot of the owning thread's partition. */
-struct ProgStore
+/** What one transaction operation does (ProgOp). */
+enum class ProgOpKind : std::uint8_t
 {
-    std::uint32_t slot = 0; ///< index within the thread's partition
+    Store,       ///< 64-bit store to a private slot
+    Load,        ///< 64-bit load of a private slot
+    SharedStore, ///< 64-bit store to a shared slot
+    SharedLoad,  ///< 64-bit load of a shared slot
+};
+
+/**
+ * One transaction operation. @c slot indexes the owning thread's
+ * partition for private ops and the shared region for shared ops;
+ * @c value is meaningful for stores only. The field order (and the
+ * defaulted kind) keeps v1-style `{slot, value}` aggregate
+ * initialization meaning a private store.
+ */
+struct ProgOp
+{
+    std::uint32_t slot = 0;
     std::uint64_t value = 0;
+    ProgOpKind kind = ProgOpKind::Store;
 
     bool
-    operator==(const ProgStore &o) const
+    isLoad() const
     {
-        return slot == o.slot && value == o.value;
+        return kind == ProgOpKind::Load ||
+               kind == ProgOpKind::SharedLoad;
+    }
+
+    bool
+    isShared() const
+    {
+        return kind == ProgOpKind::SharedStore ||
+               kind == ProgOpKind::SharedLoad;
+    }
+
+    bool
+    operator==(const ProgOp &o) const
+    {
+        return slot == o.slot && value == o.value && kind == o.kind;
     }
 };
 
-/** One transaction: begin, the stores, then commit or abort. */
+/** One transaction: begin, the ops, then commit or abort. */
 struct ProgTx
 {
     std::uint32_t thread = 0;
@@ -46,13 +79,13 @@ struct ProgTx
     /** Compute ticks burned before tx_begin — scheduler-interleaving
      *  jitter, part of the program so replays are exact. */
     std::uint32_t delay = 0;
-    std::vector<ProgStore> stores;
+    std::vector<ProgOp> ops;
 
     bool
     operator==(const ProgTx &o) const
     {
         return thread == o.thread && aborts == o.aborts &&
-               delay == o.delay && stores == o.stores;
+               delay == o.delay && ops == o.ops;
     }
 };
 
@@ -61,12 +94,18 @@ struct Program
 {
     std::uint32_t threads = 1;
     std::uint32_t slotsPerThread = 16;
+    /** Slots in the shared conflict region (0 = none, format v1). */
+    std::uint32_t sharedSlots = 0;
     /** Generator seed (provenance only; replay never re-generates). */
     std::uint64_t seed = 0;
     /** Program order; the per-thread subsequences are what execute. */
     std::vector<ProgTx> txs;
 
-    std::uint32_t totalSlots() const { return threads * slotsPerThread; }
+    /** Private slots, all threads. */
+    std::uint32_t privateSlots() const { return threads * slotsPerThread; }
+
+    /** Private + shared slots (the heap footprint). */
+    std::uint32_t totalSlots() const { return privateSlots() + sharedSlots; }
 
     /** Global slot index of (thread, slot-in-partition). */
     std::uint32_t
@@ -75,9 +114,30 @@ struct Program
         return thread * slotsPerThread + slot;
     }
 
+    /** Global slot index of shared slot @p idx. */
+    std::uint32_t
+    sharedGlobalSlot(std::uint32_t idx) const
+    {
+        return privateSlots() + idx;
+    }
+
+    /** Global slot index an op of @p thread addresses. */
+    std::uint32_t
+    globalSlotOf(std::uint32_t thread, const ProgOp &op) const
+    {
+        return op.isShared() ? sharedGlobalSlot(op.slot)
+                             : globalSlot(thread, op.slot);
+    }
+
+    /** Does any transaction touch the shared region? */
+    bool hasConflicts() const { return sharedSlots != 0; }
+
+    /** Does any transaction load (needs format v2)? */
+    bool hasLoads() const;
+
     /**
      * Operation count used by the shrinker's reporting: one for each
-     * begin, store, and commit/abort.
+     * begin, op, and commit/abort.
      */
     std::size_t operationCount() const;
 
@@ -85,7 +145,8 @@ struct Program
     operator==(const Program &o) const
     {
         return threads == o.threads &&
-               slotsPerThread == o.slotsPerThread && txs == o.txs;
+               slotsPerThread == o.slotsPerThread &&
+               sharedSlots == o.sharedSlots && txs == o.txs;
     }
 };
 
@@ -99,13 +160,17 @@ initValue(std::uint32_t globalSlot)
     return 0x1000u + globalSlot;
 }
 
-/** Serialize to the `.snfprog` text format (deterministic). */
+/**
+ * Serialize to the `.snfprog` text format (deterministic). Programs
+ * using only private stores emit format 1, byte-identical to the
+ * pre-shared-region writer; shared ops or loads emit format 2.
+ */
 std::string emitProgram(const Program &p);
 
 /**
- * Parse a `.snfprog` document. Returns false and sets @p err on
- * malformed input (unknown directive, out-of-range thread/slot,
- * missing end marker).
+ * Parse a `.snfprog` document (formats 1 and 2). Returns false and
+ * sets @p err on malformed input (unknown directive, out-of-range
+ * thread/slot, v2 ops under a v1 header, missing end marker).
  */
 bool parseProgram(const std::string &text, Program *out,
                   std::string *err);

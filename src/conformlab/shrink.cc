@@ -10,17 +10,25 @@ namespace snf::conformlab
 namespace
 {
 
-/** Renumber threads/slots after reductions left gaps. */
+/** Renumber threads and trim slot regions after reductions. */
 Program
 normalize(Program p)
 {
     std::vector<std::uint32_t> threadMap(p.threads, 0);
     std::vector<bool> threadUsed(p.threads, false);
     std::uint32_t maxSlot = 0;
+    std::uint32_t maxShared = 0;
+    bool anyShared = false;
     for (const ProgTx &tx : p.txs) {
         threadUsed[tx.thread] = true;
-        for (const ProgStore &st : tx.stores)
-            maxSlot = std::max(maxSlot, st.slot);
+        for (const ProgOp &op : tx.ops) {
+            if (op.isShared()) {
+                maxShared = std::max(maxShared, op.slot);
+                anyShared = true;
+            } else {
+                maxSlot = std::max(maxSlot, op.slot);
+            }
+        }
     }
     std::uint32_t next = 0;
     for (std::uint32_t t = 0; t < p.threads; ++t)
@@ -35,6 +43,9 @@ normalize(Program p)
         std::min<std::uint32_t>(p.slotsPerThread, maxSlot + 1);
     if (p.slotsPerThread == 0)
         p.slotsPerThread = 1;
+    p.sharedSlots = anyShared ? std::min<std::uint32_t>(
+                                    p.sharedSlots, maxShared + 1)
+                              : 0;
     return p;
 }
 
@@ -99,20 +110,19 @@ dropTxs(Program &p, Shrinker &sh)
     return any;
 }
 
-/** Drop stores inside each surviving transaction, one at a time. */
+/** Drop ops inside each surviving transaction, one at a time. */
 bool
-dropStores(Program &p, Shrinker &sh)
+dropOps(Program &p, Shrinker &sh)
 {
     bool any = false;
     for (std::size_t i = 0; i < p.txs.size() && sh.budgetLeft();
          ++i) {
         for (std::size_t s = 0;
-             s < p.txs[i].stores.size() && sh.budgetLeft();) {
-            if (p.txs[i].stores.size() == 1)
+             s < p.txs[i].ops.size() && sh.budgetLeft();) {
+            if (p.txs[i].ops.size() == 1)
                 break; // keep transactions non-empty
             Program cand = p;
-            cand.txs[i].stores.erase(cand.txs[i].stores.begin() +
-                                     s);
+            cand.txs[i].ops.erase(cand.txs[i].ops.begin() + s);
             if (sh.fails(cand)) {
                 p = cand;
                 any = true;
@@ -140,14 +150,16 @@ simplify(Program &p, Shrinker &sh)
             }
         }
         for (std::size_t s = 0;
-             s < p.txs[i].stores.size() && sh.budgetLeft(); ++s) {
+             s < p.txs[i].ops.size() && sh.budgetLeft(); ++s) {
+            if (p.txs[i].ops[s].isLoad())
+                continue; // loads carry no value to narrow
             for (std::uint64_t narrow :
                  {std::uint64_t(1),
-                  std::uint64_t(p.txs[i].stores[s].slot + 1)}) {
-                if (p.txs[i].stores[s].value == narrow)
+                  std::uint64_t(p.txs[i].ops[s].slot + 1)}) {
+                if (p.txs[i].ops[s].value == narrow)
                     continue;
                 Program cand = p;
-                cand.txs[i].stores[s].value = narrow;
+                cand.txs[i].ops[s].value = narrow;
                 if (sh.fails(cand)) {
                     p = cand;
                     any = true;
@@ -173,7 +185,7 @@ shrinkProgram(const Program &p,
     while (progress && sh.budgetLeft()) {
         progress = false;
         progress |= dropTxs(best, sh);
-        progress |= dropStores(best, sh);
+        progress |= dropOps(best, sh);
         progress |= simplify(best, sh);
     }
     return normalize(best);

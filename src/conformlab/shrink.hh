@@ -6,9 +6,10 @@
  * caller's still-fails predicate:
  *
  *   1. drop transactions (ddmin-style chunk bisection, then singles)
- *   2. drop stores within the surviving transactions
+ *   2. drop ops within the surviving transactions
  *   3. narrow store values to small canonical constants
- *   4. strip delays, unused threads, and unused slots
+ *   4. strip delays, unused threads, and unused slots (private and
+ *      shared regions trimmed independently)
  *
  * The result is a deterministic fixpoint (subject to the evaluation
  * budget) suitable for writing out as a `.snfprog` repro.

@@ -67,10 +67,17 @@ System::System(const SystemConfig &config, PersistMode m)
             return memory->clwb(0, addr, now);
         });
         region->setAbortRequestSink([this](std::uint64_t seq) {
+            // Rollback needs in-log undo values: under redo-only
+            // modes a victim could never honor the request (tx_abort
+            // asserts), so deny it and let the append fall back to
+            // the stall path.
+            if (!supportsAbort(persistMode))
+                return false;
             return txnTracker.requestAbort(seq);
         });
     }
     txnTracker.setAbortRetryCap(cfg.persist.abortRetryCap);
+    txnTracker.setCcMode(cfg.persist.ccMode);
 
     if (isHardwareLogging(persistMode)) {
         std::vector<persist::LogBuffer *> buf_ptrs;
@@ -287,6 +294,9 @@ System::collectStats(Tick cycles) const
         s.forcedWritebacks += region->forcedWritebacks.value();
     }
     s.logFullEscalations = txnTracker.abortEscalations.value();
+    s.ccLockWaits = txnTracker.lockWaits.value();
+    s.ccDeadlockAborts = txnTracker.deadlockAborts.value();
+    s.ccValidationFailures = txnTracker.validationFailures.value();
     s.remappedLines = nv.remappedLines.value();
     if (scrubber) {
         s.scrubSlotsScanned = scrubber->slotsScanned.value();

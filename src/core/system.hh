@@ -86,6 +86,11 @@ struct RunStats
      *  stall-style waiting). */
     std::uint64_t logFullEscalations = 0;
 
+    // Concurrency-control layer (zero unless PersistConfig::ccMode).
+    std::uint64_t ccLockWaits = 0;
+    std::uint64_t ccDeadlockAborts = 0;
+    std::uint64_t ccValidationFailures = 0;
+
     // NVRAM media faults injected by the fault model (zero unless
     // MemDeviceConfig::faults is enabled).
     std::uint64_t faultsInjected = 0;

@@ -33,6 +33,17 @@ logFullPolicyName(LogFullPolicy policy)
     return "?";
 }
 
+const char *
+ccModeName(CcMode mode)
+{
+    switch (mode) {
+      case CcMode::None:     return "none";
+      case CcMode::TwoPhase: return "2pl";
+      case CcMode::Tl2:      return "tl2";
+    }
+    return "?";
+}
+
 bool
 isHardwareLogging(PersistMode mode)
 {

@@ -207,6 +207,41 @@ enum class LogFullPolicy
 /** Printable name of a LogFullPolicy. */
 const char *logFullPolicyName(LogFullPolicy policy);
 
+/**
+ * Concurrency control over shared transactional data (the tx_load64 /
+ * tx_store64 thread API). The paper's evaluation keeps transaction
+ * footprints thread-disjoint, so the seed workloads ran without any
+ * CC; workloads that contend on cache lines must pick a scheme, since
+ * in-place updates with steal mean two writers to one line would
+ * corrupt each other's undo values.
+ */
+enum class CcMode
+{
+    /**
+     * No concurrency control: tx_store64/tx_load64 degenerate to the
+     * plain ops. Only sound for thread-disjoint footprints.
+     */
+    None,
+    /**
+     * Strict two-phase locking at cache-line granularity: reads and
+     * writes take the line's exclusive lock at encounter time and
+     * hold it to commit/abort. A lock wait that would close a cycle
+     * in the waits-for graph aborts the requester (deadlock
+     * avoidance with guaranteed progress).
+     */
+    TwoPhase,
+    /**
+     * TL2-style optimistic reads: writes still take encounter-time
+     * exclusive line locks (steal makes that mandatory), but reads
+     * only record the line's commit version and revalidate at
+     * commit, diverting to tx_abort() on conflict.
+     */
+    Tl2,
+};
+
+/** Printable name of a CcMode. */
+const char *ccModeName(CcMode mode);
+
 /** Persistence machinery parameters (Sections III and IV). */
 struct PersistConfig
 {
@@ -264,6 +299,13 @@ struct PersistConfig
      * TxnTracker's escalations stat). 0 disables the cap.
      */
     std::uint32_t abortRetryCap = 8;
+
+    /** Concurrency control for the tx_load64/tx_store64 API. */
+    CcMode ccMode = CcMode::None;
+    /** CC acquire-retry backoff in instructions (doubles per try). */
+    std::uint32_t ccBackoffBase = 8;
+    /** Cap on the CC acquire-retry backoff. */
+    std::uint32_t ccBackoffCap = 1024;
 
     /**
      * Online log scrubber (lifelab): piggybacks on the FWB cadence

@@ -15,21 +15,11 @@ namespace
 /** Library-call overhead of tx_begin/tx_commit, in instructions. */
 constexpr std::uint64_t kTxLibraryInstructions = 8;
 
-/** Modes whose log records carry undo values (can roll back). */
-bool
-modeHasUndo(PersistMode m)
-{
-    switch (m) {
-      case PersistMode::UnsafeUndo:
-      case PersistMode::UndoClwb:
-      case PersistMode::HwUlog:
-      case PersistMode::Hwl:
-      case PersistMode::Fwb:
-        return true;
-      default:
-        return false;
-    }
-}
+/** Lock-table probe cost of one CC acquire, in instructions. */
+constexpr std::uint64_t kCcAcquireInstructions = 2;
+
+/** TL2 validation cost per read-set entry, in instructions. */
+constexpr std::uint64_t kCcValidateInstructions = 2;
 
 } // namespace
 
@@ -201,11 +191,20 @@ Thread::execTxCommit()
     SNF_ASSERT(inTx, "commit outside transaction on core %u",
                ctx.id());
 
-    if (sys.txns().abortRequested(txSeq)) {
-        // The log-full abort-retry policy marked this transaction a
-        // victim while it was appending; divert the commit into a
-        // rollback. The workload observes lastTxAborted() and may
-        // retry the transaction.
+    // TL2 validation work is charged whether it passes or not.
+    if (std::size_t rs = sys.txns().readSetSize(txSeq)) {
+        std::uint64_t n = kCcValidateInstructions * rs;
+        ctx.instr.total += n;
+        ctx.instr.txOverhead += n;
+        ctx.retireCompute(n);
+    }
+    if (sys.txns().abortRequested(txSeq) ||
+        !sys.txns().validateReads(txSeq)) {
+        // Either the log-full abort-retry policy marked this
+        // transaction a victim while it was appending, or TL2
+        // commit validation found a stale read version; divert the
+        // commit into a rollback. The workload observes
+        // lastTxAborted() and may retry the transaction.
         execTxAbort();
         return;
     }
@@ -250,27 +249,35 @@ Thread::execTxAbort()
         sys.probe()(sim::ProbeEvent::TxAbort, ctx.localTime, txSeq);
     lastAborted = true;
 
-    if (modeHasUndo(sys.mode())) {
-        // Roll back through the log (paper Section IV-A tx_abort):
-        // read this transaction's undo values back from the drained
-        // log window and write them as compensating stores, newest
-        // first. The stores go through the normal transactional
-        // store path, so they are themselves logged (undo-of-undo)
-        // and a crash mid-rollback still recovers to a consistent
-        // state.
-        ctx.localTime =
-            std::max(ctx.localTime, sys.drainLogs(ctx.localTime));
-        for (const auto &e : sys.collectUndo(txSeq))
-            execStore(e.addr, e.size, e.undo);
-        // Close the generation with an ordinary commit record:
-        // replaying original-then-compensating updates in log order
-        // reproduces the rolled-back state, so recovery needs no
-        // special abort handling.
-        writeCommitRecord();
-    }
-    // Redo-only modes cannot roll back in place (the very limitation
-    // motivating combined undo+redo logging, Section II-B): leave
-    // the generation uncommitted so recovery discards it.
+    // Rollback needs in-log undo values. Redo-only and
+    // non-persistent modes have none (the very limitation motivating
+    // combined undo+redo logging, Section II-B): dropping the
+    // transaction would leave its stolen stores in place, so fail
+    // loudly instead of corrupting. Workloads must gate aborting
+    // transactions on supportsAbort(), and the log-full AbortRetry
+    // policy never victimizes transactions under these modes.
+    SNF_ASSERT(supportsAbort(sys.mode()),
+               "tx_abort on core %u under mode %s: no undo values "
+               "to roll back with",
+               ctx.id(), persistModeName(sys.mode()));
+
+    // Roll back through the log (paper Section IV-A tx_abort): read
+    // this transaction's undo values back from the drained log
+    // window and write them as compensating stores, newest first.
+    // The stores go through the normal transactional store path, so
+    // they are themselves logged (undo-of-undo) and a crash
+    // mid-rollback still recovers to a consistent state. The
+    // compensated lines are all write-locked by this transaction
+    // under a CC mode, so the stores cannot race a concurrent owner.
+    ctx.localTime =
+        std::max(ctx.localTime, sys.drainLogs(ctx.localTime));
+    for (const auto &e : sys.collectUndo(txSeq))
+        execStore(e.addr, e.size, e.undo);
+    // Close the generation with an ordinary commit record: replaying
+    // original-then-compensating updates in log order reproduces the
+    // rolled-back state, so recovery needs no special abort
+    // handling.
+    writeCommitRecord();
 
     sys.txns().abort(txSeq);
     inTx = false;
@@ -301,6 +308,64 @@ Thread::execCas(Addr a, std::uint64_t expected, std::uint64_t desired)
         ctx.noteStoreDrain(sr.done);
     }
     return old_val;
+}
+
+persist::CcDecision
+Thread::execCcAcquire(Addr a, bool forWrite)
+{
+    // The lock-table probe models as a couple of ALU ops; the wait
+    // itself is the caller's backoff compute.
+    ctx.instr.total += kCcAcquireInstructions;
+    ctx.instr.txOverhead += kCcAcquireInstructions;
+    ctx.retireCompute(kCcAcquireInstructions);
+    return sys.txns().acquireLine(txSeq, sys.mem().lineOf(a),
+                                  forWrite);
+}
+
+sim::Co<bool>
+Thread::ccAcquire(Addr a, bool forWrite)
+{
+    if (sys.txns().ccMode() == CcMode::None || !inTx ||
+        !sys.config().map.isNvram(a))
+        co_return true;
+    std::uint32_t backoff = sys.config().persist.ccBackoffBase;
+    for (;;) {
+        persist::CcDecision d =
+            co_await CcAcquireOp(this, a, forWrite);
+        if (d == persist::CcDecision::Granted)
+            co_return true;
+        if (d == persist::CcDecision::Abort)
+            co_return false;
+        // Holder still running: back off (thread-salted so two
+        // symmetric waiters don't reprobe in lockstep) and retry.
+        co_await compute(backoff + ctx.id());
+        backoff = std::min<std::uint32_t>(
+            backoff * 2, sys.config().persist.ccBackoffCap);
+    }
+}
+
+sim::Co<bool>
+Thread::txStore64(Addr a, std::uint64_t v)
+{
+    // The await must be hoisted out of the if condition: awaiting a
+    // Co<> temporary inside a condition miscompiles under GCC 12's
+    // coroutine lowering (the child frame resumes at a bogus suspend
+    // index and the op never parks).
+    bool granted = co_await ccAcquire(a, true);
+    if (!granted)
+        co_return false;
+    co_await store64(a, v);
+    co_return true;
+}
+
+sim::Co<bool>
+Thread::txLoad64(Addr a, std::uint64_t *out)
+{
+    bool granted = co_await ccAcquire(a, false); // see txStore64
+    if (!granted)
+        co_return false;
+    *out = co_await load64(a);
+    co_return true;
 }
 
 sim::Co<void>

@@ -168,6 +168,19 @@ class Thread
         void execute() override { t->execFence(); }
     };
 
+    struct CcAcquireOp : OpAwaiter<CcAcquireOp, persist::CcDecision>
+    {
+        Addr addr;
+        bool forWrite;
+
+        CcAcquireOp(Thread *t, Addr a, bool w)
+            : OpAwaiter(t), addr(a), forWrite(w)
+        {
+        }
+
+        void run() { result = t->execCcAcquire(addr, forWrite); }
+    };
+
     struct CasOp : OpAwaiter<CasOp, std::uint64_t>
     {
         Addr addr;
@@ -207,10 +220,12 @@ class Thread
 
     /**
      * tx_abort(): roll the transaction back via its in-log undo
-     * values and discard it. Under redo-only modes there is nothing
-     * to roll back with (the limitation motivating combined
-     * undo+redo logging, paper Section II-B); the transaction is
-     * then merely dropped from the tracker.
+     * values and discard it. Only legal when supportsAbort(mode):
+     * redo-only and non-persistent modes have no undo values to roll
+     * back with (the limitation motivating combined undo+redo
+     * logging, paper Section II-B), so awaiting this under one of
+     * them panics instead of silently leaving the stolen stores in
+     * place.
      */
     TxAbortOp txAbort() { return TxAbortOp(this); }
 
@@ -237,6 +252,28 @@ class Thread
         return CasOp(this, a, expected, desired);
     }
 
+    // ----- concurrency-controlled transactional accesses ---------
+
+    /**
+     * Transactional 64-bit store under the configured CC scheme
+     * (PersistConfig::ccMode): acquires the line's exclusive lock at
+     * encounter time (retrying with bounded exponential backoff
+     * while another transaction holds it), then performs the store.
+     * Returns false when waiting would deadlock — the transaction
+     * must then roll back via txAbort() and may retry from
+     * tx_begin. With CC disabled this is exactly store64().
+     */
+    sim::Co<bool> txStore64(Addr a, std::uint64_t v);
+
+    /**
+     * Transactional 64-bit load into @p out. Under 2PL the line's
+     * exclusive lock is taken like a write; under TL2 the line's
+     * commit version is recorded instead and revalidated at
+     * txCommit(), which diverts to rollback on conflict. Returns
+     * false when waiting would deadlock (see txStore64).
+     */
+    sim::Co<bool> txLoad64(Addr a, std::uint64_t *out);
+
     /** Multi-word load into @p out (splits at 8-byte boundaries). */
     sim::Co<void> loadBytes(Addr a, void *out, std::uint32_t len);
 
@@ -252,8 +289,12 @@ class Thread
   private:
     friend class System;
 
+    /** The CC acquire loop shared by txStore64/txLoad64. */
+    sim::Co<bool> ccAcquire(Addr a, bool forWrite);
+
     std::uint64_t execLoad(Addr a, std::uint32_t size);
     void execStore(Addr a, std::uint32_t size, std::uint64_t v);
+    persist::CcDecision execCcAcquire(Addr a, bool forWrite);
     void execCompute(std::uint64_t n);
     void execTxBegin();
     void execTxCommit();

@@ -11,7 +11,11 @@ TxnTracker::TxnTracker()
       committed(statGroup.counter("committed")),
       aborted(statGroup.counter("aborted")),
       abortRequests(statGroup.counter("abort_requests")),
-      abortEscalations(statGroup.counter("abort_escalations"))
+      abortEscalations(statGroup.counter("abort_escalations")),
+      lockAcquires(statGroup.counter("cc_lock_acquires")),
+      lockWaits(statGroup.counter("cc_lock_waits")),
+      deadlockAborts(statGroup.counter("cc_deadlock_aborts")),
+      validationFailures(statGroup.counter("cc_validation_failures"))
 {
 }
 
@@ -35,6 +39,7 @@ TxnTracker::commit(std::uint64_t seq)
     // A successful commit proves the thread is making progress:
     // reset its victim streak.
     victimStreaks.erase(it->second.thread);
+    releaseCc(it->second, seq, true);
     active.erase(it);
     committed.inc();
 }
@@ -47,6 +52,7 @@ TxnTracker::abort(std::uint64_t seq)
         return;
     if (it->second.abortRequested)
         ++victimStreaks[it->second.thread];
+    releaseCc(it->second, seq, false);
     active.erase(it);
     aborted.inc();
 }
@@ -120,6 +126,123 @@ TxnTracker::writeSet(std::uint64_t seq) const
 {
     auto it = active.find(seq);
     return it == active.end() ? emptySet : it->second.writeLines;
+}
+
+CcDecision
+TxnTracker::acquireLine(std::uint64_t seq, Addr line, bool forWrite)
+{
+    SNF_ASSERT(ccModeV != CcMode::None,
+               "CC acquire with concurrency control disabled");
+    auto it = active.find(seq);
+    SNF_ASSERT(it != active.end(), "CC acquire in unknown txn %llu",
+               static_cast<unsigned long long>(seq));
+    Txn &txn = it->second;
+    if (txn.abortRequested)
+        return CcDecision::Abort; // doomed already; don't queue up
+
+    auto own = lockOwner.find(line);
+    if (own != lockOwner.end() && own->second != seq) {
+        // Held by someone else. Park on the waits-for edge unless
+        // that would close a cycle.
+        waitsFor[seq] = own->second;
+        if (wouldDeadlock(seq)) {
+            waitsFor.erase(seq);
+            deadlockAborts.inc();
+            return CcDecision::Abort;
+        }
+        lockWaits.inc();
+        return CcDecision::Wait;
+    }
+    waitsFor.erase(seq);
+
+    if (forWrite || ccModeV == CcMode::TwoPhase) {
+        if (own == lockOwner.end()) {
+            lockOwner.emplace(line, seq);
+            txn.locksHeld.push_back(line);
+            lockAcquires.inc();
+        }
+    } else {
+        // TL2 read of an unlocked (or self-locked) line: record the
+        // version seen at first read for commit-time validation.
+        if (txn.readSeen.insert(line).second)
+            txn.readSet.emplace_back(line, lineVersion(line));
+    }
+    return CcDecision::Granted;
+}
+
+bool
+TxnTracker::wouldDeadlock(std::uint64_t seq) const
+{
+    // Each transaction has at most one outgoing waits-for edge, so
+    // the reachable set is a chain; a cycle through the new edge must
+    // lead back to the requester.
+    auto it = waitsFor.find(seq);
+    std::size_t hops = 0;
+    while (it != waitsFor.end() && hops++ <= active.size()) {
+        if (it->second == seq)
+            return true;
+        it = waitsFor.find(it->second);
+    }
+    return false;
+}
+
+bool
+TxnTracker::validateReads(std::uint64_t seq)
+{
+    auto it = active.find(seq);
+    if (it == active.end())
+        return true;
+    for (const auto &[line, version] : it->second.readSet) {
+        auto own = lockOwner.find(line);
+        if (own != lockOwner.end() && own->second != seq) {
+            validationFailures.inc();
+            return false;
+        }
+        if (lineVersion(line) != version) {
+            validationFailures.inc();
+            return false;
+        }
+    }
+    return true;
+}
+
+std::size_t
+TxnTracker::readSetSize(std::uint64_t seq) const
+{
+    auto it = active.find(seq);
+    return it == active.end() ? 0 : it->second.readSet.size();
+}
+
+std::uint64_t
+TxnTracker::lineVersion(Addr line) const
+{
+    auto it = lineVersions.find(line);
+    return it == lineVersions.end() ? 0 : it->second;
+}
+
+std::uint64_t
+TxnTracker::lockOwnerOf(Addr line) const
+{
+    auto it = lockOwner.find(line);
+    return it == lockOwner.end() ? 0 : it->second;
+}
+
+void
+TxnTracker::releaseCc(const Txn &txn, std::uint64_t seq,
+                      bool committing)
+{
+    if (committing && ccModeV != CcMode::None) {
+        // Bump the written lines' versions so TL2 readers with older
+        // versions fail validation.
+        for (Addr line : txn.writeLines)
+            lineVersions[line] = ++versionClock;
+    }
+    for (Addr line : txn.locksHeld) {
+        auto it = lockOwner.find(line);
+        if (it != lockOwner.end() && it->second == seq)
+            lockOwner.erase(it);
+    }
+    waitsFor.erase(seq);
 }
 
 } // namespace snf::persist

@@ -12,13 +12,23 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "core/system_config.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace snf::persist
 {
+
+/** Outcome of one CC line-acquire attempt (see acquireLine). */
+enum class CcDecision
+{
+    Granted, ///< proceed with the access
+    Wait,    ///< line held by another transaction; back off and retry
+    Abort,   ///< waiting would deadlock (or tx already doomed): roll back
+};
 
 /** See file comment. */
 class TxnTracker
@@ -86,6 +96,41 @@ class TxnTracker
 
     std::size_t activeCount() const { return active.size(); }
 
+    // ----- concurrency control (the CC layer) --------------------
+
+    /** Select the CC scheme; None (the default) disables the layer. */
+    void setCcMode(CcMode m) { ccModeV = m; }
+
+    CcMode ccMode() const { return ccModeV; }
+
+    /**
+     * One encounter-time acquire of @p line by transaction @p seq.
+     * Writes (and 2PL reads) take the line's exclusive lock, held to
+     * commit/abort. A conflicting holder yields Wait — unless parking
+     * this waiter would close a cycle in the waits-for graph, in
+     * which case the *requester* gets Abort (deterministic deadlock
+     * avoidance: the holder keeps running, so progress is
+     * guaranteed). TL2 reads of unlocked lines record the line's
+     * commit version for validateReads() instead of locking.
+     */
+    CcDecision acquireLine(std::uint64_t seq, Addr line, bool forWrite);
+
+    /**
+     * TL2 commit-time validation: every read line must still carry
+     * the version it had at first read and must not be write-locked
+     * by another transaction. Trivially true outside Tl2 mode.
+     */
+    bool validateReads(std::uint64_t seq);
+
+    /** Recorded TL2 read-set size (validation cost modeling). */
+    std::size_t readSetSize(std::uint64_t seq) const;
+
+    /** Commit version of @p line (bumped by each committed writer). */
+    std::uint64_t lineVersion(Addr line) const;
+
+    /** Owning transaction of @p line's lock (0 = unlocked). */
+    std::uint64_t lockOwnerOf(Addr line) const;
+
     sim::StatGroup &stats() { return statGroup; }
 
   private:
@@ -96,13 +141,33 @@ class TxnTracker
         std::unordered_set<Addr> seen;
         std::uint32_t logRecords = 0;
         bool abortRequested = false;
+        /** Line locks held (2PL reads + all-mode writes). */
+        std::vector<Addr> locksHeld;
+        /** TL2 read-set: (line, version at first read). */
+        std::vector<std::pair<Addr, std::uint64_t>> readSet;
+        std::unordered_set<Addr> readSeen;
     };
+
+    /** Would parking @p seq on its waitsFor edge close a cycle? */
+    bool wouldDeadlock(std::uint64_t seq) const;
+
+    /** Drop locks, the waits-for edge and (on commit) bump the
+     *  versions of the written lines. */
+    void releaseCc(const Txn &txn, std::uint64_t seq, bool committing);
 
     std::uint64_t nextSeq = 1;
     std::unordered_map<std::uint64_t, Txn> active;
     std::vector<Addr> emptySet;
     std::uint32_t abortRetryCap = 0;
     std::unordered_map<CoreId, std::uint32_t> victimStreaks;
+    CcMode ccModeV = CcMode::None;
+    /** Line -> holding transaction sequence. */
+    std::unordered_map<Addr, std::uint64_t> lockOwner;
+    /** Waiter seq -> holder seq (at most one outgoing edge each). */
+    std::unordered_map<std::uint64_t, std::uint64_t> waitsFor;
+    /** Line -> commit version (absent = never committed-to). */
+    std::unordered_map<Addr, std::uint64_t> lineVersions;
+    std::uint64_t versionClock = 0;
     sim::StatGroup statGroup; // must precede the counter references
 
   public:
@@ -113,6 +178,12 @@ class TxnTracker
     /** Abort requests denied by the livelock guard (the log-full
      *  path escalated to stalling instead). */
     sim::Counter &abortEscalations;
+    sim::Counter &lockAcquires;
+    sim::Counter &lockWaits;
+    /** Requester self-aborts that broke a waits-for cycle. */
+    sim::Counter &deadlockAborts;
+    /** TL2 commit validations that failed (stale read versions). */
+    sim::Counter &validationFailures;
 };
 
 } // namespace snf::persist

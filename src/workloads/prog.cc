@@ -1,5 +1,7 @@
 #include "workloads/prog.hh"
 
+#include <algorithm>
+
 #include "conformlab/proggen.hh"
 #include "sim/logging.hh"
 
@@ -7,9 +9,17 @@ namespace snf::workloads
 {
 
 using conformlab::ModelOracle;
+using conformlab::ProgOp;
 using conformlab::Program;
-using conformlab::ProgStore;
 using conformlab::ProgTx;
+
+namespace
+{
+
+/** Abort-retry attempts per transaction before declaring livelock. */
+constexpr std::uint32_t kMaxTxAttempts = 200;
+
+} // namespace
 
 ProgWorkload::ProgWorkload(Program p)
     : prog(std::move(p)), fixedProgram(true)
@@ -28,16 +38,31 @@ ProgWorkload::setup(System &sys, const WorkloadParams &params)
         if (params.txPerThread != 0)
             gen.txPerThread =
                 static_cast<std::uint32_t>(params.txPerThread);
+        gen.conflictRate = params.conflictRate;
         prog = conformlab::generateProgram(params.seed, gen);
     }
     SNF_ASSERT(prog.threads == params.threads,
                "program has %u threads but the run spawns %u",
                prog.threads, params.threads);
-
+    // Deadlock aborts (CC) and TL2 validation failures both resolve
+    // through tx_abort's undo rollback; redo-only modes cannot run
+    // under a CC scheme.
+    SNF_ASSERT(sys.config().persist.ccMode == CcMode::None ||
+                   supportsAbort(sys.mode()),
+               "ccMode=%s needs rollback but mode %s cannot abort",
+               ccModeName(sys.config().persist.ccMode),
+               persistModeName(sys.mode()));
     model = std::make_unique<ModelOracle>(prog);
     txSeqs.assign(prog.txs.size(), 0);
+    readObs.assign(prog.txs.size(), {});
+    for (std::size_t i = 0; i < prog.txs.size(); ++i)
+        readObs[i].assign(prog.txs[i].ops.size(), 0);
+
     base = sys.heap().alloc(
-        static_cast<std::uint64_t>(prog.totalSlots()) * 8, 64);
+        static_cast<std::uint64_t>(prog.privateSlots()) * 8, 64);
+    if (prog.sharedSlots != 0)
+        sharedBase = sys.heap().alloc(
+            static_cast<std::uint64_t>(prog.sharedSlots) * 64, 64);
     for (std::uint32_t g = 0; g < prog.totalSlots(); ++g)
         sys.heap().prewrite64(slotAddr(g), conformlab::initValue(g));
 }
@@ -60,17 +85,44 @@ ProgWorkload::thread(System &sys, Thread &t,
             continue;
         if (tx.delay != 0)
             co_await t.compute(tx.delay);
-        co_await t.txBegin();
-        txSeqs[i] = t.currentTxSeq();
-        for (const ProgStore &st : tx.stores) {
-            co_await t.store64(
-                slotAddr(prog.globalSlot(tx.thread, st.slot)),
-                st.value);
+
+        std::uint32_t backoff = 16;
+        for (std::uint32_t attempt = 0;; ++attempt) {
+            SNF_ASSERT(attempt < kMaxTxAttempts,
+                       "tx %zu livelocked after %u abort-retries", i,
+                       kMaxTxAttempts);
+            co_await t.txBegin();
+            txSeqs[i] = t.currentTxSeq();
+
+            bool doomed = false;
+            for (std::size_t j = 0;
+                 j < tx.ops.size() && !doomed; ++j) {
+                const ProgOp &op = tx.ops[j];
+                Addr a = slotAddr(prog.globalSlotOf(tx.thread, op));
+                if (op.isLoad()) {
+                    std::uint64_t v = 0;
+                    doomed = !co_await t.txLoad64(a, &v);
+                    readObs[i][j] = v;
+                } else {
+                    doomed = !co_await t.txStore64(a, op.value);
+                }
+            }
+
+            if (doomed) {
+                // Deadlock victim: roll back, back off, retry.
+                co_await t.txAbort();
+            } else if (tx.aborts) {
+                co_await t.txAbort();
+                break;
+            } else {
+                co_await t.txCommit();
+                if (!t.lastTxAborted())
+                    break;
+                // Log-full victim or TL2 validation failure.
+            }
+            co_await t.compute(backoff + t.id());
+            backoff = std::min<std::uint32_t>(backoff * 2, 2048);
         }
-        if (tx.aborts)
-            co_await t.txAbort();
-        else
-            co_await t.txCommit();
     }
 }
 
@@ -93,6 +145,19 @@ ProgWorkload::verify(const mem::BackingStore &nvram,
                 *why = strfmt("thread %u partition matches no "
                               "committed prefix (0..%zu)",
                               t, m);
+            return false;
+        }
+    }
+    for (std::uint32_t s = 0; s < prog.sharedSlots; ++s) {
+        std::uint64_t v =
+            nvram.read64(slotAddr(prog.sharedGlobalSlot(s)));
+        const auto &cands = model->sharedCandidates(s);
+        if (std::find(cands.begin(), cands.end(), v) ==
+            cands.end()) {
+            if (why)
+                *why = strfmt("shared slot %u holds 0x%llx, not a "
+                              "candidate value of any committed tx",
+                              s, static_cast<unsigned long long>(v));
             return false;
         }
     }

@@ -30,6 +30,12 @@ struct WorkloadParams
     bool stringValues = false;
     /** Elements in the initial structure; 0 = workload default. */
     std::uint64_t footprint = 0;
+    /**
+     * Shared-data contention knob for program-driven workloads: the
+     * probability a generated op targets the shared conflict region
+     * (conformlab::ProgGenConfig::conflictRate). 0 = conflict-free.
+     */
+    double conflictRate = 0.0;
 };
 
 /** See file comment. */

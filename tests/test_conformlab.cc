@@ -64,9 +64,22 @@ TEST(Program, ParseRejectsMalformedDocuments)
     Program q;
     std::string err;
     EXPECT_FALSE(parseProgram("", &q, &err));
-    EXPECT_FALSE(parseProgram("snfprog 2\nthreads 1\nslots 1\nend\n",
+    EXPECT_FALSE(parseProgram("snfprog 3\nthreads 1\nslots 1\nend\n",
                               &q, &err))
         << "unknown version must be rejected";
+    // v2-only directives under a v1 header.
+    EXPECT_FALSE(parseProgram("snfprog 1\nthreads 1\nslots 2\n"
+                              "shared 2\nseed 0\nend\n",
+                              &q, &err));
+    EXPECT_FALSE(parseProgram("snfprog 1\nthreads 1\nslots 2\n"
+                              "seed 0\ntx 0 commit 0\n"
+                              "  load 0\nend\n",
+                              &q, &err));
+    // Shared op outside the declared shared region.
+    EXPECT_FALSE(parseProgram("snfprog 2\nthreads 1\nslots 2\n"
+                              "shared 1\nseed 0\ntx 0 commit 0\n"
+                              "  sstore 1 0x1\nend\n",
+                              &q, &err));
     // Store outside the owning thread's partition.
     EXPECT_FALSE(parseProgram("snfprog 1\nthreads 1\nslots 2\n"
                               "seed 0\ntx 0 commit 0\n"
@@ -95,6 +108,37 @@ TEST(Program, CorpusFilesLoadAndEmitBack)
         ASSERT_TRUE(parseProgram(emitProgram(p), &q, &err)) << err;
         EXPECT_EQ(p, q) << name;
     }
+}
+
+TEST(Program, StoreOnlyProgramsStillEmitFormatOne)
+{
+    // Pre-shared-region repro files must stay byte-stable: private
+    // store-only programs round-trip through format 1 exactly.
+    Program p = twoThreadProgram();
+    std::string text = emitProgram(p);
+    EXPECT_EQ(text.rfind("snfprog 1\n", 0), 0u) << text;
+    EXPECT_EQ(text.find("shared"), std::string::npos);
+}
+
+TEST(Program, SharedOpsAndLoadsRoundTripInFormatTwo)
+{
+    Program p = twoThreadProgram();
+    p.sharedSlots = 2;
+    p.txs[0].ops.push_back({1, 0x5, ProgOpKind::SharedStore});
+    p.txs[0].ops.push_back({0, 0, ProgOpKind::SharedLoad});
+    p.txs[1].ops.push_back({0, 0, ProgOpKind::Load});
+    std::string text = emitProgram(p);
+    EXPECT_EQ(text.rfind("snfprog 2\n", 0), 0u) << text;
+    EXPECT_NE(text.find("shared 2\n"), std::string::npos);
+    Program q;
+    std::string err;
+    ASSERT_TRUE(parseProgram(text, &q, &err)) << err;
+    EXPECT_EQ(p, q);
+    EXPECT_TRUE(q.hasConflicts());
+    EXPECT_TRUE(q.hasLoads());
+    // Shared slots live after every private partition.
+    EXPECT_EQ(q.sharedGlobalSlot(0), q.privateSlots());
+    EXPECT_EQ(q.totalSlots(), q.privateSlots() + 2);
 }
 
 // ---------------------------- oracle -----------------------------
@@ -184,9 +228,10 @@ TEST(ProgGen, ProgramsAreWellFormed)
         EXPECT_FALSE(p.txs.empty());
         for (const ProgTx &tx : p.txs) {
             EXPECT_LT(tx.thread, p.threads);
-            EXPECT_FALSE(tx.stores.empty());
-            for (const ProgStore &st : tx.stores)
-                EXPECT_LT(st.slot, p.slotsPerThread);
+            EXPECT_FALSE(tx.ops.empty());
+            for (const ProgOp &op : tx.ops)
+                EXPECT_LT(op.slot, op.isShared() ? p.sharedSlots
+                                                 : p.slotsPerThread);
         }
         // Round-trips through the repro format.
         Program q;
@@ -210,6 +255,141 @@ TEST(ProgGen, SomeSeedsAbortAndInterleave)
     EXPECT_TRUE(sawAbort);
     EXPECT_TRUE(sawMultiThread);
     EXPECT_TRUE(sawDelay);
+}
+
+namespace
+{
+
+/** Two txs contending on one shared slot; tx0 also reads it. */
+Program
+contendedProgram()
+{
+    Program p;
+    p.threads = 2;
+    p.slotsPerThread = 1;
+    p.sharedSlots = 1;
+    p.txs.push_back({0, false, 0,
+                     {{0, 0, ProgOpKind::SharedLoad},
+                      {0, 0xa1, ProgOpKind::SharedStore}}});
+    p.txs.push_back({1, false, 4,
+                     {{0, 0xb2, ProgOpKind::SharedStore}}});
+    return p;
+}
+
+} // namespace
+
+TEST(SerialOracle, ReplaysTheDurableCommitOrder)
+{
+    Program p = contendedProgram();
+    std::uint32_t g = p.sharedGlobalSlot(0);
+    // tx1's commit record hardened first: serial order is tx1, tx0.
+    SerialOracle o(p, {{0, 20, 18}, {1, 10, 8}});
+    ASSERT_EQ(o.order().size(), 2u);
+    EXPECT_EQ(o.order()[0].txIndex, 1u);
+    EXPECT_EQ(o.order()[1].txIndex, 0u);
+    std::vector<std::uint64_t> img = o.finalImage();
+    EXPECT_EQ(img[g], 0xa1u);
+
+    std::string why;
+    EXPECT_TRUE(o.checkFinalImage(img, &why)) << why;
+    img[g] = 0xb2;
+    EXPECT_FALSE(o.checkFinalImage(img, &why));
+    EXPECT_NE(why.find("commit-order replay"), std::string::npos);
+}
+
+TEST(SerialOracle, CheckReadsRequiresPredecessorState)
+{
+    Program p = contendedProgram();
+    std::string why;
+    {
+        // tx0 serialized first: its load must see the initial value.
+        SerialOracle o(p, {{0, 10, 8}, {1, 20, 18}});
+        EXPECT_TRUE(o.checkReads(
+            0, {initValue(p.sharedGlobalSlot(0)), 0}, &why))
+            << why;
+        EXPECT_FALSE(o.checkReads(0, {0xb2, 0}, &why));
+    }
+    {
+        // tx0 serialized second: its load must see tx1's 0xb2. A
+        // stale initial-value read is the classic lost update.
+        SerialOracle o(p, {{0, 20, 18}, {1, 10, 8}});
+        EXPECT_TRUE(o.checkReads(0, {0xb2, 0}, &why)) << why;
+        EXPECT_FALSE(o.checkReads(
+            0, {initValue(p.sharedGlobalSlot(0)), 0}, &why));
+        EXPECT_NE(why.find("loaded"), std::string::npos);
+    }
+}
+
+TEST(SerialOracle, CrashImagesMustMatchSomeDepthCombination)
+{
+    Program p = contendedProgram();
+    std::uint32_t g = p.sharedGlobalSlot(0);
+    SerialOracle o(p, {{0, 20, 18}, {1, 10, 8}});
+
+    std::vector<std::uint64_t> img(p.totalSlots());
+    for (std::uint32_t i = 0; i < p.totalSlots(); ++i)
+        img[i] = initValue(i);
+
+    std::string why;
+    // Before any commit record initiated: only the initial image.
+    EXPECT_TRUE(o.checkCrashImage(img, 5, &why)) << why;
+    img[g] = 0xb2;
+    EXPECT_FALSE(o.checkCrashImage(img, 5, &why));
+
+    // tx1 durable by 15, tx0 not yet initiated: exactly tx1's state.
+    EXPECT_TRUE(o.checkCrashImage(img, 15, &why)) << why;
+    img[g] = initValue(g);
+    EXPECT_FALSE(o.checkCrashImage(img, 15, &why))
+        << "a durable commit must not be lost";
+
+    // tx0's record initiated but not durable at 19: both depths OK.
+    img[g] = 0xb2;
+    EXPECT_TRUE(o.checkCrashImage(img, 19, &why)) << why;
+    img[g] = 0xa1;
+    EXPECT_TRUE(o.checkCrashImage(img, 19, &why)) << why;
+    img[g] = 0xdead;
+    EXPECT_FALSE(o.checkCrashImage(img, 19, &why));
+    EXPECT_NE(why.find("depth combinations"), std::string::npos);
+}
+
+TEST(ProgGen, DefaultConfigStaysConflictFree)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Program p = generateProgram(seed);
+        EXPECT_FALSE(p.hasConflicts());
+        EXPECT_FALSE(p.hasLoads());
+        EXPECT_EQ(emitProgram(p).rfind("snfprog 1\n", 0), 0u);
+    }
+}
+
+TEST(ProgGen, ConflictRateProducesSharedOpsAndLoads)
+{
+    ProgGenConfig gen;
+    gen.conflictRate = 0.5;
+    std::size_t sharedStores = 0, sharedLoads = 0, privateOps = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        Program p = generateProgram(seed, gen);
+        EXPECT_TRUE(p.hasConflicts());
+        EXPECT_GE(p.sharedSlots, 2u);
+        for (const ProgTx &tx : p.txs) {
+            for (const ProgOp &op : tx.ops) {
+                if (op.kind == ProgOpKind::SharedStore)
+                    ++sharedStores;
+                else if (op.kind == ProgOpKind::SharedLoad)
+                    ++sharedLoads;
+                else
+                    ++privateOps;
+            }
+        }
+        // Conflict structure survives the repro round-trip.
+        Program q;
+        std::string err;
+        ASSERT_TRUE(parseProgram(emitProgram(p), &q, &err)) << err;
+        EXPECT_EQ(p, q);
+    }
+    EXPECT_GT(sharedStores, 0u);
+    EXPECT_GT(sharedLoads, 0u);
+    EXPECT_GT(privateOps, 0u);
 }
 
 // -------------------------- differential -------------------------
@@ -274,6 +454,99 @@ TEST(DiffRun, CatchesSkippedRedoAndShrinksToTrivialRepro)
     EXPECT_TRUE(runDiff(minimal, DiffConfig{}).passed);
 }
 
+TEST(DiffRun, ConflictProgramsSerializeUnderBothCcSchemes)
+{
+    ProgGenConfig gen;
+    gen.conflictRate = 0.5;
+    for (CcMode cc : {CcMode::TwoPhase, CcMode::Tl2}) {
+        for (std::uint64_t seed : {1, 2, 3}) {
+            Program p = generateProgram(seed, gen);
+            ASSERT_TRUE(p.hasConflicts());
+            DiffConfig cfg;
+            cfg.ccMode = cc;
+            cfg.maxCrashPoints = 6; // keep the unit test quick
+            DiffResult r = runDiff(p, cfg);
+            EXPECT_TRUE(r.passed) << ccModeName(cc) << " seed "
+                                  << seed << ": " << r.detail;
+            EXPECT_GT(r.crashPointsChecked, 0u);
+        }
+    }
+}
+
+TEST(DiffRun, HandCraftedContentionAgreesUnderBothCcSchemes)
+{
+    Program p = contendedProgram();
+    for (CcMode cc : {CcMode::TwoPhase, CcMode::Tl2}) {
+        DiffConfig cfg;
+        cfg.ccMode = cc;
+        cfg.maxCrashPoints = 8;
+        DiffResult r = runDiff(p, cfg);
+        EXPECT_TRUE(r.passed) << ccModeName(cc) << ": " << r.detail;
+    }
+}
+
+TEST(DiffRun, CatchesLostUpdateAndShrinksTheConflict)
+{
+    // The serializability-oracle self-test: a reader transaction
+    // stretched across a writer's commit, run with CC disabled
+    // (--inject-lost-update), reads state inconsistent with its
+    // position in the durable commit order. The oracle must flag it
+    // and the shrinker must keep the conflict while discarding the
+    // noise.
+    const char *text = "snfprog 2\n"
+                       "threads 2\n"
+                       "slots 1\n"
+                       "shared 1\n"
+                       "seed 0\n"
+                       "tx 0 commit 0\n"
+                       "  sload 0\n"
+                       "  store 0 0x1\n"
+                       "  store 0 0x2\n"
+                       "  store 0 0x3\n"
+                       "  store 0 0x4\n"
+                       "  store 0 0x5\n"
+                       "  store 0 0x6\n"
+                       "  sstore 0 0xa1\n"
+                       "tx 1 commit 2\n"
+                       "  sstore 0 0xb2\n"
+                       "end\n";
+    Program p;
+    std::string err;
+    ASSERT_TRUE(parseProgram(text, &p, &err)) << err;
+
+    DiffConfig cfg;
+    cfg.injectLostUpdate = true;
+    cfg.crashDifferential = false; // the reads check is the point
+    DiffResult r = runDiff(p, cfg);
+    ASSERT_FALSE(r.passed) << "lost update must be detected";
+    EXPECT_NE(r.detail.find("loaded"), std::string::npos)
+        << r.detail;
+
+    ShrinkStats stats;
+    Program minimal = shrinkProgram(
+        p,
+        [&](const Program &cand) {
+            return !runDiff(cand, cfg).passed;
+        },
+        ShrinkOptions{}, &stats);
+    EXPECT_FALSE(runDiff(minimal, cfg).passed);
+    EXPECT_TRUE(minimal.hasConflicts())
+        << "the shared-slot conflict is the bug; it must survive";
+    EXPECT_LE(minimal.operationCount(), 10u)
+        << "shrink left " << minimal.operationCount()
+        << " operations after " << stats.evals << " evaluations";
+
+    // Under real concurrency control the same program is clean.
+    for (CcMode cc : {CcMode::TwoPhase, CcMode::Tl2}) {
+        DiffConfig clean;
+        clean.ccMode = cc;
+        clean.crashDifferential = false;
+        DiffResult ok = runDiff(p, clean);
+        EXPECT_TRUE(ok.passed) << ccModeName(cc) << ": "
+                               << ok.detail;
+    }
+}
+
 // --------------------------- shrinker ----------------------------
 
 TEST(Shrink, ReducesToTheCulpritTransaction)
@@ -284,8 +557,8 @@ TEST(Shrink, ReducesToTheCulpritTransaction)
     p.txs.push_back({0, false, 17, {{0, 0x666}, {1, 0x42}}});
     auto hasPoison = [](const Program &cand) {
         for (const ProgTx &tx : cand.txs)
-            for (const ProgStore &st : tx.stores)
-                if (st.value == 0x666)
+            for (const ProgOp &op : tx.ops)
+                if (op.value == 0x666)
                     return true;
         return false;
     };
@@ -294,8 +567,8 @@ TEST(Shrink, ReducesToTheCulpritTransaction)
                                     &stats);
     EXPECT_TRUE(hasPoison(minimal));
     EXPECT_EQ(minimal.txs.size(), 1u);
-    ASSERT_EQ(minimal.txs[0].stores.size(), 1u);
-    EXPECT_EQ(minimal.txs[0].stores[0].value, 0x666u);
+    ASSERT_EQ(minimal.txs[0].ops.size(), 1u);
+    EXPECT_EQ(minimal.txs[0].ops[0].value, 0x666u);
     EXPECT_EQ(minimal.txs[0].delay, 0u);
     EXPECT_EQ(minimal.threads, 1u);
     EXPECT_EQ(minimal.operationCount(), 3u);
@@ -329,6 +602,29 @@ TEST(ProgWorkload, RunsUnderDriverInBothBackends)
         EXPECT_TRUE(o.verified)
             << persistModeName(mode) << ": " << o.verifyMessage;
         EXPECT_GT(o.stats.committedTx, 0u);
+    }
+}
+
+TEST(ProgWorkload, ContendedProgramsRunUnderBothCcSchemes)
+{
+    for (CcMode cc : {CcMode::TwoPhase, CcMode::Tl2}) {
+        std::uint64_t committed = 0;
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            workloads::RunSpec spec;
+            spec.workload = "prog";
+            spec.mode = PersistMode::Fwb;
+            spec.params.threads = 2;
+            spec.params.seed = seed;
+            spec.params.conflictRate = 0.6;
+            spec.sys = SystemConfig::scaled(2);
+            spec.sys.persist.ccMode = cc;
+            auto o = workloads::runWorkload(spec);
+            EXPECT_TRUE(o.verified) << ccModeName(cc) << " seed "
+                                    << seed << ": "
+                                    << o.verifyMessage;
+            committed += o.stats.committedTx;
+        }
+        EXPECT_GT(committed, 0u) << ccModeName(cc);
     }
 }
 

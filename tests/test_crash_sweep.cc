@@ -161,6 +161,42 @@ TEST(CrashSweep, CrossModeOracle)
     }
 }
 
+// Contended shared-data programs: the sweep crashes a conflicting
+// prog-workload run at harvested points and recovery must still
+// produce a commit-order-consistent image at every one — under both
+// CC schemes. Deadlock/validation aborts and their undo chains are
+// live at many of these points, so this exercises rollback records
+// interleaved with the racing commits.
+TEST(CrashSweep, ContendedProgSweepPassesUnderBothCcSchemes)
+{
+    for (CcMode cc : {CcMode::TwoPhase, CcMode::Tl2}) {
+        for (PersistMode mode :
+             {PersistMode::UndoClwb, PersistMode::Fwb}) {
+            SCOPED_TRACE(std::string(ccModeName(cc)) + "/" +
+                         persistModeName(mode));
+            SweepConfig cfg;
+            cfg.run.workload = "prog";
+            cfg.run.mode = mode;
+            cfg.run.params.threads = 2;
+            cfg.run.params.txPerThread = 6;
+            cfg.run.params.seed = 7;
+            cfg.run.params.conflictRate = 0.6;
+            cfg.run.sys.persist.ccMode = cc;
+            cfg.jobs = 2;
+            cfg.maxPoints = sampleCap();
+            SweepResult res = runCrashSweep(cfg);
+            EXPECT_TRUE(res.refVerified) << res.refVerifyMessage;
+            EXPECT_GT(res.pointsHarvested, 0u);
+            EXPECT_EQ(res.pointsFailed, 0u)
+                << res.failures.front()
+                       .violations.front()
+                       .invariant
+                << ": "
+                << res.failures.front().violations.front().detail;
+        }
+    }
+}
+
 // Self-test of the detector: recovery that skips the undo phase must
 // be caught under undo-clwb (whose commit protocol makes the
 // data-durable-before-commit-record window a certainty) and

@@ -716,27 +716,26 @@ TEST(TxAbort, RollsBackStoresInUndoModes)
     }
 }
 
-TEST(TxAbort, RedoOnlyModeLeavesGenerationUncommitted)
+TEST(TxAbortDeathTest, RedoOnlyModeFailsLoudly)
 {
     // Redo-only logging cannot roll back in place (the motivation
-    // for undo+redo, paper Section II-B): the abort simply leaves
-    // the generation uncommitted so recovery discards it.
-    SystemConfig cfg = SystemConfig::scaled(1);
-    cfg.persist.crashJournal = true;
-    System sys(cfg, PersistMode::RedoClwb);
-    Addr addr = sys.heap().alloc(64, 64);
-    bool aborted = false;
-    sys.spawn(0, [&](Thread &t) {
-        return abortingThread(t, addr, &aborted);
-    });
-    Tick end = sys.run();
-    EXPECT_TRUE(aborted);
-    EXPECT_EQ(sys.txns().aborted.value(), 1u);
-
-    mem::BackingStore image = sys.crashSnapshot(end);
-    auto report = persist::Recovery::run(image, sys.config().map);
-    EXPECT_EQ(report.committedTxns, 1u);
-    EXPECT_EQ(image.read64(addr), 100u);
+    // for undo+redo, paper Section II-B). tx_abort used to quietly
+    // leave the generation uncommitted, but steal means the aborted
+    // stores may already sit in NVRAM — silently "dropping" the
+    // transaction corrupts. The abort path now refuses outright.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            SystemConfig cfg = SystemConfig::scaled(1);
+            cfg.persist.crashJournal = true;
+            System sys(cfg, PersistMode::RedoClwb);
+            Addr addr = sys.heap().alloc(64, 64);
+            sys.spawn(0, [&](Thread &t) {
+                return abortingThread(t, addr, nullptr);
+            });
+            sys.run();
+        },
+        "no undo values to roll back with");
 }
 
 namespace

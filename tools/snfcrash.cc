@@ -17,6 +17,12 @@
  *     --threads N          workload threads (default 2)
  *     --tx N               transactions per thread (default 50)
  *     --footprint N        elements in the initial structure
+ *     --conflict-rate R    prog workload only: probability each op
+ *                          targets the shared conflict region
+ *                          (enables 2PL concurrency control unless
+ *                          --cc overrides it)
+ *     --cc 2pl|tl2|none    concurrency-control scheme for contended
+ *                          transactions
  *     --jobs N             parallel crash-point workers; 0 or
  *                          omitted = one per hardware thread (the
  *                          resolved count is printed in the header)
@@ -120,6 +126,7 @@ usage()
         "[--seed N[,N]]\n"
         "                [--threads N] [--tx N] [--footprint N] "
         "[--jobs N]\n"
+        "                [--conflict-rate R] [--cc 2pl|tl2|none]\n"
         "                [--max-points N] [--sample-seed N] "
         "[--json FILE]\n"
         "                [--bench-json FILE]\n"
@@ -215,6 +222,23 @@ main(int argc, char **argv)
             params.txPerThread = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--footprint")) {
             params.footprint = std::strtoull(v, nullptr, 0);
+        } else if (const char *v = arg("--conflict-rate")) {
+            params.conflictRate = std::atof(v);
+            if (params.conflictRate < 0.0 ||
+                params.conflictRate > 1.0)
+                fatal("--conflict-rate needs a probability");
+            // Contended programs need a CC scheme to serialize.
+            if (base.run.sys.persist.ccMode == CcMode::None)
+                base.run.sys.persist.ccMode = CcMode::TwoPhase;
+        } else if (const char *v = arg("--cc")) {
+            if (std::strcmp(v, "2pl") == 0)
+                base.run.sys.persist.ccMode = CcMode::TwoPhase;
+            else if (std::strcmp(v, "tl2") == 0)
+                base.run.sys.persist.ccMode = CcMode::Tl2;
+            else if (std::strcmp(v, "none") == 0)
+                base.run.sys.persist.ccMode = CcMode::None;
+            else
+                fatal("--cc wants 2pl, tl2, or none");
         } else if (const char *v = arg("--jobs")) {
             base.jobs =
                 static_cast<std::size_t>(parseCount("--jobs", v));

@@ -17,10 +17,21 @@
  *     --no-shrink         report the first failure unminimized
  *     --out FILE          failing-program repro path
  *                         (default snfdiff-failure.snfprog)
+ *     --conflict-rate R   generate shared-data conflicts: each op
+ *                         targets the shared region with probability
+ *                         R; judged by the serializability oracle
+ *     --load-rate R       per-op load probability for conflicting
+ *                         programs (default 0.25)
+ *     --cc 2pl|tl2|none   CC scheme for conflicting programs
+ *                         (default 2pl)
  *     --inject-skip-undo  self-test: sabotage the hardware backend's
  *     --inject-skip-redo  recovery (skip a replay phase / trust bad
  *     --inject-ignore-crc CRCs) so the differential has a real bug
  *                         to catch and shrink
+ *     --inject-lost-update  self-test: run conflicting programs with
+ *                         CC disabled so racing transactions produce
+ *                         the anomalies the serializability oracle
+ *                         must catch and shrink
  *
  * Exit status 0 iff every program agreed. Every value flag also
  * accepts --flag=value.
@@ -57,8 +68,11 @@ usage()
                 "[--max-crash-points N]\n"
                 "               [--no-crash] [--no-shrink] "
                 "[--out FILE]\n"
+                "               [--conflict-rate R] [--load-rate R] "
+                "[--cc 2pl|tl2|none]\n"
                 "               [--inject-skip-undo] "
-                "[--inject-skip-redo] [--inject-ignore-crc]\n");
+                "[--inject-skip-redo] [--inject-ignore-crc]\n"
+                "               [--inject-lost-update]\n");
 }
 
 struct Failure
@@ -114,6 +128,7 @@ main(int argc, char **argv)
     bool shrink = true;
     std::string outPath = "snfdiff-failure.snfprog";
     DiffConfig cfg;
+    ProgGenConfig gen;
 
     std::vector<std::string> args(argv + 1, argv + argc);
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -143,6 +158,25 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(v));
         } else if (const char *v = arg("--out")) {
             outPath = v;
+        } else if (const char *v = arg("--conflict-rate")) {
+            gen.conflictRate = std::atof(v);
+            if (gen.conflictRate < 0.0 || gen.conflictRate > 1.0)
+                fatal("--conflict-rate wants a probability");
+        } else if (const char *v = arg("--load-rate")) {
+            gen.loadRate = std::atof(v);
+            if (gen.loadRate < 0.0 || gen.loadRate > 1.0)
+                fatal("--load-rate wants a probability");
+        } else if (const char *v = arg("--cc")) {
+            if (std::strcmp(v, "2pl") == 0)
+                cfg.ccMode = CcMode::TwoPhase;
+            else if (std::strcmp(v, "tl2") == 0)
+                cfg.ccMode = CcMode::Tl2;
+            else if (std::strcmp(v, "none") == 0)
+                cfg.ccMode = CcMode::None;
+            else
+                fatal("--cc wants 2pl, tl2, or none");
+        } else if (args[i] == "--inject-lost-update") {
+            cfg.injectLostUpdate = true;
         } else if (args[i] == "--no-crash") {
             cfg.crashDifferential = false;
         } else if (args[i] == "--no-shrink") {
@@ -201,7 +235,7 @@ main(int argc, char **argv)
             work.push_back(
                 {strfmt("seed %llu",
                         static_cast<unsigned long long>(seed)),
-                 generateProgram(seed)});
+                 generateProgram(seed, gen)});
         }
     }
 
