@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "conformlab/oracle.hh"
 #include "core/system.hh"
+#include "crashlab/reorder.hh"
 #include "crashlab/trace.hh"
 #include "persist/txn_tracker.hh"
 #include "sim/logging.hh"
@@ -341,18 +343,28 @@ runDiff(const Program &p, const DiffConfig &cfg)
             b->sys->mem().nvram().store();
         store.buildSnapshotIndex();
         mem::BackingStore::Cursor cursor(store);
+        crashlab::ReorderConfig rcfg;
+        rcfg.enabled = cfg.reorderSamples != 0;
+        rcfg.samples = cfg.reorderSamples;
+        rcfg.maxImagesPerPoint = cfg.reorderSamples;
+        std::optional<crashlab::PendingCursor> pendingCursor;
+        if (rcfg.enabled)
+            pendingCursor.emplace(store);
         for (Tick t : ticks) {
-            mem::BackingStore image = cursor.imageAt(t);
+            mem::BackingStore crashImage = cursor.imageAt(t);
+            mem::BackingStore image = crashImage;
             persist::Recovery::run(image, b->sys->config().map,
                                    ropts);
             ++res.crashPointsChecked;
             std::string why;
-            bool ok =
-                serial ? serial->checkCrashImage(
-                             readSlots(image, *b), t, &why)
-                       : checkRecoveredImage(image, *b, oracle, tl,
-                                             t, &why);
-            if (!ok) {
+            auto judge = [&](const mem::BackingStore &img) {
+                return serial
+                           ? serial->checkCrashImage(
+                                 readSlots(img, *b), t, &why)
+                           : checkRecoveredImage(img, *b, oracle,
+                                                 tl, t, &why);
+            };
+            if (!judge(image)) {
                 res.passed = false;
                 res.detail =
                     serial ? strfmt("mode %s: %s",
@@ -360,6 +372,28 @@ runDiff(const Program &p, const DiffConfig &cfg)
                                     why.c_str())
                            : why;
                 return res;
+            }
+            if (!rcfg.enabled)
+                continue;
+            // Any legal completion order of the pending persists must
+            // also recover to a model-consistent image.
+            std::vector<crashlab::PendingPersist> pending =
+                pendingCursor->pendingAt(t);
+            for (const crashlab::ReorderImage &plan :
+                 crashlab::planReorderImages(pending, rcfg, t)) {
+                mem::BackingStore variant = crashImage;
+                crashlab::applyReorderImage(variant, pending, plan);
+                persist::Recovery::run(
+                    variant, b->sys->config().map, ropts);
+                if (!judge(variant)) {
+                    res.passed = false;
+                    res.detail = strfmt(
+                        "mode %s: reorder [%s] %s",
+                        persistModeName(b->mode),
+                        plan.describe(pending).c_str(),
+                        why.c_str());
+                    return res;
+                }
             }
         }
     }

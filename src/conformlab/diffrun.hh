@@ -77,6 +77,15 @@ struct DiffConfig
      * exists to catch (and the shrinker then minimizes).
      */
     bool injectLostUpdate = false;
+    /**
+     * Persist-ordering adversary (reorderlab): when nonzero, every
+     * crash point additionally evaluates up to this many legal
+     * completion orders of the backend's pending persist set — each
+     * recovered and judged by the same model-consistency check, since
+     * any legal image must still recover to a consistent prefix. 0
+     * keeps the plain prefix model.
+     */
+    std::size_t reorderSamples = 0;
 };
 
 /** Outcome of one program's differential evaluation. */

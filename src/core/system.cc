@@ -22,6 +22,10 @@ System::System(const SystemConfig &config, PersistMode m)
         cfg.nvram.spareSize = cfg.map.spareSize;
     }
     memory = std::make_unique<mem::MemorySystem>(cfg);
+    // Fault parity by construction: every timed write into the log
+    // area must arrive on the serialized priority channel with a
+    // log/metadata origin, for both logging backends.
+    memory->nvram().setLogRegion(cfg.map.logBase(), cfg.map.logSize);
     pheap = std::make_unique<PersistentHeap>(cfg.map, memory->nvram());
     dheap = std::make_unique<BumpAllocator>(cfg.map.dramBase,
                                             cfg.map.dramSize);
@@ -313,6 +317,7 @@ System::collectStats(Tick cycles) const
                        nv.faultTornLines.value() +
                        nv.faultDroppedWrites.value() +
                        nv.faultStuckWords.value();
+    s.faultExaminedBytes = nv.faultExaminedBytes.value();
 
     s.energy = energy::EnergyModel::compute(*memory, s.instr.total);
     return s;

@@ -94,6 +94,10 @@ struct RunStats
     // NVRAM media faults injected by the fault model (zero unless
     // MemDeviceConfig::faults is enabled).
     std::uint64_t faultsInjected = 0;
+    /** Bytes the enabled injector examined inside its scope — a
+     *  write path that bypasses it examines nothing, so parity tests
+     *  can assert coverage structurally. */
+    std::uint64_t faultExaminedBytes = 0;
 
     // Online log scrubber (lifelab; zero unless PersistConfig::scrub).
     std::uint64_t scrubSlotsScanned = 0;

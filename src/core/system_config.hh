@@ -285,6 +285,18 @@ struct PersistConfig
      * log-before-data guarantee (bench/ablation_ordering).
      */
     bool disableWbBarrier = false;
+    /**
+     * Crash-tooling self-test only: keep the write-back barrier's
+     * timing (the run is cycle-identical) but journal each NVRAM data
+     * write-back as issued *before* the barrier wait — modeling a
+     * controller that posts the write-back into the ADR domain
+     * without waiting for log-drain acceptance. Completion order
+     * still happens to be log-first, so the linear-prefix crash sweep
+     * sees nothing; only the persist-ordering adversary (reorderlab),
+     * which explores legal completion orders of concurrently pending
+     * writes, can catch the skipped ordering edge.
+     */
+    bool injectSkipWbBarrier = false;
     /** Behavior when a log append finds no reclaimable slot. */
     LogFullPolicy logFullPolicy = LogFullPolicy::Reclaim;
     /** Stall/AbortRetry: attempts before falling back to Reclaim. */

@@ -62,6 +62,13 @@ writeTextSummary(std::ostream &os, const CellResult &cell)
            << cell.sweep.totalSalvaged << " txns salvaged, "
            << cell.sweep.totalQuarantined << " quarantined\n";
     }
+    if (cell.sweep.reorderEnabled) {
+        os << "  reorder: " << cell.sweep.reorderImagesTested
+           << " images tested across "
+           << cell.sweep.reorderPointsWithPending
+           << " points with pending persists (max pending set "
+           << cell.sweep.reorderMaxPending << ")\n";
+    }
     if (!cell.sweep.refVerified) {
         os << "  reference run FAILED verification: "
            << cell.sweep.refVerifyMessage << "\n";
@@ -72,6 +79,8 @@ writeTextSummary(std::ostream &os, const CellResult &cell)
            << (f.point.before ? "-1" : "") << "):\n";
         for (const auto &v : f.violations)
             os << "    " << v.invariant << ": " << v.detail << "\n";
+        if (!f.reorderDetail.empty())
+            os << "    ordering: " << f.reorderDetail << "\n";
     }
     if (cell.sweep.minimizedTick) {
         os << "  minimized to tick " << *cell.sweep.minimizedTick
@@ -173,6 +182,16 @@ writeCell(std::ostream &os, const CellResult &cell,
        << ",\n";
     os << indent << "  \"txns_quarantined\": " << sw.totalQuarantined
        << ",\n";
+    // Reorder fields only when the adversary ran: reorder-off
+    // reports stay byte-identical to the pre-reorderlab format.
+    if (sw.reorderEnabled) {
+        os << indent << "  \"reorder_images_tested\": "
+           << sw.reorderImagesTested << ",\n";
+        os << indent << "  \"reorder_points_with_pending\": "
+           << sw.reorderPointsWithPending << ",\n";
+        os << indent << "  \"reorder_max_pending\": "
+           << sw.reorderMaxPending << ",\n";
+    }
     os << indent << "  \"failures\": [";
     for (std::size_t i = 0; i < sw.failures.size(); ++i) {
         const PointOutcome &f = sw.failures[i];
@@ -189,7 +208,11 @@ writeCell(std::ostream &os, const CellResult &cell,
                << "\", \"detail\": \""
                << jsonEscape(f.violations[j].detail) << "\"}";
         }
-        os << "]}";
+        os << "]";
+        if (!f.reorderDetail.empty())
+            os << ", \"reorder\": \""
+               << jsonEscape(f.reorderDetail) << "\"";
+        os << "}";
     }
     os << (sw.failures.empty() ? "]" : ("\n" + std::string(indent) +
                                         "  ]"))

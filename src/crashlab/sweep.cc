@@ -198,6 +198,9 @@ runCrashSweep(const SweepConfig &cfg)
         std::uint64_t snapshotNs = 0;
         std::uint64_t evalNs = 0;
         std::uint64_t recoverNs = 0;
+        std::uint64_t reorderImages = 0;
+        std::uint64_t reorderPointsWithPending = 0;
+        std::uint64_t reorderMaxPending = 0;
     };
     std::vector<WorkerPerf> workerPerf(jobs);
     std::size_t chunk = points.empty()
@@ -211,14 +214,55 @@ runCrashSweep(const SweepConfig &cfg)
         WorkerPerf &perf = workerPerf[w];
         persist::RecoveryTimerScope recoveryTimer(&perf.recoverNs);
         mem::BackingStore::Cursor cursor(store);
+        // Worker-local pending-set cursor (reorderlab): one journal
+        // scan per worker, advanced monotonically with the points.
+        std::optional<PendingCursor> pendingCursor;
+        if (cfg.reorder.enabled)
+            pendingCursor.emplace(store);
         for (std::size_t i = begin; i < end; ++i) {
             Clock::time_point t0 = Clock::now();
             mem::BackingStore image = cursor.imageAt(points[i].tick);
             Clock::time_point t1 = Clock::now();
             outcomes[i].point = points[i];
-            outcomes[i].violations = evaluate(
-                std::move(image), points[i].tick, &outcomes[i].report,
-                &outcomes[i].plan, false);
+            outcomes[i].violations =
+                evaluate(image, points[i].tick, &outcomes[i].report,
+                         &outcomes[i].plan, false);
+            // The adversary: every legal subset/linearization of the
+            // pending persist set lands on top of the prefix image
+            // (COW copies, so each variant is O(pages) to set up) and
+            // runs through the same checker pipeline. The first
+            // failing ordering is recorded; re-entrancy is skipped
+            // for variants (the prefix pass above covers it).
+            if (cfg.reorder.enabled &&
+                outcomes[i].violations.empty()) {
+                std::vector<PendingPersist> pending =
+                    pendingCursor->pendingAt(points[i].tick);
+                perf.reorderMaxPending = std::max<std::uint64_t>(
+                    perf.reorderMaxPending, pending.size());
+                if (!pending.empty()) {
+                    ++perf.reorderPointsWithPending;
+                    for (const ReorderImage &plan : planReorderImages(
+                             pending, cfg.reorder, points[i].tick)) {
+                        mem::BackingStore variant = image;
+                        applyReorderImage(variant, pending, plan);
+                        ++perf.reorderImages;
+                        persist::RecoveryReport vrep;
+                        ImageFaultPlan vplan;
+                        std::vector<Violation> v =
+                            evaluate(std::move(variant),
+                                     points[i].tick, &vrep, &vplan,
+                                     true);
+                        if (!v.empty()) {
+                            outcomes[i].violations = std::move(v);
+                            outcomes[i].report = vrep;
+                            outcomes[i].plan = vplan;
+                            outcomes[i].reorderDetail =
+                                plan.describe(pending);
+                            break;
+                        }
+                    }
+                }
+            }
             Clock::time_point t2 = Clock::now();
             perf.snapshotNs += std::chrono::duration_cast<
                                    std::chrono::nanoseconds>(t1 - t0)
@@ -238,12 +282,17 @@ runCrashSweep(const SweepConfig &cfg)
         for (auto &t : pool)
             t.join();
     }
+    res.reorderEnabled = cfg.reorder.enabled;
     for (const WorkerPerf &perf : workerPerf) {
         res.perf.snapshotSec += perf.snapshotNs * 1e-9;
         res.perf.recoverSec += perf.recoverNs * 1e-9;
         res.perf.checkSec +=
             (perf.evalNs - std::min(perf.evalNs, perf.recoverNs)) *
             1e-9;
+        res.reorderImagesTested += perf.reorderImages;
+        res.reorderPointsWithPending += perf.reorderPointsWithPending;
+        res.reorderMaxPending = std::max(res.reorderMaxPending,
+                                         perf.reorderMaxPending);
     }
 
     for (auto &o : outcomes) {
@@ -263,13 +312,40 @@ runCrashSweep(const SweepConfig &cfg)
     // checker set re-runs at the final minimized tick below.
     if (!res.failures.empty() && cfg.minimizeFailures) {
         Clock::time_point tMin = Clock::now();
+        // Probe one tick through the full adversary: the prefix image
+        // first, then (reorder sweeps) every legal pending-set image,
+        // so a failure only reachable through an out-of-order landing
+        // still bisects to its earliest tick and reports the ordering
+        // that exposes it.
+        auto evaluateTick = [&](Tick t, persist::RecoveryReport *rep,
+                                bool skipReentrancy,
+                                std::string *reorderOut) {
+            mem::BackingStore prefix = csys.crashSnapshot(t);
+            std::vector<Violation> v =
+                evaluate(prefix, t, rep, nullptr, skipReentrancy);
+            if (!v.empty() || !cfg.reorder.enabled)
+                return v;
+            std::vector<PendingPersist> pending =
+                pendingPersistsAt(store, t);
+            for (const ReorderImage &plan :
+                 planReorderImages(pending, cfg.reorder, t)) {
+                mem::BackingStore variant = prefix;
+                applyReorderImage(variant, pending, plan);
+                v = evaluate(std::move(variant), t, rep, nullptr,
+                             true);
+                if (!v.empty()) {
+                    if (reorderOut)
+                        *reorderOut = plan.describe(pending);
+                    return v;
+                }
+            }
+            return std::vector<Violation>{};
+        };
         Tick lo = 0;
         Tick hi = res.failures.front().point.tick; // known failing
         while (lo < hi) {
             Tick mid = lo + (hi - lo) / 2;
-            if (!evaluate(csys.crashSnapshot(mid), mid, nullptr,
-                          nullptr, true)
-                     .empty())
+            if (!evaluateTick(mid, nullptr, true, nullptr).empty())
                 hi = mid;
             else
                 lo = mid + 1;
@@ -277,8 +353,8 @@ runCrashSweep(const SweepConfig &cfg)
         res.minimizedTick = hi;
 
         persist::RecoveryReport rep;
-        auto violations =
-            evaluate(csys.crashSnapshot(hi), hi, &rep, nullptr, false);
+        std::string minReorder;
+        auto violations = evaluateTick(hi, &rep, false, &minReorder);
         CrashFacts f = factsAt(hi);
         std::string detail;
         char line[256];
@@ -294,6 +370,8 @@ runCrashSweep(const SweepConfig &cfg)
         detail += line;
         for (const auto &v : violations)
             detail += "  " + v.invariant + ": " + v.detail + "\n";
+        if (!minReorder.empty())
+            detail += "  ordering: " + minReorder + "\n";
         std::snprintf(line, sizeof(line),
                       "recovery: header=%d records=%llu committed="
                       "%llu uncommitted=%llu redo=%llu undo=%llu\n",

@@ -25,6 +25,7 @@
 
 #include "crashlab/faultlab.hh"
 #include "crashlab/invariants.hh"
+#include "crashlab/reorder.hh"
 #include "crashlab/trace.hh"
 #include "workloads/driver.hh"
 
@@ -65,6 +66,15 @@ struct SweepConfig
      * pass (1 = every interior write; see checkRecoveryReentrancy).
      */
     std::uint64_t recoverySweepStride = 0;
+    /**
+     * Persist-ordering adversary (reorderlab): when enabled, every
+     * evaluated crash point additionally tests each legal
+     * subset/linearization image of the pending persist set (plus
+     * torn-line variants) through the same checker pipeline. Off by
+     * default — reorder-off sweeps are bit-identical to the plain
+     * prefix model.
+     */
+    ReorderConfig reorder;
 };
 
 /** Outcome of one evaluated crash point (kept for failures only). */
@@ -75,6 +85,11 @@ struct PointOutcome
     persist::RecoveryReport report;
     /** What the faulted evaluation damaged (empty when clean). */
     ImageFaultPlan plan;
+    /**
+     * The failing pending-persist ordering (ReorderImage::describe),
+     * empty when the plain prefix image failed or reorder is off.
+     */
+    std::string reorderDetail;
 };
 
 /**
@@ -127,6 +142,14 @@ struct SweepResult
     std::uint64_t totalSalvaged = 0;
     std::uint64_t totalQuarantined = 0;
     std::uint64_t totalSlotsFaulted = 0;
+    /** Reorder sweeps: adversary coverage accounting. */
+    bool reorderEnabled = false;
+    /** Reorder images evaluated across every crash point. */
+    std::uint64_t reorderImagesTested = 0;
+    /** Crash points with at least one pending persist. */
+    std::uint64_t reorderPointsWithPending = 0;
+    /** Largest pending set seen at any evaluated point. */
+    std::uint64_t reorderMaxPending = 0;
 
     /** Phase timing and snapshot-engine counters. */
     SweepPerf perf;

@@ -53,6 +53,11 @@ CrashTrace::harvest(Tick endTick) const
     for (const Event &e : stream) {
         if (e.tick > endTick)
             continue;
+        // WcbDrop announces state the crash model already discarded
+        // (the drop *is* the crash); it never changes the durable
+        // image, so it yields no crash point of its own.
+        if (e.kind == sim::ProbeEvent::WcbDrop)
+            continue;
         if (e.tick > 0)
             points.push_back(CrashPoint{e.tick - 1, e.kind, true});
         points.push_back(CrashPoint{e.tick, e.kind, false});

@@ -32,22 +32,25 @@ BackingStore::JournalEntry::release()
     len = 0;
 }
 
-BackingStore::JournalEntry::JournalEntry(Tick done_, Addr addr_,
-                                         const void *src,
+BackingStore::JournalEntry::JournalEntry(Tick done_, Tick issue_,
+                                         PersistOrigin origin_,
+                                         Addr addr_, const void *src,
                                          std::uint64_t n)
-    : done(done_), addr(addr_)
+    : done(done_), issue(issue_), addr(addr_), origin(origin_)
 {
     adopt(src, n);
 }
 
 BackingStore::JournalEntry::JournalEntry(const JournalEntry &other)
-    : done(other.done), addr(other.addr)
+    : done(other.done), issue(other.issue), addr(other.addr),
+      origin(other.origin)
 {
     adopt(other.data(), other.len);
 }
 
 BackingStore::JournalEntry::JournalEntry(JournalEntry &&other) noexcept
-    : done(other.done), addr(other.addr), len(other.len)
+    : done(other.done), issue(other.issue), addr(other.addr),
+      origin(other.origin), len(other.len)
 {
     if (len <= kInlineCapacity)
         std::memcpy(inlineBytes, other.inlineBytes, len);
@@ -63,7 +66,9 @@ BackingStore::JournalEntry::operator=(const JournalEntry &other)
         return *this;
     release();
     done = other.done;
+    issue = other.issue;
     addr = other.addr;
+    origin = other.origin;
     adopt(other.data(), other.len);
     return *this;
 }
@@ -75,7 +80,9 @@ BackingStore::JournalEntry::operator=(JournalEntry &&other) noexcept
         return *this;
     release();
     done = other.done;
+    issue = other.issue;
     addr = other.addr;
+    origin = other.origin;
     len = other.len;
     if (len <= kInlineCapacity)
         std::memcpy(inlineBytes, other.inlineBytes, len);
@@ -227,15 +234,20 @@ BackingStore::rawWrite(Addr addr, std::uint64_t size, const void *in)
 
 void
 BackingStore::write(Addr addr, std::uint64_t size, const void *in,
-                    Tick doneTick)
+                    Tick doneTick, Tick issueTick, PersistOrigin origin)
 {
     SNF_ASSERT(contains(addr, size),
                "write [%llx,+%llu) outside store range",
                static_cast<unsigned long long>(addr),
                static_cast<unsigned long long>(size));
     rawWrite(addr, size, in);
-    if (journalOn)
-        journal.emplace_back(doneTick, addr, in, size);
+    if (journalOn) {
+        // Default issue == done: the write is never observed as
+        // pending, so untimed call sites stay inert under reorder.
+        Tick issue = issueTick == kTickNever ? doneTick
+                                             : std::min(issueTick, doneTick);
+        journal.emplace_back(doneTick, issue, origin, addr, in, size);
+    }
 }
 
 std::uint64_t
@@ -454,6 +466,17 @@ BackingStore::forEachJournalWrite(
     for (const auto &e : journal)
         if (e.done <= maxTick)
             fn(e.addr, e.size());
+}
+
+void
+BackingStore::forEachJournalRecord(
+    const std::function<void(const JournalRecord &)> &fn) const
+{
+    for (std::uint32_t i = 0; i < journal.size(); ++i) {
+        const JournalEntry &e = journal[i];
+        fn(JournalRecord{e.issue, e.done, e.addr, e.size(), e.origin,
+                         i, e.data()});
+    }
 }
 
 std::optional<Addr>

@@ -61,10 +61,17 @@ class BackingStore
 
     /**
      * Write @p size bytes. @p doneTick is the simulated completion
-     * time, recorded if journaling is on.
+     * time, recorded if journaling is on. @p issueTick is the tick the
+     * write was accepted onto the NVRAM channel and @p origin who
+     * issued it; together they let crash tooling recover the pending
+     * set (issue <= t < done) at any crash tick. The default
+     * issueTick (kTickNever) means "issue == done": the write is
+     * never pending, which is correct for functional/zero-time writes
+     * and keeps every legacy call site inert under reorder sweeps.
      */
     void write(Addr addr, std::uint64_t size, const void *in,
-               Tick doneTick = 0);
+               Tick doneTick = 0, Tick issueTick = kTickNever,
+               PersistOrigin origin = PersistOrigin::Functional);
 
     /** Convenience 64-bit accessors. */
     std::uint64_t read64(Addr addr) const;
@@ -168,6 +175,27 @@ class BackingStore
         const std::function<void(Addr, std::uint64_t)> &fn) const;
 
     /**
+     * Read-only view of one journaled write, including the persist
+     * metadata reorderlab needs. @p data points into the journal and
+     * is valid while the store is alive and unmodified. @p seq is the
+     * journal issue-order index (the snapshot replay tiebreak).
+     */
+    struct JournalRecord
+    {
+        Tick issue;
+        Tick done;
+        Addr addr;
+        std::uint32_t size;
+        PersistOrigin origin;
+        std::uint32_t seq;
+        const std::uint8_t *data;
+    };
+
+    /** Visit every journaled write in issue (append) order. */
+    void forEachJournalRecord(
+        const std::function<void(const JournalRecord &)> &fn) const;
+
+    /**
      * Lowest address in [from, from+size) at which this store and
      * @p other differ (absent pages compare as zero), or nullopt if
      * the ranges are byte-identical. Both stores must cover the
@@ -208,8 +236,8 @@ class BackingStore
     class JournalEntry
     {
       public:
-        JournalEntry(Tick done, Addr addr, const void *src,
-                     std::uint64_t len);
+        JournalEntry(Tick done, Tick issue, PersistOrigin origin,
+                     Addr addr, const void *src, std::uint64_t len);
         JournalEntry(const JournalEntry &other);
         JournalEntry(JournalEntry &&other) noexcept;
         JournalEntry &operator=(const JournalEntry &other);
@@ -217,7 +245,10 @@ class BackingStore
         ~JournalEntry();
 
         Tick done;
+        /** Channel-acceptance tick; == done for non-pending writes. */
+        Tick issue;
         Addr addr;
+        PersistOrigin origin;
 
         std::uint32_t size() const { return len; }
 

@@ -115,6 +115,7 @@ FaultInjector::apply(Addr addr, std::uint64_t size, std::uint8_t *buf,
 
         if (!inScope(line, tick))
             continue;
+        counts.examinedBytes += span;
 
         if (cfg.dropWriteProb > 0.0 &&
             unit(hash(cfg.seed ^ line, tick, kSaltDrop)) <

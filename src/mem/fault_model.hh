@@ -34,6 +34,14 @@ struct FaultCounters
     std::uint64_t tornLines = 0;
     std::uint64_t droppedWrites = 0;
     std::uint64_t stuckWords = 0;
+    /**
+     * Bytes apply() examined inside the configured scope (region +
+     * window), whether or not damage landed. A write path that
+     * bypasses the injector examines nothing, so parity tests can
+     * assert coverage structurally instead of hoping a probabilistic
+     * fault fires. Not part of total().
+     */
+    std::uint64_t examinedBytes = 0;
 
     std::uint64_t
     total() const

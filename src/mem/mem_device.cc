@@ -32,6 +32,7 @@ MemDevice::MemDevice(std::string name, const MemDeviceConfig &config,
       faultTornLines(statGroup.counter("fault_torn_lines")),
       faultDroppedWrites(statGroup.counter("fault_dropped_writes")),
       faultStuckWords(statGroup.counter("fault_stuck_words")),
+      faultExaminedBytes(statGroup.counter("fault_examined_bytes")),
       remappedLines(statGroup.counter("remapped_lines"))
 {
     if (cfg.remapSize != 0)
@@ -83,11 +84,11 @@ MemDevice::mediaRead(Addr addr, std::uint64_t size, void *out) const
 
 void
 MemDevice::mediaWrite(Addr addr, std::uint64_t size, const void *in,
-                      Tick done)
+                      Tick done, Tick issue, PersistOrigin origin)
 {
     const auto *src = static_cast<const std::uint8_t *>(in);
     if (lineMap.empty() && !faults.enabled()) {
-        backing.write(addr, size, in, done);
+        backing.write(addr, size, in, done, issue, origin);
         return;
     }
     if (lineMap.empty()) {
@@ -104,7 +105,8 @@ MemDevice::mediaWrite(Addr addr, std::uint64_t size, const void *in,
         faultTornLines.inc(fc.tornLines);
         faultDroppedWrites.inc(fc.droppedWrites);
         faultStuckWords.inc(fc.stuckWords);
-        backing.write(addr, size, fresh.data(), done);
+        faultExaminedBytes.inc(fc.examinedBytes);
+        backing.write(addr, size, fresh.data(), done, issue, origin);
         return;
     }
     // Promoted lines exist: split by 64-byte line and land each
@@ -128,9 +130,10 @@ MemDevice::mediaWrite(Addr addr, std::uint64_t size, const void *in,
             faultTornLines.inc(fc.tornLines);
             faultDroppedWrites.inc(fc.droppedWrites);
             faultStuckWords.inc(fc.stuckWords);
-            backing.write(phys, n, fresh.data(), done);
+            faultExaminedBytes.inc(fc.examinedBytes);
+            backing.write(phys, n, fresh.data(), done, issue, origin);
         } else {
-            backing.write(phys, n, src, done);
+            backing.write(phys, n, src, done, issue, origin);
         }
         src += n;
         addr += n;
@@ -153,9 +156,26 @@ MemDevice::bankOf(std::uint64_t row) const
 MemDevice::Result
 MemDevice::access(bool write, Addr addr, std::uint64_t size,
                   const void *wdata, void *rdata, Tick now,
-                  bool priorityWrite)
+                  bool priorityWrite, PersistOrigin origin,
+                  Tick issueHint)
 {
     SNF_ASSERT(size > 0, "zero-size device access");
+    // Fault parity by construction: every timed write landing in the
+    // durable log region must take the serialized priority channel
+    // with a log/metadata origin — the one path the fault injector
+    // instruments and the controller FIFO orders. A backend growing a
+    // log write path that bypasses this trips here, not in a flaky
+    // probabilistic test.
+    SNF_ASSERT(!write || logRegionSize == 0 ||
+                   addr + size <= logRegionBase ||
+                   addr >= logRegionBase + logRegionSize ||
+                   (priorityWrite && origin != PersistOrigin::Data &&
+                    origin != PersistOrigin::Functional),
+               "timed log-region write [%llx,+%llu) off the priority "
+               "log channel (origin %s)",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(size),
+               persistOriginName(origin));
     std::uint64_t row = rowOf(addr);
     Bank &bank = banks[bankOf(row)];
 
@@ -220,9 +240,13 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
                           (cfg.rowWritePjBit + cfg.arrayWritePjBit));
         // Timing and energy were charged above on the logical
         // address; mediaWrite handles fault injection and remap
-        // translation of the bytes that land.
+        // translation of the bytes that land. The issue tick (now)
+        // rides along so crash tooling sees the write as pending over
+        // [now, done).
         if (wdata)
-            mediaWrite(addr, size, wdata, done);
+            mediaWrite(addr, size, wdata, done,
+                       issueHint == kTickNever ? now : issueHint,
+                       origin);
     } else {
         reads.inc();
         readBytes.inc(size);
@@ -284,10 +308,12 @@ MemDevice::remapLine(Addr lineAddr, Tick now)
     // Copy the line's current bytes to its spare, then durably
     // publish the mapping; traffic switches over only afterwards, so
     // an interrupted promotion leaves the old (valid) table in force.
-    access(true, *spare, sizeof(buf), buf, nullptr, now, true);
+    access(true, *spare, sizeof(buf), buf, nullptr, now, true,
+           PersistOrigin::Meta);
     bool ok = remapTable->persist(
         [this, now](Addr a, std::uint64_t n, const void *d) {
-            access(true, a, n, d, nullptr, now, true);
+            access(true, a, n, d, nullptr, now, true,
+                   PersistOrigin::Meta);
         });
     SNF_ASSERT(ok, "uncapped remap-table persist cannot fail");
     rebuildLineMap();

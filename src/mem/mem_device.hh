@@ -47,10 +47,19 @@ class MemDevice
      * nullptr for timing-only probes).
      * @p priorityWrite marks ordering-critical log writes, which the
      * controller services ahead of queued data write-backs.
+     * @p origin tags who issued the write; journaled together with
+     * the issue tick (@p now) so crash tooling can reconstruct the
+     * in-flight persist set and its hardware-enforced ordering edges.
+     * @p issueHint overrides the journaled issue tick (kTickNever =
+     * use @p now); the injectSkipWbBarrier self-test passes the
+     * pre-barrier tick here so the write appears pending across the
+     * barrier wait without changing any timing.
      */
     Result access(bool write, Addr addr, std::uint64_t size,
                   const void *wdata, void *rdata, Tick now,
-                  bool priorityWrite = false);
+                  bool priorityWrite = false,
+                  PersistOrigin origin = PersistOrigin::Data,
+                  Tick issueHint = kTickNever);
 
     /** Functional, zero-time read (recovery / verification). */
     void functionalRead(Addr addr, std::uint64_t size, void *out) const;
@@ -98,6 +107,22 @@ class MemDevice
 
     BackingStore &store() { return backing; }
     const BackingStore &store() const { return backing; }
+
+    /**
+     * Declare [base, base+size) the durable log region. Timed writes
+     * that land there must arrive on the serialized priority channel
+     * with a log/metadata origin — the single write path that both
+     * logging backends share and that the fault injector instruments
+     * — so neither backend can grow a log write path that bypasses
+     * fault injection or the FIFO ordering (fault parity by
+     * construction).
+     */
+    void
+    setLogRegion(Addr base, std::uint64_t size)
+    {
+        logRegionBase = base;
+        logRegionSize = size;
+    }
 
     /** Earliest tick a new access issued at @p now could complete. */
     Tick earliestDone(Addr addr, bool write, Tick now) const;
@@ -167,6 +192,9 @@ class MemDevice
     Tick readChannelBusy = 0;
     Tick writeChannelBusy = 0;
     Tick logChannelBusy = 0;
+    /** Durable log region for the write-path parity assert; 0 = off. */
+    Addr logRegionBase = 0;
+    std::uint64_t logRegionSize = 0;
     sim::StatGroup statGroup; // must precede the counter references
 
   public:
@@ -185,6 +213,8 @@ class MemDevice
     sim::Counter &faultTornLines;
     sim::Counter &faultDroppedWrites;
     sim::Counter &faultStuckWords;
+    /** Bytes the enabled fault injector examined in scope. */
+    sim::Counter &faultExaminedBytes;
     /** Lines promoted into the remap table on this device. */
     sim::Counter &remappedLines;
 
@@ -199,7 +229,7 @@ class MemDevice
      *  to the spare. */
     void mediaRead(Addr addr, std::uint64_t size, void *out) const;
     void mediaWrite(Addr addr, std::uint64_t size, const void *in,
-                    Tick done);
+                    Tick done, Tick issue, PersistOrigin origin);
 };
 
 } // namespace snf::mem

@@ -89,9 +89,12 @@ MemorySystem::evictL2Line(CacheLine *slot, Tick now)
     l2.evictions.inc();
     if (slot->dirty) {
         MemDevice &dev = deviceFor(line);
+        Tick preBarrier = now;
         now = barrierFor(line, now);
         auto res = dev.access(true, line, l2.lineBytes(),
-                              slot->data.data(), nullptr, now);
+                              slot->data.data(), nullptr, now, false,
+                              PersistOrigin::Data,
+                              wbIssueHint(preBarrier));
         l2.writebacks.inc();
         if (cfg.map.isNvram(line))
             busMonitor.onDataWriteback(line, now, res.done);
@@ -305,10 +308,13 @@ MemorySystem::clwb(CoreId core, Addr addr, Tick now)
     CacheLine *l2line = l2.find(line);
     if (l2line && l2line->dirty) {
         Tick start = std::max(t, l2.busyUntil) + l2.latency();
+        Tick preBarrier = start;
         start = barrierFor(line, start);
         MemDevice &dev = deviceFor(line);
         auto res = dev.access(true, line, l2.lineBytes(),
-                              l2line->data.data(), nullptr, start);
+                              l2line->data.data(), nullptr, start,
+                              false, PersistOrigin::Data,
+                              wbIssueHint(preBarrier));
         l2line->dirty = false;
         l2line->fwb = false;
         l2.writebacks.inc();
@@ -364,7 +370,9 @@ MemorySystem::fwbScanAll(Tick now, double costPerLine)
                     wb_issue, barrierFor(line.lineAddr, now));
                 auto res =
                     dev.access(true, line.lineAddr, cache.lineBytes(),
-                               line.data.data(), nullptr, start);
+                               line.data.data(), nullptr, start,
+                               false, PersistOrigin::Data,
+                               wbIssueHint(wb_issue));
                 line.dirty = false;
                 line.fwb = false;
                 cache.writebacks.inc();
@@ -405,7 +413,9 @@ MemorySystem::flushAllDirty(Tick now)
             MemDevice &dev = deviceFor(line.lineAddr);
             Tick start = barrierFor(line.lineAddr, now);
             auto res = dev.access(true, line.lineAddr, l2.lineBytes(),
-                                  line.data.data(), nullptr, start);
+                                  line.data.data(), nullptr, start,
+                                  false, PersistOrigin::Data,
+                                  wbIssueHint(now));
             line.dirty = false;
             line.fwb = false;
             l2.writebacks.inc();

@@ -237,6 +237,20 @@ class MemorySystem
         return now;
     }
 
+    /**
+     * Journaled issue tick of a data write-back: normally the
+     * post-barrier access tick (kTickNever = "use the access tick"),
+     * but the injectSkipWbBarrier self-test reports the pre-barrier
+     * tick, making the write-back concurrently pending with the log
+     * drains the barrier waited on — without moving a single cycle.
+     */
+    Tick
+    wbIssueHint(Tick preBarrier) const
+    {
+        return cfg.persist.injectSkipWbBarrier ? preBarrier
+                                               : kTickNever;
+    }
+
     sim::Counter &coherenceInvalidations;
     sim::Counter &cacheToCacheTransfers;
 };

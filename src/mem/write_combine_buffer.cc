@@ -29,7 +29,8 @@ WriteCombineBuffer::flushOldest(Tick now)
     // Serialize flushes: the WCB has one port to the memory bus.
     Tick issue = std::max(now, lastFlushDone);
     auto res = dev.access(true, e.lineAddr + e.lo, e.hi - e.lo,
-                          e.data.data() + e.lo, nullptr, issue, true);
+                          e.data.data() + e.lo, nullptr, issue, true,
+                          PersistOrigin::WcbFlush);
     lastFlushDone = res.done;
     flushes.inc();
     if (probe)
@@ -92,6 +93,13 @@ WriteCombineBuffer::drainAll(Tick now)
 void
 WriteCombineBuffer::dropAll()
 {
+    // Account for every in-flight write: each discarded entry is
+    // announced so traces (and reorderlab) know which lines were
+    // pending in the WCB when the crash model wiped it.
+    if (probe) {
+        for (const Entry &e : entries)
+            probe(sim::ProbeEvent::WcbDrop, 0, e.lineAddr);
+    }
     entries.clear();
     inflight.clear();
 }

@@ -49,15 +49,17 @@ LogBuffer::flushGroup(Tick now)
                 open.bytes.data() + s * slot_bytes;
             auto r1 = nvram.access(true, slot_base + 8,
                                    slot_bytes - 8, src + 8, nullptr,
-                                   done, true);
+                                   done, true,
+                                   PersistOrigin::LogDrain);
             auto r2 = nvram.access(true, slot_base, 8, src, nullptr,
-                                   r1.done, true);
+                                   r1.done, true,
+                                   PersistOrigin::LogDrain);
             done = r2.done;
         }
     } else {
         auto res = nvram.access(true, open.base, open.bytes.size(),
                                 open.bytes.data(), nullptr, issue,
-                                true);
+                                true, PersistOrigin::LogDrain);
         done = res.done;
     }
     lastDrainDone = done;

@@ -52,7 +52,7 @@ LogRegion::persistHeader(Tick now)
     std::memcpy(hdr + 16, &pass, 8);
     std::memcpy(hdr + 24, &tail, 8);
     nvram.access(true, regionBase, kHeaderBytes, hdr, nullptr, now,
-                 true);
+                 true, PersistOrigin::Meta);
 }
 
 void
@@ -221,7 +221,7 @@ LogRegion::clearSlots(Tick now)
     for (std::uint64_t off = 0; off < bytes; off += kChunk) {
         std::uint64_t n = std::min(kChunk, bytes - off);
         nvram.access(true, begin + off, n, zeros, nullptr, now,
-                     true);
+                     true, PersistOrigin::Meta);
     }
 }
 

@@ -96,7 +96,7 @@ LogScrubber::scrubSlot(const SlotRef &ref, Tick now)
 
     if (corrected) {
         nvram.access(true, ref.addr, sizeof(img), img, nullptr, now,
-                     true);
+                     true, PersistOrigin::Meta);
         writeBytes.inc(sizeof(img));
         repairs.inc();
     } else if (!ref.region->slotLive(ref.slot)) {
@@ -104,7 +104,7 @@ LogScrubber::scrubSlot(const SlotRef &ref, Tick now)
         // clean hole instead of noise to bridge.
         std::uint8_t zeros[LogRecord::kSlotBytes] = {};
         nvram.access(true, ref.addr, sizeof(zeros), zeros, nullptr,
-                     now, true);
+                     now, true, PersistOrigin::Meta);
         writeBytes.inc(sizeof(zeros));
         zeroed.inc();
     } else {
@@ -139,7 +139,8 @@ LogScrubber::checkRemapRedundancy(Tick now)
     // the inactive bank to restore dual-bank redundancy.
     bool ok = remap->persist(
         [this, now](Addr a, std::uint64_t n, const void *d) {
-            nvram.access(true, a, n, d, nullptr, now, true);
+            nvram.access(true, a, n, d, nullptr, now, true,
+                         PersistOrigin::Meta);
             writeBytes.inc(n);
         });
     SNF_ASSERT(ok, "uncapped bank repair cannot fail");

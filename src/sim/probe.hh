@@ -59,6 +59,14 @@ enum class ProbeEvent : std::uint8_t
      * recovery pass. Crash-during-recovery sweeps key off these.
      */
     RecoveryWrite,
+    /**
+     * The crash model discarded a pending WCB entry before it reached
+     * NVRAM (arg = line address). Emitted once per dropped entry so
+     * traces account for every in-flight write; crash harvesting
+     * ignores these (the drop *is* the crash, not a durable-image
+     * change).
+     */
+    WcbDrop,
 };
 
 /** Short stable name for reports. */
@@ -75,6 +83,7 @@ probeEventName(ProbeEvent e)
       case ProbeEvent::CommitDurable: return "commit-durable";
       case ProbeEvent::TxAbort:       return "tx-abort";
       case ProbeEvent::RecoveryWrite: return "recovery-write";
+      case ProbeEvent::WcbDrop:       return "wcb-drop";
     }
     return "?";
 }

@@ -26,6 +26,43 @@ using TxId = std::uint16_t;
 /** Sentinel for "no tick scheduled / never". */
 constexpr Tick kTickNever = ~Tick{0};
 
+/**
+ * Who put a persistent write on the NVRAM channel. Carried alongside
+ * each journaled media write so crash tooling can reconstruct the
+ * ordering edges the hardware actually enforces between writes that
+ * are still in flight (issued but not yet durable) at a crash tick:
+ * log/metadata writes share one serialized priority channel while
+ * independent data write-backs are unordered relative to everything
+ * disjoint.
+ */
+enum class PersistOrigin : std::uint8_t
+{
+    /** Zero-time functional write (setup, recovery) — never pending. */
+    Functional,
+    /** Cache data write-back (eviction, clwb, FWB, shutdown flush). */
+    Data,
+    /** Hardware log-buffer drain (HWL log records, commit records). */
+    LogDrain,
+    /** WCB flush of an uncacheable write (software log records). */
+    WcbFlush,
+    /** Device metadata: remap migration, scrubber repair, log header. */
+    Meta,
+};
+
+/** Short stable name for reports. */
+inline const char *
+persistOriginName(PersistOrigin o)
+{
+    switch (o) {
+      case PersistOrigin::Functional: return "functional";
+      case PersistOrigin::Data:       return "data";
+      case PersistOrigin::LogDrain:   return "log-drain";
+      case PersistOrigin::WcbFlush:   return "wcb-flush";
+      case PersistOrigin::Meta:       return "meta";
+    }
+    return "?";
+}
+
 /** Sentinel transaction id meaning "not inside a transaction". */
 constexpr TxId kNoTx = 0xffff;
 

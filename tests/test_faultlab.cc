@@ -419,12 +419,16 @@ TEST(FaultInjector, LiveRunFaultCountIsDeterministic)
 
 TEST(FaultInjector, LogRegionFaultParityAcrossBackends)
 {
-    // Software logging writes its records through the same
-    // uncacheable-write → WCB → media path as the hardware engines,
-    // so log-region-scoped media faults must inject under BOTH
-    // backends. This pins the FaultModel parity the conformlab
-    // differential depends on: neither backend's log writes may
-    // bypass the injector.
+    // Fault parity is enforced by construction since reorderlab:
+    // MemDevice asserts that every timed write landing in the durable
+    // log region arrives on the serialized priority channel with a
+    // log/metadata origin — the single path the injector instruments
+    // — so neither backend *can* grow a log write path that bypasses
+    // fault injection. This test drives both backends through
+    // log-region-scoped faults (tripping that assert on any escape
+    // path) and checks the structural evidence: the injector must
+    // have examined log-region bytes, and faults must land, under
+    // BOTH backends.
     auto run = [](PersistMode mode) {
         workloads::RunSpec spec;
         spec.workload = "sps";
@@ -442,10 +446,16 @@ TEST(FaultInjector, LogRegionFaultParityAcrossBackends)
     };
     auto hw = run(PersistMode::Fwb);
     auto sw = run(PersistMode::UndoClwb);
-    EXPECT_GT(hw.stats.faultsInjected, 0u)
+    // Structural: every log write passed through the injector's
+    // scope, so both backends show examined bytes — deterministic
+    // evidence that does not depend on fault-probability luck.
+    EXPECT_GT(hw.stats.faultExaminedBytes, 0u)
         << "hardware log writes bypass the fault injector";
-    EXPECT_GT(sw.stats.faultsInjected, 0u)
+    EXPECT_GT(sw.stats.faultExaminedBytes, 0u)
         << "software log writes bypass the fault injector";
+    // And at this rate faults do land under both.
+    EXPECT_GT(hw.stats.faultsInjected, 0u);
+    EXPECT_GT(sw.stats.faultsInjected, 0u);
 }
 
 // --------------------- image faulting (sweep) --------------------

@@ -52,6 +52,30 @@
  *                          it, and require byte-for-byte convergence
  *                          with the uninterrupted pass (1 = every
  *                          interior write)
+ *     --reorder            reorderlab: at every evaluated crash
+ *                          point, also test every legal completion
+ *                          order of the in-flight persist set —
+ *                          exhaustive order ideals when the pending
+ *                          set is small, seeded random linearization
+ *                          cuts otherwise — through the same checkers
+ *     --reorder-samples N  sampled linearization cuts per point when
+ *                          the pending set exceeds the exhaustive
+ *                          bound (default 32)
+ *     --reorder-bound N    exhaustive order-ideal enumeration up to N
+ *                          pending persists (default 6, max 19)
+ *     --reorder-seed N     seed of the sampled linearizations
+ *     --torn-lines 0|1     also tear the last pending persist of each
+ *                          reorder image at 8-byte write boundaries
+ *                          (default 1)
+ *     --inject-skip-wb-barrier
+ *                          fault injection: the controller posts data
+ *                          write-backs into the ADR domain without
+ *                          waiting for log-drain acceptance (cycle
+ *                          timing unchanged, so the completion order
+ *                          and hence the plain prefix sweep see
+ *                          nothing; only --reorder, which explores
+ *                          legal orders of concurrently pending
+ *                          writes, catches the skipped edge)
  *     --inject-skip-undo   fault injection: recovery skips the undo
  *     --inject-skip-redo   phase / the redo phase (self-test: the
  *                          sweep must catch and minimize these)
@@ -135,9 +159,13 @@ usage()
         "[--fault-seed N]\n"
         "                [--fault-preset light|heavy] "
         "[--sweep-recovery N]\n"
+        "                [--reorder] [--reorder-samples N] "
+        "[--reorder-bound N]\n"
+        "                [--reorder-seed N] [--torn-lines 0|1]\n"
         "                [--no-minimize] [--inject-skip-undo] "
         "[--inject-skip-redo]\n"
-        "                [--inject-ignore-crc] [--list]\n");
+        "                [--inject-ignore-crc] "
+        "[--inject-skip-wb-barrier] [--list]\n");
 }
 
 } // namespace
@@ -249,6 +277,19 @@ main(int argc, char **argv)
             base.sampleSeed = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--sweep-recovery")) {
             base.recoverySweepStride = std::strtoull(v, nullptr, 0);
+        } else if (args[i] == "--reorder") {
+            base.reorder.enabled = true;
+        } else if (const char *v = arg("--reorder-samples")) {
+            base.reorder.samples = static_cast<std::size_t>(
+                parseCount("--reorder-samples", v));
+        } else if (const char *v = arg("--reorder-bound")) {
+            base.reorder.exhaustiveBound = static_cast<std::size_t>(
+                parseCount("--reorder-bound", v));
+        } else if (const char *v = arg("--reorder-seed")) {
+            base.reorder.seed = parseCount("--reorder-seed", v);
+        } else if (const char *v = arg("--torn-lines")) {
+            base.reorder.tornLines =
+                parseCount("--torn-lines", v) != 0;
         } else if (const char *v = arg("--json")) {
             jsonPath = v;
         } else if (const char *v = arg("--bench-json")) {
@@ -261,6 +302,8 @@ main(int argc, char **argv)
             base.recovery.faultSkipRedo = true;
         } else if (args[i] == "--inject-ignore-crc") {
             base.recovery.faultIgnoreCrc = true;
+        } else if (args[i] == "--inject-skip-wb-barrier") {
+            base.run.sys.persist.injectSkipWbBarrier = true;
         } else if (args[i] == "--list") {
             std::printf("workloads:");
             for (const auto &w : allWorkloadNames())

@@ -13,6 +13,10 @@
  *     --replay FILE       replay one .snfprog repro instead
  *     --corpus DIR        replay every *.snfprog in DIR (sorted)
  *     --max-crash-points N  harvested crash points per backend
+ *     --reorder-samples N reorderlab: at every crash point, also
+ *                         recover up to N legal completion orders of
+ *                         the pending persist set and require each to
+ *                         stay model-consistent (0 = prefix only)
  *     --no-crash          final-image differential only
  *     --no-shrink         report the first failure unminimized
  *     --out FILE          failing-program repro path
@@ -66,6 +70,7 @@ usage()
     std::printf("usage: snfdiff [--programs N] [--seed N] [--jobs N]\n"
                 "               [--replay FILE] [--corpus DIR] "
                 "[--max-crash-points N]\n"
+                "               [--reorder-samples N]\n"
                 "               [--no-crash] [--no-shrink] "
                 "[--out FILE]\n"
                 "               [--conflict-rate R] [--load-rate R] "
@@ -155,6 +160,9 @@ main(int argc, char **argv)
             corpusDir = v;
         } else if (const char *v = arg("--max-crash-points")) {
             cfg.maxCrashPoints =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (const char *v = arg("--reorder-samples")) {
+            cfg.reorderSamples =
                 static_cast<std::size_t>(std::atoll(v));
         } else if (const char *v = arg("--out")) {
             outPath = v;
