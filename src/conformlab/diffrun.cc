@@ -31,13 +31,15 @@ struct BackendRun
 };
 
 BackendRun
-runBackend(const Program &p, PersistMode mode, CcMode cc)
+runBackend(const Program &p, PersistMode mode, CcMode cc,
+           std::uint32_t logShards)
 {
     BackendRun b;
     b.mode = mode;
     SystemConfig cfg = SystemConfig::scaled(p.threads);
     cfg.persist.crashJournal = true;
     cfg.persist.ccMode = cc;
+    cfg.persist.logShards = logShards;
     b.sys = std::make_unique<System>(cfg, mode);
     b.wl = std::make_unique<workloads::ProgWorkload>(p);
 
@@ -254,8 +256,8 @@ runDiff(const Program &p, const DiffConfig &cfg)
     CcMode cc = p.hasConflicts() && !cfg.injectLostUpdate
                     ? cfg.ccMode
                     : CcMode::None;
-    BackendRun hw = runBackend(p, cfg.hwMode, cc);
-    BackendRun sw = runBackend(p, cfg.swMode, cc);
+    BackendRun hw = runBackend(p, cfg.hwMode, cc, cfg.logShards);
+    BackendRun sw = runBackend(p, cfg.swMode, cc, cfg.logShards);
     SNF_ASSERT(hw.wl->slotAddr(0) == sw.wl->slotAddr(0),
                "backend heap layouts diverged");
 

@@ -86,6 +86,12 @@ struct DiffConfig
      * keeps the plain prefix model.
      */
     std::size_t reorderSamples = 0;
+    /**
+     * Log shards both backends run with (shardlab). >1 slices the
+     * log NVRAM across shards and engages the cross-shard commit
+     * protocol; 1 keeps the classic single-region layout.
+     */
+    std::uint32_t logShards = 1;
 };
 
 /** Outcome of one program's differential evaluation. */

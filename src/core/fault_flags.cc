@@ -3,8 +3,30 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "sim/logging.hh"
+
 namespace snf
 {
+
+std::uint64_t
+parseCountFlag(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    std::uint64_t n = std::strtoull(value, &end, 0);
+    if (end == value || *end != '\0')
+        fatal("%s needs a number, got '%s'", flag, value);
+    return n;
+}
+
+std::uint32_t
+parseLogShardsFlag(const char *flag, const char *value)
+{
+    std::uint64_t n = parseCountFlag(flag, value);
+    if (n == 0 || n > 64)
+        fatal("%s needs a shard count in [1,64], got '%s'", flag,
+              value);
+    return static_cast<std::uint32_t>(n);
+}
 
 void
 FaultFlagSet::addRate(const std::string &flag, double *target)

@@ -21,6 +21,20 @@
 namespace snf
 {
 
+/**
+ * Strict unsigned flag-value parse shared by the tools: the whole
+ * value must be a number (base prefix allowed); empty values and
+ * trailing garbage are fatal with a diagnostic naming the flag.
+ */
+std::uint64_t parseCountFlag(const char *flag, const char *value);
+
+/**
+ * Parse a --log-shards value: a strict count that must additionally
+ * lie in [1, 64] (0 shards is meaningless, 64 is the participation
+ * mask width). fatal() with a diagnostic otherwise.
+ */
+std::uint32_t parseLogShardsFlag(const char *flag, const char *value);
+
 /** Outcome of FaultFlagSet::consume() for one argv position. */
 enum class FlagParse
 {

@@ -29,22 +29,30 @@ System::System(const SystemConfig &config, PersistMode m)
     pheap = std::make_unique<PersistentHeap>(cfg.map, memory->nvram());
     dheap = std::make_unique<BumpAllocator>(cfg.map.dramBase,
                                             cfg.map.dramSize);
-    // Partition the log area: one circular region for centralized
+    // Split the log area: one circular region for centralized
     // logging, one per core for distributed per-thread logs
-    // (Section III-F).
+    // (Section III-F), or one per address-interleaved shard
+    // (shardlab). Partitions and shards are mutually exclusive
+    // (validate() enforces it), so the region count is whichever
+    // splitting is active.
     std::uint32_t partitions =
         (cfg.persist.distributedLogs && isHardwareLogging(persistMode))
             ? cfg.numCores
             : 1;
+    std::uint32_t shards = cfg.persist.logShards;
     cfg.map.logPartitions = partitions;
-    std::uint64_t part_bytes = cfg.map.logSize / partitions;
-    for (std::uint32_t p = 0; p < partitions; ++p) {
+    cfg.map.logShards = shards;
+    std::uint32_t region_count = std::max(partitions, shards);
+    std::uint64_t part_bytes = cfg.map.logSize / region_count;
+    for (std::uint32_t p = 0; p < region_count; ++p) {
         logRegions.push_back(std::make_unique<persist::LogRegion>(
             cfg.map.logBase() + p * part_bytes, part_bytes,
             memory->nvram(),
-            partitions == 1 ? "log" : strfmt("log.%u", p)));
+            region_count == 1 ? "log" : strfmt("log.%u", p)));
         logRegions.back()->create();
     }
+    if (shards > 1)
+        memory->nvram().setLogShards(shards);
 
     // Wire reclamation-hazard predicates (invariant I4).
     for (auto &region : logRegions) {
@@ -96,7 +104,8 @@ System::System(const SystemConfig &config, PersistMode m)
         }
         hwlEngine = std::make_unique<persist::HwlEngine>(
             persistMode, std::move(buf_ptrs),
-            std::move(region_ptrs), txnTracker);
+            std::move(region_ptrs), txnTracker, shards,
+            cfg.persist.injectSkipShardMask);
         memory->setStoreHook(hwlEngine.get());
         // The memory controller issues log-buffer entries to the
         // NVRAM bus ahead of data write-backs (FIFO order at the
@@ -110,8 +119,12 @@ System::System(const SystemConfig &config, PersistMode m)
             });
         }
     } else if (isSoftwareLogging(persistMode)) {
+        std::vector<persist::LogRegion *> region_ptrs;
+        for (auto &region : logRegions)
+            region_ptrs.push_back(region.get());
         swLogging = std::make_unique<persist::SwLogging>(
-            persistMode, *memory, *logRegions[0], txnTracker);
+            persistMode, *memory, std::move(region_ptrs), txnTracker,
+            shards, cfg.persist.injectSkipShardMask);
         // The WCB sits in the memory controller ahead of the data
         // write queue: uncacheable log stores issued before a data
         // write-back drain first (same FIFO argument as the hardware
@@ -220,9 +233,11 @@ System::collectUndo(std::uint64_t txSeq) const
         auto part = region->collectUndo(txSeq);
         out.insert(out.end(), part.begin(), part.end());
     }
-    // A transaction's records live in a single partition (the
-    // appending core's), so concatenation preserves the newest-first
-    // order within the only non-empty contribution.
+    // Per-core partitions keep a transaction's records in a single
+    // region (the appending core's); with address-interleaved shards
+    // every update to one address lands in one shard, so reverse
+    // rollback order only has to hold per address — newest-first
+    // within each region's contribution suffices either way.
     return out;
 }
 

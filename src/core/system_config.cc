@@ -182,6 +182,15 @@ SystemConfig::validate() const
               static_cast<unsigned long long>(persist.logBytes));
     if (persist.logBytes >= map.nvramSize)
         fatal("log does not fit in NVRAM");
+    if (persist.logShards == 0 || persist.logShards > 64)
+        fatal("logShards %u out of range [1,64]", persist.logShards);
+    if (persist.logShards > 1 && persist.distributedLogs)
+        fatal("logShards and distributedLogs are mutually exclusive "
+              "(per-address vs per-core log splitting)");
+    if (persist.logBytes % persist.logShards != 0)
+        fatal("log size %llu not divisible into %u shards",
+              static_cast<unsigned long long>(persist.logBytes),
+              persist.logShards);
     if (persist.wcbEntries == 0)
         fatal("WCB needs at least one entry");
     if (map.remapSize != 0) {

@@ -297,6 +297,31 @@ struct PersistConfig
      * writes, can catch the skipped ordering edge.
      */
     bool injectSkipWbBarrier = false;
+    /**
+     * Multi-controller log sharding (shardlab): the log area is split
+     * into logShards equal circular regions, each modeling one memory
+     * controller's slice of the line-address space. Every update
+     * record for a data line lands in the shard owning that line
+     * (shard = (line >> 6) mod logShards), so per-address record
+     * order is preserved within one shard. A transaction touching
+     * more than one shard commits through a two-phase protocol:
+     * prepare records in every participant shard, then one commit
+     * record in the owner shard carrying the participation mask.
+     * 1 (the default) keeps the single centralized log byte-identical
+     * to the pre-shard layout. Mutually exclusive with
+     * distributedLogs (which partitions per core, not per address).
+     */
+    std::uint32_t logShards = 1;
+    /**
+     * Crash-tooling self-test only: the owner-shard commit record of
+     * a cross-shard transaction is written with a participation mask
+     * naming only the owner shard (cycle timing unchanged). Recovery
+     * then redoes the owner shard's updates but treats every other
+     * participant's prepared generation as unresolved and undoes it —
+     * a mixed half-committed image the sharded crash sweep and the
+     * conformlab differential must catch.
+     */
+    bool injectSkipShardMask = false;
     /** Behavior when a log append finds no reclaimable slot. */
     LogFullPolicy logFullPolicy = LogFullPolicy::Reclaim;
     /** Stall/AbortRetry: attempts before falling back to Reclaim. */
@@ -348,6 +373,12 @@ struct AddressMap
     /** Number of log partitions (1 = centralized). */
     std::uint32_t logPartitions = 1;
     /**
+     * Number of address-interleaved log shards (shardlab); 1 =
+     * centralized. Exclusive with logPartitions > 1: partitions
+     * split the log per core, shards split it per line address.
+     */
+    std::uint32_t logShards = 1;
+    /**
      * Bad-line remap table region (lifelab), directly above the log:
      * two CRC-protected banks of mapping entries. 0 (the default)
      * disables remapping and keeps the pre-lifelab address map.
@@ -369,6 +400,21 @@ struct AddressMap
     }
 
     Addr logBase() const { return nvramBase; }
+
+    /**
+     * Number of independent circular log regions in the log area —
+     * per-core partitions and address-interleaved shards both slice
+     * the same area, and they are mutually exclusive, so the count is
+     * simply the larger of the two (minimum 1). Recovery, the
+     * invariant checkers, and faultlab iterate regions through this.
+     */
+    std::uint32_t
+    logRegionCount() const
+    {
+        std::uint32_t n = logPartitions > logShards ? logPartitions
+                                                    : logShards;
+        return n > 0 ? n : 1;
+    }
 
     /** Remap-table region: NVRAM after the log. */
     Addr remapBase() const { return nvramBase + logSize; }

@@ -109,7 +109,7 @@ applyImageFaults(mem::BackingStore &image, const AddressMap &map,
     };
     SlotView view(image, map);
 
-    std::uint32_t partitions = std::max(map.logPartitions, 1u);
+    std::uint32_t partitions = map.logRegionCount();
     std::uint64_t part_bytes = map.logSize / partitions;
     for (std::uint32_t p = 0; p < partitions; ++p) {
         Addr base = map.logBase() + p * part_bytes;
@@ -124,6 +124,28 @@ applyImageFaults(mem::BackingStore &image, const AddressMap &map,
             continue;
 
         Addr slot0 = base + persist::LogRegion::kHeaderBytes;
+        if (cfg.killShard >= 0 &&
+            p == static_cast<std::uint32_t>(cfg.killShard)) {
+            // Shard death (degraded mode): every record the shard
+            // held is damage by definition — record the txids first,
+            // then wipe the header so recovery cannot trust the
+            // slice at all.
+            for (std::uint64_t i = 0; i < slots; ++i) {
+                std::uint8_t img[persist::LogRecord::kSlotBytes];
+                image.read(view.translate(
+                               slot0 +
+                               i * persist::LogRecord::kSlotBytes),
+                           persist::LogRecord::kSlotBytes, img);
+                persist::SlotInfo info = persist::classifySlot(img);
+                if (info.cls == persist::SlotClass::Valid)
+                    plan.damagedTxIds.push_back(info.rec.tx);
+            }
+            std::uint8_t zeros[persist::LogRegion::kHeaderBytes] = {};
+            image.write(view.translate(base),
+                        persist::LogRegion::kHeaderBytes, zeros);
+            plan.killedShard = cfg.killShard;
+            continue;
+        }
         for (std::uint64_t i = 0; i < slots; ++i) {
             Addr a = slot0 + i * persist::LogRecord::kSlotBytes;
             std::uint8_t img[persist::LogRecord::kSlotBytes];
@@ -196,7 +218,7 @@ coveredRanges(const mem::BackingStore &image, const AddressMap &map,
 
     std::vector<std::pair<Addr, Addr>> ranges;
     SlotView view(image, map);
-    std::uint32_t partitions = std::max(map.logPartitions, 1u);
+    std::uint32_t partitions = map.logRegionCount();
     std::uint64_t part_bytes = map.logSize / partitions;
     for (std::uint32_t p = 0; p < partitions; ++p) {
         Addr base = map.logBase() + p * part_bytes;
@@ -213,7 +235,8 @@ coveredRanges(const mem::BackingStore &image, const AddressMap &map,
                        persist::LogRecord::kSlotBytes, img);
             persist::SlotInfo info = persist::classifySlot(img);
             if (info.cls != persist::SlotClass::Valid ||
-                info.rec.isCommit || !interesting(info.rec.tx))
+                info.rec.isCommit || info.rec.isPrepare ||
+                !interesting(info.rec.tx))
                 continue;
             ranges.emplace_back(info.rec.addr,
                                 info.rec.addr + info.rec.size);
@@ -330,8 +353,13 @@ checkFaultedCrashPoint(const mem::BackingStore &image,
     // record) or a false skip.
     mem::BackingStore cleanRec = image;
     persist::Recovery::run(cleanRec, map, persist::RecoveryOptions{});
-    auto ranges =
-        coveredRanges(image, map, plan, rep.quarantinedTxIds);
+    // Dead-shard aborts roll a committed transaction back on its
+    // surviving shards, so their write sets legitimately diverge from
+    // the clean recovery too.
+    std::vector<std::uint16_t> excused = rep.quarantinedTxIds;
+    excused.insert(excused.end(), rep.deadShardAbortTxIds.begin(),
+                   rep.deadShardAbortTxIds.end());
+    auto ranges = coveredRanges(image, map, plan, excused);
     Addr from = map.heapBase();
     Addr end = map.nvramBase + map.nvramSize;
     while (from < end) {

@@ -54,12 +54,20 @@ struct ImageFaultConfig
     double multiBitProb = 0.0; ///< flip two distinct bits
     double dropSlotProb = 0.0; ///< slot write lost entirely (zeroed)
     double tornSlotProb = 0.0; ///< header word lost, payload landed
+    /**
+     * Kill one whole log shard (shardlab degraded mode): the shard's
+     * header is wiped so recovery must treat its slice as lost,
+     * salvage the survivors, and abort every transaction whose
+     * participation mask intersects it. -1 = off.
+     */
+    std::int32_t killShard = -1;
 
     bool
     enabled() const
     {
         return bitFlipProb > 0.0 || multiBitProb > 0.0 ||
-               dropSlotProb > 0.0 || tornSlotProb > 0.0;
+               dropSlotProb > 0.0 || tornSlotProb > 0.0 ||
+               killShard >= 0;
     }
 
     /** Rare single-bit upsets (the common PCM field-failure mode). */
@@ -95,6 +103,9 @@ struct ImageFaultPlan
     std::uint64_t multiBitSlots = 0;
     std::uint64_t droppedSlots = 0;
     std::uint64_t tornSlots = 0;
+    /** Shard whose header was wiped (-1 = none). Its records' txids
+     *  are all recorded in damagedTxIds before the wipe. */
+    std::int32_t killedShard = -1;
     /** txids of every record damaged, sorted and deduplicated. */
     std::vector<std::uint16_t> damagedTxIds;
 

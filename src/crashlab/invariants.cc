@@ -173,7 +173,7 @@ std::string
 describeLogWindow(const mem::BackingStore &image, const AddressMap &map)
 {
     std::string out;
-    std::uint32_t partitions = std::max(map.logPartitions, 1u);
+    std::uint32_t partitions = map.logRegionCount();
     std::uint64_t part_bytes = map.logSize / partitions;
     for (std::uint32_t p = 0; p < partitions; ++p) {
         Addr base = map.logBase() + p * part_bytes;
@@ -200,8 +200,18 @@ describeLogWindow(const mem::BackingStore &image, const AddressMap &map)
             out += format("  slot %4llu torn=%d tx=%u %s",
                           static_cast<unsigned long long>(i),
                           torn ? 1 : 0, rec->tx,
-                          rec->isCommit ? "COMMIT" : "update");
-            if (!rec->isCommit) {
+                          rec->isPrepare ? "PREPARE"
+                          : rec->isCommit ? "COMMIT"
+                                          : "update");
+            if (rec->isPrepare || rec->hasShardMask) {
+                out += format(" seq=%llu",
+                              static_cast<unsigned long long>(
+                                  rec->commitSeq));
+                if (rec->hasShardMask)
+                    out += format(" mask=0x%llx",
+                                  static_cast<unsigned long long>(
+                                      rec->shardMask));
+            } else if (!rec->isCommit) {
                 out += format(" addr=0x%llx size=%u%s%s",
                               static_cast<unsigned long long>(
                                   rec->addr),

@@ -62,6 +62,21 @@ writeTextSummary(std::ostream &os, const CellResult &cell)
            << cell.sweep.totalSalvaged << " txns salvaged, "
            << cell.sweep.totalQuarantined << " quarantined\n";
     }
+    for (const auto &t : cell.sweep.shardTotals) {
+        os << "  shard " << t.shard << ": " << t.validRecords
+           << " records, " << t.salvagedTxns << " salvaged, "
+           << t.quarantinedTxns << " quarantined";
+        if (t.abortedDeadShard != 0 || t.deadPoints != 0) {
+            os << ", " << t.abortedDeadShard
+               << " dead-shard aborts, dead at " << t.deadPoints
+               << " points";
+        }
+        os << "\n";
+    }
+    if (cell.sweep.totalDeadShardAborted != 0) {
+        os << "  degraded: " << cell.sweep.totalDeadShardAborted
+           << " txns aborted across a dead shard\n";
+    }
     if (cell.sweep.reorderEnabled) {
         os << "  reorder: " << cell.sweep.reorderImagesTested
            << " images tested across "
@@ -182,6 +197,24 @@ writeCell(std::ostream &os, const CellResult &cell,
        << ",\n";
     os << indent << "  \"txns_quarantined\": " << sw.totalQuarantined
        << ",\n";
+    // Shard fields only when the log was sharded: unsharded reports
+    // stay byte-identical to the pre-shardlab format.
+    if (!sw.shardTotals.empty()) {
+        os << indent << "  \"dead_shard_aborted\": "
+           << sw.totalDeadShardAborted << ",\n";
+        os << indent << "  \"shards\": [";
+        for (std::size_t i = 0; i < sw.shardTotals.size(); ++i) {
+            const SweepResult::ShardTotals &t = sw.shardTotals[i];
+            os << (i ? ",\n" : "\n");
+            os << indent << "    {\"shard\": " << t.shard
+               << ", \"valid_records\": " << t.validRecords
+               << ", \"salvaged\": " << t.salvagedTxns
+               << ", \"quarantined\": " << t.quarantinedTxns
+               << ", \"aborted_dead_shard\": " << t.abortedDeadShard
+               << ", \"dead_points\": " << t.deadPoints << "}";
+        }
+        os << "\n" << indent << "  ],\n";
+    }
     // Reorder fields only when the adversary ran: reorder-off
     // reports stay byte-identical to the pre-reorderlab format.
     if (sw.reorderEnabled) {

@@ -299,6 +299,19 @@ runCrashSweep(const SweepConfig &cfg)
         res.totalSalvaged += o.report.salvagedTxns;
         res.totalQuarantined += o.report.quarantinedTxns;
         res.totalSlotsFaulted += o.plan.slotsFaulted;
+        res.totalDeadShardAborted += o.report.deadShardAborted;
+        if (res.shardTotals.size() < o.report.shards.size())
+            res.shardTotals.resize(o.report.shards.size());
+        for (std::size_t s = 0; s < o.report.shards.size(); ++s) {
+            const persist::ShardSummary &sum = o.report.shards[s];
+            SweepResult::ShardTotals &tot = res.shardTotals[s];
+            tot.shard = sum.shard;
+            tot.validRecords += sum.validRecords;
+            tot.salvagedTxns += sum.salvagedTxns;
+            tot.quarantinedTxns += sum.quarantinedTxns;
+            tot.abortedDeadShard += sum.abortedDeadShard;
+            tot.deadPoints += sum.dead ? 1 : 0;
+        }
         if (!o.violations.empty()) {
             ++res.pointsFailed;
             res.failures.push_back(std::move(o));

@@ -142,6 +142,22 @@ struct SweepResult
     std::uint64_t totalSalvaged = 0;
     std::uint64_t totalQuarantined = 0;
     std::uint64_t totalSlotsFaulted = 0;
+    /** Sharded sweeps (logShards > 1): per-shard salvage totals
+     *  across every evaluated point; empty otherwise. */
+    struct ShardTotals
+    {
+        std::uint32_t shard = 0;
+        std::uint64_t validRecords = 0;
+        std::uint64_t salvagedTxns = 0;
+        std::uint64_t quarantinedTxns = 0;
+        std::uint64_t abortedDeadShard = 0;
+        /** Evaluated points at which this shard was dead. */
+        std::uint64_t deadPoints = 0;
+    };
+    std::vector<ShardTotals> shardTotals;
+    /** Transactions aborted across all points because a dead shard
+     *  intersected their participation mask. */
+    std::uint64_t totalDeadShardAborted = 0;
     /** Reorder sweeps: adversary coverage accounting. */
     bool reorderEnabled = false;
     /** Reorder images evaluated across every crash point. */

@@ -176,6 +176,23 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
                static_cast<unsigned long long>(addr),
                static_cast<unsigned long long>(size),
                persistOriginName(origin));
+    // Shard parity (shardlab): a timed log write must lie entirely
+    // within one shard's slice of the log region. A straddling write
+    // means a record was routed to the wrong shard — it would corrupt
+    // the neighbor shard's header or slot array silently.
+    SNF_ASSERT(!write || logRegionSize == 0 || logShardCount == 1 ||
+                   addr + size <= logRegionBase ||
+                   addr >= logRegionBase + logRegionSize ||
+                   (addr - logRegionBase) /
+                           (logRegionSize / logShardCount) ==
+                       (addr + size - 1 - logRegionBase) /
+                           (logRegionSize / logShardCount),
+               "timed log write [%llx,+%llu) straddles shard slices "
+               "(%u shards over [%llx,+%llu))",
+               static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(size), logShardCount,
+               static_cast<unsigned long long>(logRegionBase),
+               static_cast<unsigned long long>(logRegionSize));
     std::uint64_t row = rowOf(addr);
     Bank &bank = banks[bankOf(row)];
 

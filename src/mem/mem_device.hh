@@ -124,6 +124,20 @@ class MemDevice
         logRegionSize = size;
     }
 
+    /**
+     * Declare the log region split into @p shards equal slices
+     * (shardlab). The parity assert then additionally requires every
+     * timed log write to lie entirely within one shard's slice — a
+     * log-origin write straddling shard regions means some backend
+     * routed a record to the wrong shard, and fails loudly instead of
+     * corrupting the neighbor shard's slot array.
+     */
+    void
+    setLogShards(std::uint32_t shards)
+    {
+        logShardCount = shards > 0 ? shards : 1;
+    }
+
     /** Earliest tick a new access issued at @p now could complete. */
     Tick earliestDone(Addr addr, bool write, Tick now) const;
 
@@ -195,6 +209,8 @@ class MemDevice
     /** Durable log region for the write-path parity assert; 0 = off. */
     Addr logRegionBase = 0;
     std::uint64_t logRegionSize = 0;
+    /** Shard slices of the log region (shard-straddle assert). */
+    std::uint32_t logShardCount = 1;
     sim::StatGroup statGroup; // must precede the counter references
 
   public:

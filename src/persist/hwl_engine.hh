@@ -32,10 +32,21 @@ class HwlEngine : public mem::PersistentStoreHook
      * @param buffers one (log buffer, region) pair per log
      *        partition; with centralized logging the vectors have
      *        one element, with distributed logs one per core
-     *        (records route by core id, Section III-F).
+     *        (records route by core id, Section III-F), with
+     *        address-interleaved sharding one per shard (records
+     *        route by data-line address, shardlab).
+     * @param logShards >1 selects address-interleaved shard routing
+     *        (buffers.size() must equal logShards) and the
+     *        cross-shard two-phase commit protocol.
+     * @param injectSkipShardMask self-test: cross-shard commit
+     *        records carry an owner-only participation mask (timing
+     *        unchanged); the sharded crash sweep must catch the
+     *        resulting half-committed recoveries.
      */
     HwlEngine(PersistMode mode, std::vector<LogBuffer *> buffers,
-              std::vector<LogRegion *> regions, TxnTracker &txns);
+              std::vector<LogRegion *> regions, TxnTracker &txns,
+              std::uint32_t logShards = 1,
+              bool injectSkipShardMask = false);
 
     /**
      * Cache-triggered logging of one persistent store. Returns the
@@ -50,19 +61,46 @@ class HwlEngine : public mem::PersistentStoreHook
 
     sim::StatGroup &stats() { return statGroup; }
 
+    /** Shard owning a data-line address (identity when unsharded). */
+    std::uint32_t
+    shardOf(Addr addr) const
+    {
+        return shards > 1
+                   ? static_cast<std::uint32_t>((addr >> 6) % shards)
+                   : 0;
+    }
+
   private:
-    LogBuffer &bufferFor(CoreId core);
-    LogRegion &regionFor(CoreId core);
+    /** Buffer/region index for one record: by shard when sharded,
+     *  by core under distributed per-core partitions. */
+    std::uint32_t indexFor(CoreId core, Addr addr) const;
 
     PersistMode mode;
     std::vector<LogBuffer *> buffers;
     std::vector<LogRegion *> regions;
     TxnTracker &txns;
+    std::uint32_t shards;
+    bool skipShardMask;
+    /**
+     * Sharded mode only: durable tick of the most recent commit
+     * record (any shard, any core). The next commit's drain is
+     * issued no earlier than this, so commit records reach NVRAM in
+     * commit-initiation order even though they live in independent
+     * per-shard FIFOs — without it, tx N+1's commit in a fast shard
+     * could become durable before tx N's in a slow one, and a crash
+     * between the two would recover a non-prefix state. Unsharded
+     * logs get this ordering for free from the single FIFO.
+     */
+    Tick commitFence = 0;
     sim::StatGroup statGroup;
 
   public:
     sim::Counter &updateRecords;
     sim::Counter &commitRecords;
+    /** Cross-shard two-phase commits (subset of commitRecords). */
+    sim::Counter &crossShardCommits;
+    /** Participant prepare records appended. */
+    sim::Counter &prepareRecords;
 };
 
 } // namespace snf::persist

@@ -117,8 +117,10 @@ LogBuffer::append(const LogRecord &rec, Tick now)
     open.records += 1;
     recordsAppended.inc();
 
+    // Commit and prepare records guard no data line; feeding their
+    // zero address to the bus monitor would poison its coverage map.
     Addr data_line = rec.addr & ~static_cast<Addr>(lineBytes - 1);
-    if (monitor && !rec.isCommit) {
+    if (monitor && !rec.isCommit && !rec.isPrepare) {
         monitor->onLogAppend(data_line, now);
         open.covered.emplace_back(data_line, now);
     }

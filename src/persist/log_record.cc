@@ -61,9 +61,50 @@ LogRecord::commit(std::uint8_t thread, std::uint16_t tx,
     return r;
 }
 
+LogRecord
+LogRecord::prepare(std::uint8_t thread, std::uint16_t tx,
+                   std::uint32_t nUpdatesInShard,
+                   std::uint64_t commitSeq)
+{
+    LogRecord r;
+    r.thread = thread;
+    r.tx = tx;
+    r.isPrepare = true;
+    r.size = 0;
+    r.nUpdates = nUpdatesInShard;
+    r.commitSeq = commitSeq;
+    return r;
+}
+
+LogRecord
+LogRecord::commitMasked(std::uint8_t thread, std::uint16_t tx,
+                        std::uint32_t nUpdatesInShard,
+                        std::uint64_t commitSeq,
+                        std::uint64_t shardMask)
+{
+    SNF_ASSERT(shardMask != 0, "masked commit with empty mask");
+    LogRecord r;
+    r.thread = thread;
+    r.tx = tx;
+    r.isCommit = true;
+    r.hasShardMask = true;
+    r.size = 0;
+    r.nUpdates = nUpdatesInShard;
+    r.commitSeq = commitSeq;
+    r.shardMask = shardMask;
+    return r;
+}
+
 std::uint32_t
 LogRecord::payloadBytes() const
 {
+    // Prepare records append the 8-byte commit sequence number to the
+    // header; masked commits append the sequence number and the
+    // participation mask. Neither carries undo/redo values.
+    if (isPrepare)
+        return kHeaderBytes + 8;
+    if (hasShardMask)
+        return kHeaderBytes + 16;
     std::uint32_t n = kHeaderBytes;
     if (hasUndo)
         n += 8;
@@ -107,24 +148,34 @@ LogRecord::serialize(std::uint8_t out[kSlotBytes], bool torn) const
         flags |= kFlagHasRedo;
     if (isCommit)
         flags |= kFlagCommit;
+    if (isPrepare)
+        flags |= kFlagPrepare;
+    if (hasShardMask)
+        flags |= kFlagShardMask;
     out[0] = flags;
     out[1] = thread;
     std::memcpy(out + 2, &tx, 2);
     out[4] = size;
     out[5] = kFormatVersion;
-    if (isCommit) {
+    if (isCommit || isPrepare) {
         std::memcpy(out + 6, &nUpdates, 4);
     } else {
         std::uint64_t a = addr & 0x0000ffffffffffffULL;
         std::memcpy(out + 6, &a, 6);
     }
-    std::uint32_t off = kHeaderBytes;
-    if (hasUndo) {
-        std::memcpy(out + off, &undo, 8);
-        off += 8;
+    if (isPrepare || hasShardMask) {
+        std::memcpy(out + kHeaderBytes, &commitSeq, 8);
+        if (hasShardMask)
+            std::memcpy(out + kHeaderBytes + 8, &shardMask, 8);
+    } else {
+        std::uint32_t off = kHeaderBytes;
+        if (hasUndo) {
+            std::memcpy(out + off, &undo, 8);
+            off += 8;
+        }
+        if (hasRedo)
+            std::memcpy(out + off, &redo, 8);
     }
-    if (hasRedo)
-        std::memcpy(out + off, &redo, 8);
     // The CRC covers the entire written payload (torn bit included)
     // with the CRC field itself as zero; it goes in last.
     std::uint32_t crc = crc32(out, payloadBytes());
@@ -145,20 +196,28 @@ LogRecord::deserialize(const std::uint8_t in[kSlotBytes], bool &tornOut)
     r.hasUndo = (flags & kFlagHasUndo) != 0;
     r.hasRedo = (flags & kFlagHasRedo) != 0;
     r.isCommit = (flags & kFlagCommit) != 0;
-    if (r.isCommit) {
+    r.isPrepare = (flags & kFlagPrepare) != 0;
+    r.hasShardMask = (flags & kFlagShardMask) != 0;
+    if (r.isCommit || r.isPrepare) {
         std::memcpy(&r.nUpdates, in + 6, 4);
     } else {
         std::uint64_t a = 0;
         std::memcpy(&a, in + 6, 6);
         r.addr = a;
     }
-    std::uint32_t off = kHeaderBytes;
-    if (r.hasUndo) {
-        std::memcpy(&r.undo, in + off, 8);
-        off += 8;
+    if (r.isPrepare || r.hasShardMask) {
+        std::memcpy(&r.commitSeq, in + kHeaderBytes, 8);
+        if (r.hasShardMask)
+            std::memcpy(&r.shardMask, in + kHeaderBytes + 8, 8);
+    } else {
+        std::uint32_t off = kHeaderBytes;
+        if (r.hasUndo) {
+            std::memcpy(&r.undo, in + off, 8);
+            off += 8;
+        }
+        if (r.hasRedo)
+            std::memcpy(&r.redo, in + off, 8);
     }
-    if (r.hasRedo)
-        std::memcpy(&r.redo, in + off, 8);
     return r;
 }
 
@@ -182,7 +241,12 @@ classifySlot(const std::uint8_t in[LogRecord::kSlotBytes])
     // A damaged size field could push payloadBytes() past the slot;
     // reject before computing the CRC over out-of-range bytes.
     if (!rec || rec->payloadBytes() > LogRecord::kSlotBytes ||
-        (!rec->isCommit && (rec->size == 0 || rec->size > 8))) {
+        (rec->isCommit && rec->isPrepare) ||
+        (rec->hasShardMask && !rec->isCommit) ||
+        ((rec->isPrepare || rec->hasShardMask) &&
+         (rec->hasUndo || rec->hasRedo || rec->size != 0)) ||
+        (!rec->isCommit && !rec->isPrepare &&
+         (rec->size == 0 || rec->size > 8))) {
         info.cls = SlotClass::CrcFail;
         return info;
     }

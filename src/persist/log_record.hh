@@ -26,6 +26,18 @@
  *   [12..15] CRC32 of bytes [0, payloadBytes()) with [12..15] as zero
  *   [16..23] undo value (if present)
  *   [16..31] / [24..31] redo value (if present)
+ *
+ * The cross-shard commit protocol (shardlab) adds two record kinds in
+ * previously free flag bits, leaving every pre-shard record image
+ * untouched:
+ *   prepare (kFlagPrepare): closes one participant shard's slice of a
+ *     cross-shard transaction. [6..9] = update records this tx
+ *     appended *in this shard*, [16..23] = the global commit sequence
+ *     number joining the shards. Payload 24 B.
+ *   masked commit (kFlagCommit | kFlagShardMask): the owner shard's
+ *     atomic commit point. [6..9] = owner-shard update count,
+ *     [16..23] = commit sequence number, [24..31] = participation
+ *     mask (bit s = shard s holds records of this tx). Payload 32 B.
  */
 
 #ifndef SNF_PERSIST_LOG_RECORD_HH
@@ -70,6 +82,8 @@ struct LogRecord
     static constexpr std::uint8_t kFlagHasUndo = 1u << 1;
     static constexpr std::uint8_t kFlagHasRedo = 1u << 2;
     static constexpr std::uint8_t kFlagCommit = 1u << 3;
+    static constexpr std::uint8_t kFlagShardMask = 1u << 4;
+    static constexpr std::uint8_t kFlagPrepare = 1u << 5;
     static constexpr std::uint8_t kFlagWritten = 1u << 7;
 
     std::uint8_t thread = 0;
@@ -78,11 +92,20 @@ struct LogRecord
     bool hasUndo = false;
     bool hasRedo = false;
     bool isCommit = false;
+    /** Cross-shard prepare record (closes one participant shard). */
+    bool isPrepare = false;
+    /** Commit record carries a shard participation mask. */
+    bool hasShardMask = false;
     Addr addr = 0; ///< 48-bit physical address of the update
     std::uint64_t undo = 0;
     std::uint64_t redo = 0;
-    /** Commit records: update records this transaction appended. */
+    /** Commit records: update records this transaction appended
+     *  (masked commits and prepares: the count in *their* shard). */
     std::uint32_t nUpdates = 0;
+    /** Prepare/masked commit: global commit sequence number. */
+    std::uint64_t commitSeq = 0;
+    /** Masked commit: bit s set = shard s participates in the tx. */
+    std::uint64_t shardMask = 0;
 
     /** Make an update record. */
     static LogRecord update(std::uint8_t thread, std::uint16_t tx,
@@ -93,6 +116,18 @@ struct LogRecord
     /** Make a transaction-commit record. */
     static LogRecord commit(std::uint8_t thread, std::uint16_t tx,
                             std::uint32_t nUpdates = 0);
+
+    /** Make a participant-shard prepare record (cross-shard tx). */
+    static LogRecord prepare(std::uint8_t thread, std::uint16_t tx,
+                             std::uint32_t nUpdatesInShard,
+                             std::uint64_t commitSeq);
+
+    /** Make an owner-shard commit record with a participation mask. */
+    static LogRecord commitMasked(std::uint8_t thread,
+                                  std::uint16_t tx,
+                                  std::uint32_t nUpdatesInShard,
+                                  std::uint64_t commitSeq,
+                                  std::uint64_t shardMask);
 
     /** Bytes of NVRAM traffic this record costs. */
     std::uint32_t payloadBytes() const;

@@ -149,7 +149,10 @@ LogRegion::reserve(const LogRecord &rec, Tick now)
     }
 
     m.valid = true;
-    m.isCommit = rec.isCommit;
+    // Prepare records guard no data line, so for reclamation-hazard
+    // purposes they are commit-like: overwriting one can never strand
+    // volatile working data.
+    m.isCommit = rec.isCommit || rec.isPrepare;
     m.addr = rec.addr;
     m.appendTick = now;
     m.txSeq = 0;

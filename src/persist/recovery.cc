@@ -5,6 +5,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "mem/remap_table.hh"
@@ -143,6 +144,10 @@ RecoveryReport recoverRegionIo(ImageIO &io, Addr logBase,
                                const RecoveryOptions &opts,
                                mem::RemapTable *promoteInto);
 
+RecoveryReport recoverShardedIo(ImageIO &io, const AddressMap &map,
+                                const RecoveryOptions &opts,
+                                mem::RemapTable *promoteInto);
+
 /** Active per-thread sink of RecoveryTimerScope (null = off). */
 thread_local std::uint64_t *recoveryTimerSink = nullptr;
 
@@ -212,6 +217,21 @@ Recovery::run(mem::BackingStore &image, const AddressMap &map,
     io.budget = opts.crashAfterWrites;
     io.collect = opts.collectWrites;
     io.probe = &opts.probe;
+
+    // Sharded logs (logShards > 1) split transactions by address, so
+    // shards do NOT recover independently: commit decisions join
+    // records across shards and the whole pass is merged.
+    if (map.logShards > 1) {
+        RecoveryReport r = recoverShardedIo(
+            io, map, opts,
+            have_remap && opts.promoteBadLines ? &remap : nullptr);
+        r.remapCorrupt = total.remapCorrupt;
+        r.writesIssued = io.issued;
+        r.writesApplied = io.applied;
+        r.interrupted = io.interrupted();
+        r.touchedLines = std::move(io.touched);
+        return r;
+    }
 
     std::uint32_t partitions = std::max(map.logPartitions, 1u);
     std::uint64_t part_bytes = map.logSize / partitions;
@@ -579,6 +599,524 @@ recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
         io.write(log_base + LogRegion::kTruncFlagOffset,
                  sizeof(raised), &raised);
         zeroAllSlots();
+    }
+    return report;
+}
+
+// ---------------------------------------------------------------
+// Merged multi-shard recovery (shardlab)
+// ---------------------------------------------------------------
+
+/** One transaction generation inside one shard's live window. */
+struct ShardGen
+{
+    /** Update-record positions, indices into the shard's window. */
+    std::vector<std::uint64_t> updates;
+    std::uint16_t tx = 0;
+    enum class Close { Open, Legacy, Prepare, Masked };
+    Close close = Close::Open;
+    std::uint32_t nUpdates = 0;  ///< promised by the closing record
+    std::uint64_t commitSeq = 0; ///< Prepare / Masked only
+    std::uint64_t shardMask = 0; ///< Masked only
+    /** Prepare generation joined to its masked commit record. */
+    bool consumed = false;
+    /** Open generation held by a quarantined transaction: its prepare
+     *  record is missing, so neither redo nor undo may touch it. */
+    bool pinned = false;
+    enum class Action { Leave, Redo, Undo };
+    Action action = Action::Leave;
+};
+
+/** Scan state of one shard's slice of the log region. */
+struct ShardScan
+{
+    Addr base = 0;
+    Addr slot0 = 0;
+    std::uint64_t slots = 0;
+    bool dead = true;
+    bool truncFlag = false;
+    bool wrapped = false;
+    std::vector<SlotInfo> info;            ///< per slot
+    std::vector<const SlotInfo *> ordered; ///< live window, log order
+    std::vector<std::size_t> genOf;        ///< window idx -> gen idx
+    std::vector<ShardGen> gens;
+    /** Generations never closed by any record, by txid. */
+    std::map<std::uint16_t, std::size_t> openGen;
+};
+
+/**
+ * Recover a log split into AddressMap::logShards address-interleaved
+ * shards. Each shard scans exactly like a single region (same slot
+ * classification, torn-parity window, re-entrant truncation flag),
+ * but commit decisions are made per *transaction*, joining records
+ * across shards:
+ *
+ *  - A plain commit record keeps the single-region semantics — a
+ *    transaction whose updates all landed in one shard never paid
+ *    the cross-shard protocol.
+ *  - A masked commit record names its participant shards and its
+ *    64-bit transaction sequence number; prepare records in the
+ *    participant shards join it exactly by that sequence number.
+ *    The commit record is the single atomic commit point: present ->
+ *    redo every shard's slice, absent -> undo every slice.
+ *  - A shard whose header is unreadable is dead (degraded mode):
+ *    surviving shards are salvaged, and any transaction whose
+ *    participation mask intersects the dead shard is rolled back on
+ *    the shards that still hold its records (its dead-shard slice is
+ *    unrecoverable either way), reported in deadShardAbortTxIds.
+ *
+ * Truncation raises every live shard's flag before zeroing any slot
+ * array, so a resumed pass finding any flag set knows replay fully
+ * applied (the flag writes are ordered after every replay write
+ * through the counted ImageIO) and only has to finish the zeroing.
+ */
+RecoveryReport
+recoverShardedIo(ImageIO &io, const AddressMap &map,
+                 const RecoveryOptions &opts,
+                 mem::RemapTable *promoteInto)
+{
+    RecoveryReport report;
+    const std::uint32_t nShards = map.logShards;
+    const std::uint64_t shard_bytes = map.logSize / nShards;
+
+    std::vector<ShardScan> sc(nShards);
+    report.shards.resize(nShards);
+    std::uint64_t deadMask = 0;
+    bool anyTruncFlag = false;
+
+    // Pass A: headers and truncation flags of every shard, before any
+    // write — the merged resume decision needs the global flag view.
+    for (std::uint32_t s = 0; s < nShards; ++s) {
+        ShardScan &sh = sc[s];
+        sh.base = map.logBase() + s * shard_bytes;
+        sh.slot0 = sh.base + LogRegion::kHeaderBytes;
+        ShardSummary &summ = report.shards[s];
+        summ.shard = s;
+        std::uint64_t magic = io.read64(sh.base);
+        std::uint64_t slots = io.read64(sh.base + 8);
+        if (magic != LogRegion::kMagic || slots == 0 ||
+            slots > (shard_bytes - LogRegion::kHeaderBytes) /
+                        LogRecord::kSlotBytes) {
+            warn("recovery: shard %u header invalid, degraded mode",
+                 s);
+            summ.dead = true;
+            deadMask |= 1ULL << s;
+            continue;
+        }
+        sh.dead = false;
+        sh.slots = slots;
+        summ.headerValid = true;
+        report.headerValid = true;
+        sh.truncFlag =
+            io.read64(sh.base + LogRegion::kTruncFlagOffset) != 0;
+        anyTruncFlag |= sh.truncFlag;
+    }
+
+    auto zeroShard = [&](ShardScan &sh) {
+        constexpr std::uint64_t kChunk = 1024;
+        std::uint8_t zeros[kChunk] = {};
+        std::uint64_t area = sh.slots * LogRecord::kSlotBytes;
+        for (std::uint64_t off = 0; off < area; off += kChunk)
+            io.write(sh.slot0 + off,
+                     std::min<std::uint64_t>(kChunk, area - off),
+                     zeros);
+        std::uint64_t cleared = 0;
+        io.write(sh.base + LogRegion::kTruncFlagOffset,
+                 sizeof(cleared), &cleared);
+    };
+
+    // Interrupted-truncation resume: any live shard's flag proves the
+    // previous pass finished replay everywhere (all flags are raised
+    // before any slot is zeroed, and raised only after replay), so
+    // the resumed pass just finishes zeroing every live shard.
+    if (anyTruncFlag) {
+        for (auto &sh : sc)
+            if (!sh.dead)
+                zeroShard(sh);
+        return report;
+    }
+
+    // Pass B: per-shard slot classification, live-window location and
+    // generation grouping — steps 2-4 of the single-region scanner,
+    // with prepare and masked-commit records additionally closing
+    // generations.
+    static const std::uint8_t kZeroSlot[LogRecord::kSlotBytes] = {};
+    for (std::uint32_t s = 0; s < nShards; ++s) {
+        ShardScan &sh = sc[s];
+        if (sh.dead)
+            continue;
+        ShardSummary &summ = report.shards[s];
+        std::vector<std::uint8_t> slotImg(sh.slots *
+                                          LogRecord::kSlotBytes);
+        io.readBulk(sh.slot0, slotImg.size(), slotImg.data());
+        sh.info.resize(sh.slots);
+        for (std::uint64_t i = 0; i < sh.slots; ++i) {
+            const std::uint8_t *img =
+                slotImg.data() + i * LogRecord::kSlotBytes;
+            ++report.slotsScanned;
+            ++summ.slotsScanned;
+            if (std::memcmp(img, kZeroSlot, LogRecord::kSlotBytes) ==
+                0) {
+                ++report.emptySlots;
+                continue;
+            }
+            sh.info[i] = classifySlot(img);
+            if (opts.faultIgnoreCrc &&
+                sh.info[i].cls == SlotClass::CrcFail) {
+                bool torn = false;
+                auto rec = LogRecord::deserialize(img, torn);
+                if (rec &&
+                    rec->payloadBytes() <= LogRecord::kSlotBytes) {
+                    sh.info[i].cls = SlotClass::Valid;
+                    sh.info[i].torn = torn;
+                    sh.info[i].rec = *rec;
+                }
+            }
+            switch (sh.info[i].cls) {
+              case SlotClass::Empty:
+                ++report.emptySlots;
+                break;
+              case SlotClass::Torn:
+                ++report.tornSlots;
+                break;
+              case SlotClass::CrcFail:
+                ++report.crcFailSlots;
+                break;
+              case SlotClass::Valid:
+                break;
+            }
+            if ((sh.info[i].cls == SlotClass::Torn ||
+                 sh.info[i].cls == SlotClass::CrcFail) &&
+                report.firstBadSlotAddr == 0) {
+                report.firstBadSlotAddr =
+                    sh.slot0 + i * LogRecord::kSlotBytes;
+            }
+        }
+
+        std::vector<std::uint64_t> window;
+        std::int64_t first_valid = -1;
+        for (std::uint64_t i = 0; i < sh.slots; ++i) {
+            if (sh.info[i].cls == SlotClass::Valid) {
+                first_valid = static_cast<std::int64_t>(i);
+                break;
+            }
+        }
+        if (first_valid >= 0) {
+            bool t0 = sh.info[first_valid].torn;
+            std::uint64_t boundary = 0;
+            for (std::uint64_t i = 0; i < sh.slots; ++i)
+                if (sh.info[i].cls == SlotClass::Valid &&
+                    sh.info[i].torn == t0)
+                    boundary = i + 1;
+            std::vector<std::uint64_t> prev;
+            for (std::uint64_t i = boundary; i < sh.slots; ++i)
+                if (sh.info[i].cls == SlotClass::Valid)
+                    prev.push_back(i);
+            sh.wrapped = !prev.empty() || boundary == sh.slots;
+            window = std::move(prev);
+            for (std::uint64_t i = 0; i < boundary; ++i) {
+                if (sh.info[i].cls != SlotClass::Valid)
+                    continue;
+                if (sh.info[i].torn == t0)
+                    window.push_back(i);
+                else
+                    ++report.stalePassSlots;
+            }
+        }
+        sh.ordered.reserve(window.size());
+        for (std::uint64_t slot : window)
+            sh.ordered.push_back(&sh.info[slot]);
+        summ.validRecords = sh.ordered.size();
+        summ.wrapped = sh.wrapped;
+        report.validRecords += sh.ordered.size();
+
+        sh.genOf.assign(sh.ordered.size(), SIZE_MAX);
+        for (std::size_t i = 0; i < sh.ordered.size(); ++i) {
+            const LogRecord &rec = sh.ordered[i]->rec;
+            auto it = sh.openGen.find(rec.tx);
+            if (it == sh.openGen.end()) {
+                sh.gens.push_back({});
+                sh.gens.back().tx = rec.tx;
+                it = sh.openGen.emplace(rec.tx, sh.gens.size() - 1)
+                         .first;
+            }
+            ShardGen &gen = sh.gens[it->second];
+            if (rec.isPrepare) {
+                gen.close = ShardGen::Close::Prepare;
+                gen.nUpdates = rec.nUpdates;
+                gen.commitSeq = rec.commitSeq;
+                sh.openGen.erase(it);
+            } else if (rec.isCommit && rec.hasShardMask) {
+                gen.close = ShardGen::Close::Masked;
+                gen.nUpdates = rec.nUpdates;
+                gen.commitSeq = rec.commitSeq;
+                gen.shardMask = rec.shardMask;
+                sh.openGen.erase(it);
+            } else if (rec.isCommit) {
+                gen.close = ShardGen::Close::Legacy;
+                gen.nUpdates = rec.nUpdates;
+                sh.openGen.erase(it);
+            } else {
+                gen.updates.push_back(i);
+                sh.genOf[i] = it->second;
+            }
+        }
+    }
+
+    // Step 5 (merged): decide every transaction. Index the cross-shard
+    // protocol records first — prepares join their masked commit
+    // exactly by the 64-bit transaction sequence number both carry.
+    struct GenRef
+    {
+        std::uint32_t shard;
+        std::size_t idx;
+    };
+    std::map<std::uint64_t, GenRef> maskedBySeq;
+    std::map<std::uint64_t, std::vector<GenRef>> preparesBySeq;
+    for (std::uint32_t s = 0; s < nShards; ++s) {
+        for (std::size_t g = 0; g < sc[s].gens.size(); ++g) {
+            ShardGen &gen = sc[s].gens[g];
+            if (gen.close == ShardGen::Close::Masked)
+                maskedBySeq[gen.commitSeq] = {s, g};
+            else if (gen.close == ShardGen::Close::Prepare)
+                preparesBySeq[gen.commitSeq].push_back({s, g});
+        }
+    }
+
+    // Plain commits: single-shard transactions, single-region
+    // salvage-or-quarantine semantics within their shard.
+    for (std::uint32_t s = 0; s < nShards; ++s) {
+        for (auto &gen : sc[s].gens) {
+            if (gen.close != ShardGen::Close::Legacy)
+                continue;
+            ++report.committedTxns;
+            std::uint64_t found = gen.updates.size();
+            if (gen.nUpdates == 0 || found == gen.nUpdates ||
+                sc[s].wrapped) {
+                gen.action = ShardGen::Action::Redo;
+                ++report.salvagedTxns;
+                ++report.shards[s].salvagedTxns;
+            } else {
+                ++report.quarantinedTxns;
+                ++report.shards[s].quarantinedTxns;
+                report.quarantinedTxIds.push_back(gen.tx);
+            }
+        }
+    }
+
+    // Masked commits: one committed transaction per record, its
+    // slices joined across shards.
+    for (auto &[seq, mref] : maskedBySeq) {
+        ShardScan &osh = sc[mref.shard];
+        ShardGen &own = osh.gens[mref.idx];
+        ++report.committedTxns;
+        std::uint64_t mask = own.shardMask;
+
+        std::vector<GenRef> slices{mref};
+        auto pit = preparesBySeq.find(seq);
+        if (pit != preparesBySeq.end()) {
+            for (GenRef r : pit->second) {
+                if (mask & (1ULL << r.shard)) {
+                    sc[r.shard].gens[r.idx].consumed = true;
+                    slices.push_back(r);
+                }
+            }
+        }
+
+        if (mask & deadMask) {
+            // Degraded mode: the dead shard's slice (updates and its
+            // undo values) is gone, so the transaction cannot be
+            // replayed whole. Roll back every surviving slice and
+            // report the abort — the dead-shard data lines stay as
+            // the crash left them.
+            ++report.deadShardAborted;
+            report.deadShardAbortTxIds.push_back(own.tx);
+            for (GenRef r : slices) {
+                sc[r.shard].gens[r.idx].action =
+                    ShardGen::Action::Undo;
+                ++report.shards[r.shard].abortedDeadShard;
+            }
+            for (std::uint32_t s = 0; s < nShards; ++s)
+                if (mask & deadMask & (1ULL << s))
+                    ++report.shards[s].abortedDeadShard;
+            continue;
+        }
+
+        // Completeness across the participation mask: every named
+        // shard must account for its slice. A missing or short slice
+        // is benign only when that shard wrapped (reclamation only
+        // overwrites records whose data already persisted).
+        bool ok = own.updates.size() == own.nUpdates || osh.wrapped;
+        std::vector<GenRef> attachedOpen;
+        for (std::uint32_t s = 0; s < nShards; ++s) {
+            if (s == mref.shard || !(mask & (1ULL << s)))
+                continue;
+            bool have = false;
+            for (GenRef r : slices) {
+                if (r.shard != s)
+                    continue;
+                have = true;
+                ShardGen &p = sc[s].gens[r.idx];
+                if (!(p.updates.size() == p.nUpdates ||
+                      sc[s].wrapped))
+                    ok = false;
+            }
+            if (have)
+                continue;
+            // No prepare from shard s. An open generation of the
+            // same txid there is the slice with its prepare record
+            // lost: quarantine the whole transaction and pin the
+            // generation so rollback does not touch it either.
+            auto oit = sc[s].openGen.find(own.tx);
+            if (oit != sc[s].openGen.end()) {
+                ok = false;
+                attachedOpen.push_back({s, oit->second});
+            } else if (!sc[s].wrapped) {
+                ok = false;
+            }
+        }
+        if (ok) {
+            ++report.salvagedTxns;
+            for (GenRef r : slices) {
+                sc[r.shard].gens[r.idx].action =
+                    ShardGen::Action::Redo;
+                ++report.shards[r.shard].salvagedTxns;
+            }
+        } else {
+            ++report.quarantinedTxns;
+            report.quarantinedTxIds.push_back(own.tx);
+            for (GenRef r : slices)
+                ++report.shards[r.shard].quarantinedTxns;
+            for (GenRef r : attachedOpen) {
+                sc[r.shard].gens[r.idx].pinned = true;
+                ++report.shards[r.shard].quarantinedTxns;
+            }
+        }
+    }
+
+    // Uncommitted work: prepares with no commit record (the crash hit
+    // between the prepare drain and the commit persist — or the
+    // commit record died with a dead owner shard) and generations
+    // still open, rolled back and counted once per transaction. A
+    // prepare whose commit exists but whose shard the commit's mask
+    // disowns is rolled back too without recounting the transaction
+    // (only mask corruption or the skip-shard-mask self-test can
+    // produce it, and the mask is authoritative).
+    std::set<std::uint16_t> abortTx;
+    std::set<std::uint16_t> deadAmbiguous;
+    for (std::uint32_t s = 0; s < nShards; ++s) {
+        for (auto &gen : sc[s].gens) {
+            if (gen.close == ShardGen::Close::Prepare &&
+                !gen.consumed) {
+                gen.action = ShardGen::Action::Undo;
+                if (maskedBySeq.count(gen.commitSeq))
+                    continue;
+                abortTx.insert(gen.tx);
+                if (deadMask)
+                    deadAmbiguous.insert(gen.tx);
+            } else if (gen.close == ShardGen::Close::Open &&
+                       !gen.pinned) {
+                gen.action = ShardGen::Action::Undo;
+                abortTx.insert(gen.tx);
+            }
+        }
+    }
+    report.uncommittedTxns = abortTx.size();
+    for (std::uint16_t tx : deadAmbiguous) {
+        ++report.deadShardAborted;
+        report.deadShardAbortTxIds.push_back(tx);
+    }
+
+    // Step 6 (merged replay). Updates to one address always live in
+    // one shard (the shard is a function of the address), so per-shard
+    // log order is the only order that matters: redo in shard order,
+    // undo in reverse shard order, shards independent.
+    if (!opts.faultSkipRedo) {
+        for (std::uint32_t s = 0; s < nShards; ++s) {
+            ShardScan &sh = sc[s];
+            for (std::size_t i = 0; i < sh.ordered.size(); ++i) {
+                std::size_t gi = sh.genOf[i];
+                if (gi == SIZE_MAX ||
+                    sh.gens[gi].action != ShardGen::Action::Redo)
+                    continue;
+                const LogRecord &rec = sh.ordered[i]->rec;
+                if (rec.hasRedo && rec.size >= 1 && rec.size <= 8 &&
+                    io.contains(rec.addr, rec.size)) {
+                    io.write(rec.addr, rec.size, &rec.redo);
+                    ++report.redoApplied;
+                }
+            }
+        }
+    }
+    if (!opts.faultSkipUndo) {
+        for (std::uint32_t s = 0; s < nShards; ++s) {
+            ShardScan &sh = sc[s];
+            for (std::size_t i = sh.ordered.size(); i-- > 0;) {
+                std::size_t gi = sh.genOf[i];
+                if (gi == SIZE_MAX ||
+                    sh.gens[gi].action != ShardGen::Action::Undo)
+                    continue;
+                const LogRecord &rec = sh.ordered[i]->rec;
+                if (rec.hasUndo && rec.size >= 1 && rec.size <= 8 &&
+                    io.contains(rec.addr, rec.size)) {
+                    io.write(rec.addr, rec.size, &rec.undo);
+                    ++report.undoApplied;
+                }
+            }
+        }
+    }
+
+    // Step 6b: promote damaged-slot lines, per shard (same rules as
+    // the single-region pass).
+    if (promoteInto) {
+        for (std::uint32_t s = 0; s < nShards; ++s) {
+            ShardScan &sh = sc[s];
+            if (sh.dead)
+                continue;
+            std::vector<Addr> bad_lines;
+            for (std::uint64_t i = 0; i < sh.slots; ++i) {
+                if (sh.info[i].cls != SlotClass::Torn &&
+                    sh.info[i].cls != SlotClass::CrcFail)
+                    continue;
+                Addr line = (sh.slot0 + i * LogRecord::kSlotBytes) &
+                            ~static_cast<Addr>(kLineBytes - 1);
+                if (bad_lines.empty() || bad_lines.back() != line)
+                    bad_lines.push_back(line);
+            }
+            bool grew = false;
+            for (Addr line : bad_lines) {
+                if (promoteInto->find(line) || promoteInto->full())
+                    continue;
+                std::uint8_t buf[kLineBytes];
+                io.read(line, kLineBytes, buf);
+                std::optional<Addr> spare = promoteInto->add(line);
+                SNF_ASSERT(spare, "remap add failed on unmapped line");
+                io.write(*spare, kLineBytes, buf);
+                grew = true;
+                ++report.promotedLines;
+            }
+            if (grew) {
+                promoteInto->persist(
+                    [&io](Addr a, std::uint64_t n, const void *d) {
+                        io.write(a, n, d);
+                    });
+            }
+        }
+    }
+
+    // Step 7 (merged truncation): raise every live shard's flag, then
+    // zero every live shard's slot array (each zeroShard clears its
+    // own flag last). Raising all flags first is what makes the
+    // resume rule above sound at every interleaving point.
+    if (opts.truncateLog) {
+        std::uint64_t raised = 1;
+        for (auto &sh : sc)
+            if (!sh.dead)
+                io.write(sh.base + LogRegion::kTruncFlagOffset,
+                         sizeof(raised), &raised);
+        for (auto &sh : sc)
+            if (!sh.dead)
+                zeroShard(sh);
     }
     return report;
 }

@@ -72,6 +72,31 @@ struct RecoveryOptions
     sim::ProbeFn probe;
 };
 
+/**
+ * Per-shard outcome of a merged (AddressMap::logShards > 1) recovery
+ * pass. A shard whose header is unreadable is dead: its records are
+ * lost and recovery degrades — surviving shards are salvaged while
+ * every transaction whose participation mask intersects the dead
+ * shard is rolled back on the shards that still hold its records.
+ */
+struct ShardSummary
+{
+    std::uint32_t shard = 0;
+    bool headerValid = false;
+    /** Header unreadable: the shard's slice is lost (degraded mode). */
+    bool dead = false;
+    /** The shard's circular log wrapped (reclamation ran). */
+    bool wrapped = false;
+    std::uint64_t slotsScanned = 0;
+    std::uint64_t validRecords = 0;
+    /** Committed transaction slices salvaged / quarantined here. */
+    std::uint64_t salvagedTxns = 0;
+    std::uint64_t quarantinedTxns = 0;
+    /** Transaction slices rolled back (or lost) here because the
+     *  transaction's participation mask intersects a dead shard. */
+    std::uint64_t abortedDeadShard = 0;
+};
+
 /** Outcome summary of one recovery pass. */
 struct RecoveryReport
 {
@@ -118,6 +143,16 @@ struct RecoveryReport
     bool remapCorrupt = false;
     /** Lines written by this pass (only with opts.collectWrites). */
     std::vector<Addr> touchedLines;
+
+    // --- shardlab (merged multi-shard recovery only) ---
+    /** Per-shard salvage summary; empty unless logShards > 1. */
+    std::vector<ShardSummary> shards;
+    /** Transactions aborted because of a dead shard: committed ones
+     *  whose participation mask intersects it (rolled back on the
+     *  surviving shards), plus prepared ones whose commit record may
+     *  have been lost with it. */
+    std::uint64_t deadShardAborted = 0;
+    std::vector<std::uint16_t> deadShardAbortTxIds;
 
     std::uint64_t
     damagedSlots() const

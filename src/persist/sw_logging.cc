@@ -8,23 +8,33 @@ namespace snf::persist
 {
 
 SwLogging::SwLogging(PersistMode m, mem::MemorySystem &memory,
-                     LogRegion &logRegion, TxnTracker &tracker)
+                     std::vector<LogRegion *> logRegions,
+                     TxnTracker &tracker, std::uint32_t logShards,
+                     bool injectSkipShardMask)
     : mode(m),
       mem(memory),
-      region(logRegion),
+      regions(std::move(logRegions)),
       txns(tracker),
+      shards(logShards > 0 ? logShards : 1),
+      skipShardMask(injectSkipShardMask),
       statGroup("sw_log"),
       updateRecords(statGroup.counter("update_records")),
       commitRecords(statGroup.counter("commit_records")),
-      injectedInstructions(statGroup.counter("injected_instructions"))
+      injectedInstructions(statGroup.counter("injected_instructions")),
+      crossShardCommits(statGroup.counter("cross_shard_commits")),
+      prepareRecords(statGroup.counter("prepare_records"))
 {
     SNF_ASSERT(isSoftwareLogging(m), "SW logging with mode %s",
                persistModeName(m));
+    SNF_ASSERT(!regions.empty() &&
+                   (shards == 1 || regions.size() == shards),
+               "SW logging: %zu regions for %u shards",
+               regions.size(), shards);
 }
 
 void
-SwLogging::writeRecordViaWcb(const LogRecord &rec, std::uint64_t txSeq,
-                             Result &res, Tick now)
+SwLogging::writeRecordViaWcb(LogRegion &region, const LogRecord &rec,
+                             std::uint64_t txSeq, Result &res, Tick now)
 {
     auto reservation = region.reserve(rec, now);
     region.bindSlotTx(reservation.slot, txSeq);
@@ -80,8 +90,11 @@ SwLogging::logStore(CoreId core, std::uint64_t txSeq, Addr addr,
                     : std::nullopt,
         wantsRedo() ? std::optional<std::uint64_t>(newVal)
                     : std::nullopt);
-    writeRecordViaWcb(rec, txSeq, res, now);
+    std::uint32_t idx = shardOf(addr);
+    writeRecordViaWcb(*regions[idx], rec, txSeq, res, now);
     txns.noteLogRecord(txSeq);
+    if (shards > 1)
+        txns.noteShardRecord(txSeq, idx);
     updateRecords.inc();
 
     if (needsPreStoreBarrier()) {
@@ -102,11 +115,71 @@ SwLogging::logCommit(CoreId core, std::uint64_t txSeq, Tick now)
     Result res;
     res.done = now + kLogMgmtInstrPerCommit / 4;
     res.instructions += kLogMgmtInstrPerCommit;
-    LogRecord rec = LogRecord::commit(static_cast<std::uint8_t>(core),
-                                      TxnTracker::txIdOf(txSeq),
-                                      txns.logRecordCount(txSeq));
-    writeRecordViaWcb(rec, txSeq, res, now);
+
+    std::uint64_t mask = shards > 1 ? txns.shardMaskOf(txSeq) : 0;
+    bool multi = mask != 0 && (mask & (mask - 1)) != 0;
+    if (!multi) {
+        std::uint32_t idx = 0;
+        if (mask != 0)
+            while (!(mask & (1ULL << idx)))
+                ++idx;
+        LogRecord rec = LogRecord::commit(
+            static_cast<std::uint8_t>(core), TxnTracker::txIdOf(txSeq),
+            txns.logRecordCount(txSeq));
+        writeRecordViaWcb(*regions[idx], rec, txSeq, res, now);
+        commitRecords.inc();
+        if (shards > 1) {
+            // Commit-ordering interlock (see commitFence). The
+            // fence drain folds into res.done: the caller's commit
+            // fence assumes the record is durable by then, exactly
+            // like the unsharded fence-at-commit sequence.
+            commitFence =
+                mem.drainWcb(std::max(res.done, commitFence));
+            res.done = std::max(res.done, commitFence);
+            res.instructions += 1;
+            res.fences += 1;
+        }
+        injectedInstructions.inc(res.instructions);
+        return res;
+    }
+
+    // Cross-shard two-phase commit, same wire protocol as the HWL
+    // engine: prepares close every non-owner participant shard, a
+    // WCB drain makes them durable, and only then does the masked
+    // commit record reach the owner shard — the atomic commit point
+    // is never concurrently pending with a prepare.
+    std::uint32_t owner = 0;
+    while (!(mask & (1ULL << owner)))
+        ++owner;
+    TxId txid = TxnTracker::txIdOf(txSeq);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        if (s == owner || !(mask & (1ULL << s)))
+            continue;
+        LogRecord prep = LogRecord::prepare(
+            static_cast<std::uint8_t>(core), txid,
+            txns.shardRecordCount(txSeq, s), txSeq);
+        writeRecordViaWcb(*regions[s], prep, txSeq, res, now);
+        prepareRecords.inc();
+    }
+    res.done = std::max(res.done, mem.drainWcb(res.done));
+    res.instructions += 1;
+    res.fences += 1;
+
+    std::uint64_t commitMask = skipShardMask ? (1ULL << owner) : mask;
+    LogRecord rec = LogRecord::commitMasked(
+        static_cast<std::uint8_t>(core), txid,
+        txns.shardRecordCount(txSeq, owner), txSeq, commitMask);
+    writeRecordViaWcb(*regions[owner], rec, txSeq, res, now);
     commitRecords.inc();
+    crossShardCommits.inc();
+    // Commit-ordering interlock (see commitFence): the masked commit
+    // drains eagerly, issued after every earlier commit's durable
+    // tick, and res.done covers the drain so the caller's commit
+    // fence semantics (durable by res.done) still hold.
+    commitFence = mem.drainWcb(std::max(res.done, commitFence));
+    res.done = std::max(res.done, commitFence);
+    res.instructions += 1;
+    res.fences += 1;
     injectedInstructions.inc(res.instructions);
     return res;
 }

@@ -11,6 +11,8 @@
 #ifndef SNF_PERSIST_SW_LOGGING_HH
 #define SNF_PERSIST_SW_LOGGING_HH
 
+#include <vector>
+
 #include "core/system_config.hh"
 #include "mem/memory_system.hh"
 #include "persist/log_region.hh"
@@ -34,8 +36,18 @@ class SwLogging
         std::uint32_t fences = 0;
     };
 
+    /**
+     * @param regions one circular region per log shard (a single
+     *        element keeps the pre-shard centralized behavior).
+     * @param logShards >1 routes records by data-line address and
+     *        commits cross-shard transactions through the prepare /
+     *        masked-commit protocol (same wire format as the HWL
+     *        engine, so recovery is backend-agnostic).
+     */
     SwLogging(PersistMode mode, mem::MemorySystem &memory,
-              LogRegion &region, TxnTracker &txns);
+              std::vector<LogRegion *> regions, TxnTracker &txns,
+              std::uint32_t logShards = 1,
+              bool injectSkipShardMask = false);
 
     /**
      * Log one persistent store about to be performed (must be called
@@ -70,24 +82,50 @@ class SwLogging
 
     sim::StatGroup &stats() { return statGroup; }
 
+    /** Shard owning a data-line address (identity when unsharded). */
+    std::uint32_t
+    shardOf(Addr addr) const
+    {
+        return shards > 1
+                   ? static_cast<std::uint32_t>((addr >> 6) % shards)
+                   : 0;
+    }
+
   private:
     /**
-     * Write a serialized record into its reserved log slot as a
-     * sequence of <= 8-byte uncacheable stores through the WCB.
+     * Write a serialized record into its reserved log slot of
+     * @p region as a sequence of <= 8-byte uncacheable stores
+     * through the WCB.
      */
-    void writeRecordViaWcb(const LogRecord &rec, std::uint64_t txSeq,
-                           Result &res, Tick now);
+    void writeRecordViaWcb(LogRegion &region, const LogRecord &rec,
+                           std::uint64_t txSeq, Result &res, Tick now);
 
     PersistMode mode;
     mem::MemorySystem &mem;
-    LogRegion &region;
+    std::vector<LogRegion *> regions;
     TxnTracker &txns;
+    std::uint32_t shards;
+    bool skipShardMask;
+    /**
+     * Sharded mode only: durable tick of the most recent commit
+     * record. Each sharded commit drains the WCB, issued no earlier
+     * than this fence, so commit records reach NVRAM in
+     * commit-initiation order even when they coalesce onto log lines
+     * of different shard regions queued out of order. Unsharded logs
+     * get the ordering for free: region slots (and hence WCB line
+     * entries) are claimed in commit order. The drain folds into
+     * res.done, matching the unsharded fence-at-commit semantics
+     * (CommitDurable is emitted at the caller's post-fence time).
+     */
+    Tick commitFence = 0;
     sim::StatGroup statGroup;
 
   public:
     sim::Counter &updateRecords;
     sim::Counter &commitRecords;
     sim::Counter &injectedInstructions;
+    sim::Counter &crossShardCommits;
+    sim::Counter &prepareRecords;
 };
 
 } // namespace snf::persist

@@ -72,6 +72,35 @@ TxnTracker::logRecordCount(std::uint64_t seq) const
     return it == active.end() ? 0 : it->second.logRecords;
 }
 
+void
+TxnTracker::noteShardRecord(std::uint64_t seq, std::uint32_t shard)
+{
+    auto it = active.find(seq);
+    if (it == active.end())
+        return;
+    it->second.shardMask |= 1ULL << shard;
+    if (it->second.shardRecords.size() <= shard)
+        it->second.shardRecords.resize(shard + 1, 0);
+    ++it->second.shardRecords[shard];
+}
+
+std::uint64_t
+TxnTracker::shardMaskOf(std::uint64_t seq) const
+{
+    auto it = active.find(seq);
+    return it == active.end() ? 0 : it->second.shardMask;
+}
+
+std::uint32_t
+TxnTracker::shardRecordCount(std::uint64_t seq,
+                             std::uint32_t shard) const
+{
+    auto it = active.find(seq);
+    if (it == active.end() || it->second.shardRecords.size() <= shard)
+        return 0;
+    return it->second.shardRecords[shard];
+}
+
 bool
 TxnTracker::requestAbort(std::uint64_t seq)
 {

@@ -72,6 +72,20 @@ class TxnTracker
     std::uint32_t logRecordCount(std::uint64_t seq) const;
 
     /**
+     * Shard accounting (shardlab): note one appended update record
+     * landing in log shard @p shard, so commit can compute the
+     * participation mask and per-shard prepare counts.
+     */
+    void noteShardRecord(std::uint64_t seq, std::uint32_t shard);
+
+    /** Participation mask: bit s = tx appended records in shard s. */
+    std::uint64_t shardMaskOf(std::uint64_t seq) const;
+
+    /** Update records the transaction appended in @p shard. */
+    std::uint32_t shardRecordCount(std::uint64_t seq,
+                                   std::uint32_t shard) const;
+
+    /**
      * Mark the transaction as an abort victim (log-full abort-retry
      * policy). The owning thread observes this at commit and rolls
      * back instead.
@@ -140,6 +154,10 @@ class TxnTracker
         std::vector<Addr> writeLines;
         std::unordered_set<Addr> seen;
         std::uint32_t logRecords = 0;
+        /** Bit s set = the tx appended update records in shard s. */
+        std::uint64_t shardMask = 0;
+        /** Update-record count per shard (indexed by shard). */
+        std::vector<std::uint32_t> shardRecords;
         bool abortRequested = false;
         /** Line locks held (2PL reads + all-mode writes). */
         std::vector<Addr> locksHeld;

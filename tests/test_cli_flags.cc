@@ -171,3 +171,49 @@ TEST(FaultFlags, ForeignFlagsAreNotMine)
     EXPECT_EQ(f.flags.consume(args, i, nullptr), FlagParse::NotMine);
     EXPECT_EQ(i, 0u);
 }
+
+// ---- Strict count / --log-shards parsing (shared by the tools) ----
+
+TEST(CountFlag, ParsesWholeValuesInAnyBase)
+{
+    EXPECT_EQ(parseCountFlag("--jobs", "8"), 8u);
+    EXPECT_EQ(parseCountFlag("--jobs", "0"), 0u);
+    EXPECT_EQ(parseCountFlag("--max-points", "0x20"), 32u);
+}
+
+TEST(CountFlagDeathTest, RejectsGarbageWithDiagnostic)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseCountFlag("--jobs", "8x"),
+                ::testing::ExitedWithCode(1),
+                "--jobs needs a number, got '8x'");
+    EXPECT_EXIT(parseCountFlag("--jobs", ""),
+                ::testing::ExitedWithCode(1),
+                "--jobs needs a number");
+    EXPECT_EXIT(parseCountFlag("--jobs", "four"),
+                ::testing::ExitedWithCode(1),
+                "--jobs needs a number, got 'four'");
+}
+
+TEST(LogShardsFlag, AcceptsTheFullMaskRange)
+{
+    EXPECT_EQ(parseLogShardsFlag("--log-shards", "1"), 1u);
+    EXPECT_EQ(parseLogShardsFlag("--log-shards", "4"), 4u);
+    EXPECT_EQ(parseLogShardsFlag("--log-shards", "64"), 64u);
+}
+
+TEST(LogShardsFlagDeathTest, RejectsZeroOverflowAndGarbage)
+{
+    // 0 shards is meaningless and 64 is the participation-mask
+    // width; garbage must fail the strict number parse first.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseLogShardsFlag("--log-shards", "0"),
+                ::testing::ExitedWithCode(1),
+                "--log-shards needs a shard count in \\[1,64\\]");
+    EXPECT_EXIT(parseLogShardsFlag("--log-shards", "65"),
+                ::testing::ExitedWithCode(1),
+                "--log-shards needs a shard count in \\[1,64\\]");
+    EXPECT_EXIT(parseLogShardsFlag("--log-shards", "2q"),
+                ::testing::ExitedWithCode(1),
+                "--log-shards needs a number, got '2q'");
+}

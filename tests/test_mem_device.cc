@@ -190,3 +190,41 @@ TEST(MemDevice, SequentialWriteCyclesScalesWithSize)
     // A full row pays roughly the whole conflict latency.
     EXPECT_GE(dev.sequentialWriteCycles(2048), 750u);
 }
+
+TEST(MemDeviceDeathTest, TimedLogWriteMustStayWithinOneShardSlice)
+{
+    // Shard parity guard (shardlab): with the log region declared as
+    // N equal slices, any timed log-origin write that straddles a
+    // slice boundary means a backend routed a record to the wrong
+    // shard — it must fail loudly, not corrupt the neighbor shard's
+    // header or slot array.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    MemDevice dev("d", pcm(), 0);
+    dev.setLogRegion(0x10000, 0x8000); // 4 slices of 0x2000
+    dev.setLogShards(4);
+
+    std::uint8_t buf[64] = {};
+    // In-slice writes are fine, including ones that touch a slice's
+    // last byte exactly.
+    dev.access(true, 0x10000, 64, buf, nullptr, 0, true,
+               PersistOrigin::LogDrain);
+    dev.access(true, 0x12000 - 64, 64, buf, nullptr, 0, true,
+               PersistOrigin::LogDrain);
+    // Straddling the slice boundary at 0x12000 trips the assert.
+    EXPECT_DEATH(dev.access(true, 0x12000 - 32, 64, buf, nullptr, 0,
+                            true, PersistOrigin::LogDrain),
+                 "straddles shard slices");
+}
+
+TEST(MemDevice, UnshardedLogWritesAreNotShardChecked)
+{
+    // shards == 1 must behave exactly as before shardlab: a log
+    // write anywhere inside the region is legal.
+    MemDevice dev("d", pcm(), 0);
+    dev.setLogRegion(0x10000, 0x8000);
+    dev.setLogShards(1);
+    std::uint8_t buf[64] = {};
+    dev.access(true, 0x12000 - 32, 64, buf, nullptr, 0, true,
+               PersistOrigin::LogDrain);
+    EXPECT_EQ(dev.writes.value(), 1u);
+}

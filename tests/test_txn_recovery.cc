@@ -574,3 +574,230 @@ TEST(Recovery, UncommittedRedoOnlyTxCannotRollBack)
     EXPECT_EQ(report.undoApplied, 0u);
     EXPECT_EQ(f.image.read64(f.data(8)), 77u);
 }
+
+// --------------- cross-shard commit atomicity (shardlab) ---------
+
+namespace
+{
+
+/**
+ * Hand-built multi-shard log image: one circular region per shard,
+ * records appended per shard with the same torn-bit pass parity the
+ * real LogRegion uses.
+ */
+class ShardedImageLog
+{
+  public:
+    ShardedImageLog(mem::BackingStore &image, const AddressMap &map)
+        : image(image), map(map), shards(map.logRegionCount())
+    {
+        shardBytes = map.logSize / shards;
+        slots = (shardBytes - LogRegion::kHeaderBytes) /
+                LogRecord::kSlotBytes;
+        tails.assign(shards, 0);
+        passes.assign(shards, 1);
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            std::uint64_t magic = LogRegion::kMagic;
+            image.write(base(s), 8, &magic);
+            image.write(base(s) + 8, 8, &slots);
+        }
+    }
+
+    Addr base(std::uint32_t s) const
+    {
+        return map.logBase() + s * shardBytes;
+    }
+
+    void
+    append(std::uint32_t s, const LogRecord &rec, bool torn = false)
+    {
+        std::uint8_t img[LogRecord::kSlotBytes];
+        rec.serialize(img, (passes[s] & 1) != 0);
+        Addr a = base(s) + LogRegion::kHeaderBytes +
+                 tails[s] * LogRecord::kSlotBytes;
+        if (torn) {
+            // Payload only — the header word with the written
+            // marker never arrived (a torn record).
+            image.write(a + 8, sizeof(img) - 8, img + 8);
+        } else {
+            image.write(a, sizeof(img), img);
+        }
+        tails[s] = (tails[s] + 1) % slots;
+        if (tails[s] == 0)
+            ++passes[s];
+    }
+
+  private:
+    mem::BackingStore &image;
+    AddressMap map;
+    std::uint32_t shards;
+    std::uint64_t shardBytes = 0;
+    std::uint64_t slots = 0;
+    std::vector<std::uint64_t> tails;
+    std::vector<std::uint64_t> passes;
+};
+
+struct ShardedFixture
+{
+    AddressMap map;
+    mem::BackingStore image;
+    ShardedImageLog log;
+
+    explicit ShardedFixture(std::uint32_t shards)
+        : map(makeMap(shards)), image(map.nvramBase, 1 << 22),
+          log(image, map)
+    {
+    }
+
+    static AddressMap
+    makeMap(std::uint32_t shards)
+    {
+        AddressMap m;
+        m.nvramSize = 1 << 22;
+        m.logSize = 8192;
+        m.logShards = shards;
+        return m;
+    }
+
+    /** A heap data line owned by shard @p s (shard = line mod N). */
+    Addr
+    lineForShard(std::uint32_t s) const
+    {
+        for (std::uint64_t k = 0;; ++k) {
+            Addr a = map.heapBase() + k * 64;
+            if ((a >> 6) % map.logShards == s)
+                return a;
+        }
+    }
+};
+
+/**
+ * One cross-shard transaction, every persist boundary of the commit
+ * protocol. The protocol's persist order is: per-shard update
+ * records, then the participants' prepare records, then the owner's
+ * masked commit. A crash after any strict prefix must recover
+ * all-aborted; only the full sequence (commit durable) recovers
+ * all-committed — never a mix.
+ */
+void
+crossShardBoundarySweep(std::uint32_t shards)
+{
+    const std::uint64_t kOld = 0xAA00, kNew = 0xBB00;
+    const std::uint64_t mask = (1ULL << shards) - 1;
+    // Persist sequence: updates[0..N-1], prepares[1..N-1], commit.
+    const std::size_t total = shards + (shards - 1) + 1;
+
+    for (std::size_t prefix = 0; prefix <= total; ++prefix) {
+        ShardedFixture f(shards);
+        std::vector<Addr> lines(shards);
+        std::size_t written = 0;
+        auto inPrefix = [&] { return written++ < prefix; };
+
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            lines[s] = f.lineForShard(s);
+            bool logged = inPrefix();
+            if (logged) {
+                f.log.append(s, LogRecord::update(
+                                    0, 1, lines[s], 8, kOld + s,
+                                    kNew + s));
+            }
+            // Steal: the in-place write may be durable once (and
+            // only once) its log record is — model the worst case.
+            f.image.write64(lines[s], logged ? kNew + s : kOld + s);
+        }
+        for (std::uint32_t s = 1; s < shards; ++s) {
+            if (inPrefix())
+                f.log.append(s, LogRecord::prepare(0, 1, 1, 1));
+        }
+        bool committed = inPrefix();
+        if (committed) {
+            f.log.append(0,
+                         LogRecord::commitMasked(0, 1, 1, 1, mask));
+        }
+
+        auto report = Recovery::run(f.image, f.map);
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            EXPECT_EQ(f.image.read64(lines[s]),
+                      committed ? kNew + s : kOld + s)
+                << "shards=" << shards << " prefix=" << prefix
+                << " shard=" << s << " mixed transaction state";
+        }
+        EXPECT_EQ(report.committedTxns, committed ? 1u : 0u)
+            << "shards=" << shards << " prefix=" << prefix;
+
+        // Re-entrant truncation: a second recovery over the
+        // truncated shards is a no-op on the data image.
+        auto again = Recovery::run(f.image, f.map);
+        EXPECT_EQ(again.validRecords, 0u);
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            EXPECT_EQ(f.image.read64(lines[s]),
+                      committed ? kNew + s : kOld + s);
+        }
+    }
+}
+
+} // namespace
+
+TEST(ShardedRecovery, CrossShardCommitBoundarySweepTwoShards)
+{
+    crossShardBoundarySweep(2);
+}
+
+TEST(ShardedRecovery, CrossShardCommitBoundarySweepFourShards)
+{
+    crossShardBoundarySweep(4);
+}
+
+TEST(ShardedRecovery, TornMaskedCommitAbortsAllShards)
+{
+    // The full protocol ran but the masked commit record itself is
+    // torn: the atomic commit point never became durable, so every
+    // shard's slice must roll back.
+    for (std::uint32_t shards : {2u, 4u}) {
+        ShardedFixture f(shards);
+        std::vector<Addr> lines(shards);
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            lines[s] = f.lineForShard(s);
+            f.log.append(s, LogRecord::update(0, 1, lines[s], 8,
+                                              0xAA00 + s,
+                                              0xBB00 + s));
+            f.image.write64(lines[s], 0xBB00 + s);
+        }
+        for (std::uint32_t s = 1; s < shards; ++s)
+            f.log.append(s, LogRecord::prepare(0, 1, 1, 1));
+        f.log.append(0,
+                     LogRecord::commitMasked(0, 1, 1, 1,
+                                             (1ULL << shards) - 1),
+                     /*torn=*/true);
+
+        auto report = Recovery::run(f.image, f.map);
+        EXPECT_EQ(report.committedTxns, 0u);
+        for (std::uint32_t s = 0; s < shards; ++s)
+            EXPECT_EQ(f.image.read64(lines[s]), 0xAA00 + s)
+                << "shards=" << shards << " shard=" << s;
+    }
+}
+
+TEST(ShardedRecovery, TornPrepareQuarantinesInsteadOfMixing)
+{
+    // The commit record is durable but one participant's prepare is
+    // torn while that shard still holds the tx's open update slice.
+    // Replaying the other slices and leaving (or undoing) the torn
+    // shard's would both produce a mixed image — the recovery must
+    // quarantine the transaction and pin its slices instead.
+    ShardedFixture f(2);
+    Addr l0 = f.lineForShard(0), l1 = f.lineForShard(1);
+    f.log.append(0, LogRecord::update(0, 1, l0, 8, 0xAA, 0xBB));
+    f.log.append(1, LogRecord::update(0, 1, l1, 8, 0xCC, 0xDD));
+    f.image.write64(l0, 0xBB);
+    f.image.write64(l1, 0xDD);
+    f.log.append(1, LogRecord::prepare(0, 1, 1, 1), /*torn=*/true);
+    f.log.append(0, LogRecord::commitMasked(0, 1, 1, 1, 0b11));
+
+    auto report = Recovery::run(f.image, f.map);
+    EXPECT_EQ(report.quarantinedTxns, 1u);
+    // Pinned: neither slice replayed nor rolled back — the image
+    // keeps whatever the crash left (here: the stolen new values).
+    EXPECT_EQ(f.image.read64(l0), 0xBBu);
+    EXPECT_EQ(f.image.read64(l1), 0xDDu);
+}

@@ -82,6 +82,21 @@
  *     --inject-ignore-crc  fault injection: recovery trusts slots
  *                          without CRC verification (the faulted
  *                          sweeps must catch the garbage replays)
+ *     --log-shards N       shardlab: split the log into N
+ *                          address-interleaved shards with the
+ *                          cross-shard two-phase commit protocol
+ *                          (default 1 = the classic single log)
+ *     --fault-kill-shard N faultlab + shardlab: wipe shard N's log
+ *                          header in every evaluated crash snapshot,
+ *                          forcing degraded-mode recovery (needs
+ *                          --log-shards > N)
+ *     --inject-skip-shard-mask
+ *                          fault injection: cross-shard commit
+ *                          records name only the owner shard in
+ *                          their participation mask, so recovery
+ *                          rolls the other shards' slices back while
+ *                          redoing the owner's — a mixed image the
+ *                          sweep must catch (needs --log-shards > 1)
  *     --list               list workloads and modes, then exit
  *
  * Every value flag also accepts --flag=value. Exit status: 0 when
@@ -131,17 +146,6 @@ parseMode(const std::string &name)
     fatal("unknown mode '%s'", name.c_str());
 }
 
-/** Strict unsigned parse: the whole value must be a number. */
-std::uint64_t
-parseCount(const char *flag, const char *v)
-{
-    char *end = nullptr;
-    std::uint64_t n = std::strtoull(v, &end, 0);
-    if (end == v || *end != '\0')
-        fatal("%s needs a number, got '%s'", flag, v);
-    return n;
-}
-
 void
 usage()
 {
@@ -162,10 +166,12 @@ usage()
         "                [--reorder] [--reorder-samples N] "
         "[--reorder-bound N]\n"
         "                [--reorder-seed N] [--torn-lines 0|1]\n"
+        "                [--log-shards N] [--fault-kill-shard N]\n"
         "                [--no-minimize] [--inject-skip-undo] "
         "[--inject-skip-redo]\n"
         "                [--inject-ignore-crc] "
-        "[--inject-skip-wb-barrier] [--list]\n");
+        "[--inject-skip-wb-barrier]\n"
+        "                [--inject-skip-shard-mask] [--list]\n");
 }
 
 } // namespace
@@ -267,12 +273,18 @@ main(int argc, char **argv)
                 base.run.sys.persist.ccMode = CcMode::None;
             else
                 fatal("--cc wants 2pl, tl2, or none");
+        } else if (const char *v = arg("--log-shards")) {
+            base.run.sys.persist.logShards =
+                parseLogShardsFlag("--log-shards", v);
+        } else if (const char *v = arg("--fault-kill-shard")) {
+            base.imageFaults.killShard = static_cast<std::int32_t>(
+                parseCountFlag("--fault-kill-shard", v));
         } else if (const char *v = arg("--jobs")) {
             base.jobs =
-                static_cast<std::size_t>(parseCount("--jobs", v));
+                static_cast<std::size_t>(parseCountFlag("--jobs", v));
         } else if (const char *v = arg("--max-points")) {
             base.maxPoints = static_cast<std::size_t>(
-                parseCount("--max-points", v));
+                parseCountFlag("--max-points", v));
         } else if (const char *v = arg("--sample-seed")) {
             base.sampleSeed = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--sweep-recovery")) {
@@ -281,15 +293,15 @@ main(int argc, char **argv)
             base.reorder.enabled = true;
         } else if (const char *v = arg("--reorder-samples")) {
             base.reorder.samples = static_cast<std::size_t>(
-                parseCount("--reorder-samples", v));
+                parseCountFlag("--reorder-samples", v));
         } else if (const char *v = arg("--reorder-bound")) {
             base.reorder.exhaustiveBound = static_cast<std::size_t>(
-                parseCount("--reorder-bound", v));
+                parseCountFlag("--reorder-bound", v));
         } else if (const char *v = arg("--reorder-seed")) {
-            base.reorder.seed = parseCount("--reorder-seed", v);
+            base.reorder.seed = parseCountFlag("--reorder-seed", v);
         } else if (const char *v = arg("--torn-lines")) {
             base.reorder.tornLines =
-                parseCount("--torn-lines", v) != 0;
+                parseCountFlag("--torn-lines", v) != 0;
         } else if (const char *v = arg("--json")) {
             jsonPath = v;
         } else if (const char *v = arg("--bench-json")) {
@@ -304,6 +316,8 @@ main(int argc, char **argv)
             base.recovery.faultIgnoreCrc = true;
         } else if (args[i] == "--inject-skip-wb-barrier") {
             base.run.sys.persist.injectSkipWbBarrier = true;
+        } else if (args[i] == "--inject-skip-shard-mask") {
+            base.run.sys.persist.injectSkipShardMask = true;
         } else if (args[i] == "--list") {
             std::printf("workloads:");
             for (const auto &w : allWorkloadNames())
@@ -323,6 +337,15 @@ main(int argc, char **argv)
             fatal("unknown argument '%s'", args[i].c_str());
         }
     }
+
+    if (base.run.sys.persist.injectSkipShardMask &&
+        base.run.sys.persist.logShards < 2)
+        fatal("--inject-skip-shard-mask needs --log-shards > 1");
+    if (base.imageFaults.killShard >= 0 &&
+        static_cast<std::uint32_t>(base.imageFaults.killShard) >=
+            base.run.sys.persist.logShards)
+        fatal("--fault-kill-shard %d needs --log-shards > %d",
+              base.imageFaults.killShard, base.imageFaults.killShard);
 
     std::printf("snfcrash: jobs=%zu%s\n", resolveJobs(base.jobs),
                 base.jobs == 0 ? " (auto: one per hardware thread)"

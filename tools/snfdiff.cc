@@ -17,6 +17,9 @@
  *                         recover up to N legal completion orders of
  *                         the pending persist set and require each to
  *                         stay model-consistent (0 = prefix only)
+ *     --log-shards N      run both backends with the log NVRAM
+ *                         sliced across N shards and the cross-shard
+ *                         commit protocol (default 1)
  *     --no-crash          final-image differential only
  *     --no-shrink         report the first failure unminimized
  *     --out FILE          failing-program repro path
@@ -56,6 +59,7 @@
 #include "conformlab/diffrun.hh"
 #include "conformlab/proggen.hh"
 #include "conformlab/shrink.hh"
+#include "core/fault_flags.hh"
 #include "sim/logging.hh"
 
 using namespace snf;
@@ -70,7 +74,8 @@ usage()
     std::printf("usage: snfdiff [--programs N] [--seed N] [--jobs N]\n"
                 "               [--replay FILE] [--corpus DIR] "
                 "[--max-crash-points N]\n"
-                "               [--reorder-samples N]\n"
+                "               [--reorder-samples N] "
+                "[--log-shards N]\n"
                 "               [--no-crash] [--no-shrink] "
                 "[--out FILE]\n"
                 "               [--conflict-rate R] [--load-rate R] "
@@ -164,6 +169,8 @@ main(int argc, char **argv)
         } else if (const char *v = arg("--reorder-samples")) {
             cfg.reorderSamples =
                 static_cast<std::size_t>(std::atoll(v));
+        } else if (const char *v = arg("--log-shards")) {
+            cfg.logShards = parseLogShardsFlag("--log-shards", v);
         } else if (const char *v = arg("--out")) {
             outPath = v;
         } else if (const char *v = arg("--conflict-rate")) {

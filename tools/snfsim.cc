@@ -20,6 +20,8 @@
  *     --crash-at TICK    crash, recover, verify
  *     --log-full P       log-full policy: reclaim (default), stall,
  *                        abort-retry
+ *     --log-shards N     slice the log NVRAM across N shards with
+ *                        the cross-shard commit protocol (default 1)
  *     --fault-bitflip P  faultlab: live NVRAM media faults on the
  *     --fault-multibit P accepted-write path, probability per
  *     --fault-drop P     64-byte line written (single/double bit
@@ -73,6 +75,7 @@ usage()
                 "[--distributed-log] [--paper]\n"
                 "              [--crash-at TICK] "
                 "[--log-full reclaim|stall|abort-retry]\n"
+                "              [--log-shards N]\n"
                 "              [--fault-bitflip P] [--fault-multibit "
                 "P] [--fault-drop P]\n"
                 "              [--fault-torn P] [--fault-stuck P] "
@@ -110,6 +113,7 @@ main(int argc, char **argv)
     FaultModelConfig faults;
     faults.seed = 1;
     LogFullPolicy logFull = LogFullPolicy::Reclaim;
+    std::uint32_t logShards = 1;
     bool scrub = false;
 
     // The live-fault flag family shares its ordering rules (and the
@@ -169,6 +173,8 @@ main(int argc, char **argv)
             crash_at = static_cast<Tick>(std::atoll(v));
         } else if (const char *v = arg("--log-full")) {
             logFull = parseLogFullPolicy(v);
+        } else if (const char *v = arg("--log-shards")) {
+            logShards = parseLogShardsFlag("--log-shards", v);
         } else if (args[i] == "--strings") {
             spec.params.stringValues = true;
         } else if (args[i] == "--distributed-log") {
@@ -196,6 +202,7 @@ main(int argc, char **argv)
                      : SystemConfig::scaled(threads);
     spec.sys.persist.distributedLogs = distributed;
     spec.sys.persist.logFullPolicy = logFull;
+    spec.sys.persist.logShards = logShards;
     spec.sys.nvram.faults = faults;
     if (scrub) {
         spec.sys.persist.scrub = true;

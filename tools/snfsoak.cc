@@ -22,6 +22,9 @@
  *     --jobs N             worker threads for the re-entrancy budget
  *                          probes; 0 or omitted = one per hardware
  *                          thread (resolved count in the header)
+ *     --log-shards N       slice the log NVRAM across N shards with
+ *                          the cross-shard commit protocol (default
+ *                          1 = classic single-region layout)
  *     --bench-json FILE    write the perf trajectory (phase timings
  *                          + snapshot-engine counters, same schema
  *                          as snfcrash) to FILE ("-" = stdout)
@@ -76,17 +79,6 @@ parseMode(const char *name)
     fatal("unknown mode '%s'", name);
 }
 
-/** Strict unsigned parse: the whole value must be a number. */
-std::uint64_t
-parseCount(const char *flag, const char *v)
-{
-    char *end = nullptr;
-    std::uint64_t n = std::strtoull(v, &end, 0);
-    if (end == v || *end != '\0')
-        fatal("%s needs a number, got '%s'", flag, v);
-    return n;
-}
-
 void
 usage()
 {
@@ -94,7 +86,8 @@ usage()
         "usage: snfsoak [--workload W] [--mode M] [--threads N] "
         "[--tx N]\n"
         "               [--footprint N] [--seed N] [--generations N]\n"
-        "               [--jobs N] [--bench-json FILE]\n"
+        "               [--jobs N] [--log-shards N] "
+        "[--bench-json FILE]\n"
         "               [--fault-bitflip P] [--fault-multibit P]\n"
         "               [--fault-drop-slot P] [--fault-torn-slot P] "
         "[--fault-seed N]\n"
@@ -115,6 +108,7 @@ main(int argc, char **argv)
     cfg.run.params.threads = 2;
     cfg.run.params.txPerThread = 300;
     std::uint32_t threads = 2;
+    std::uint32_t logShards = 1;
     bool scrub = true;
     std::string benchJsonPath;
 
@@ -166,7 +160,9 @@ main(int argc, char **argv)
             cfg.run.mode = parseMode(v);
         } else if (const char *v = arg("--jobs")) {
             cfg.jobs =
-                static_cast<std::size_t>(parseCount("--jobs", v));
+                static_cast<std::size_t>(parseCountFlag("--jobs", v));
+        } else if (const char *v = arg("--log-shards")) {
+            logShards = parseLogShardsFlag("--log-shards", v);
         } else if (const char *v = arg("--bench-json")) {
             benchJsonPath = v;
         } else if (const char *v = arg("--threads")) {
@@ -216,6 +212,7 @@ main(int argc, char **argv)
     cfg.run.params.threads = threads;
     cfg.run.sys = SystemConfig::scaled(threads);
     cfg.run.sys.persist.scrub = scrub;
+    cfg.run.sys.persist.logShards = logShards;
 
     std::printf("snfsoak: workload=%s mode=%s threads=%u tx/gen=%llu "
                 "generations=%u jobs=%zu%s%s%s\n",
