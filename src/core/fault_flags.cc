@@ -28,6 +28,15 @@ parseLogShardsFlag(const char *flag, const char *value)
     return static_cast<std::uint32_t>(n);
 }
 
+std::uint64_t
+parsePositiveCountFlag(const char *flag, const char *value)
+{
+    std::uint64_t n = parseCountFlag(flag, value);
+    if (n == 0)
+        fatal("%s needs a count >= 1, got '%s'", flag, value);
+    return n;
+}
+
 void
 FaultFlagSet::addRate(const std::string &flag, double *target)
 {

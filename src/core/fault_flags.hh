@@ -35,6 +35,14 @@ std::uint64_t parseCountFlag(const char *flag, const char *value);
  */
 std::uint32_t parseLogShardsFlag(const char *flag, const char *value);
 
+/**
+ * Strict count that must be >= 1 (thread counts, transaction counts,
+ * bench repeats — places where 0 silently degenerates the run).
+ * fatal() with a diagnostic naming the flag otherwise.
+ */
+std::uint64_t parsePositiveCountFlag(const char *flag,
+                                     const char *value);
+
 /** Outcome of FaultFlagSet::consume() for one argv position. */
 enum class FlagParse
 {

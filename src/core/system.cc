@@ -266,6 +266,9 @@ System::adoptNvramImage(const mem::BackingStore &image)
 RunStats
 System::collectStats(Tick cycles) const
 {
+    // Fold the hot-path batched hit/miss accumulators into the named
+    // counters before reading them (and before the energy model does).
+    memory->syncStats();
     RunStats s;
     s.cycles = cycles;
     s.committedTx = txnTracker.committed.value();
@@ -334,6 +337,12 @@ System::collectStats(Tick cycles) const
                        nv.faultStuckWords.value();
     s.faultExaminedBytes = nv.faultExaminedBytes.value();
 
+    s.eventsScheduled = eventQueue.statScheduled();
+    s.eventsExecuted = eventQueue.statExecuted();
+    s.eventHeapSpills = eventQueue.statHeapSpills();
+    s.callbackHeapAllocs = eventQueue.statCallbackHeapAllocs();
+    s.journalEntries = nv.store().journalSize();
+
     s.energy = energy::EnergyModel::compute(*memory, s.instr.total);
     return s;
 }
@@ -341,6 +350,7 @@ System::collectStats(Tick cycles) const
 void
 System::dumpStats(std::ostream &os)
 {
+    memory->syncStats();
     memory->stats().dump(os);
     txnTracker.stats().dump(os);
     for (auto &region : logRegions)

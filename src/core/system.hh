@@ -108,6 +108,16 @@ struct RunStats
     /** Lines promoted into the persistent bad-line remap table. */
     std::uint64_t remappedLines = 0;
 
+    // Simulator internals (speedlab): host-side hot-path activity of
+    // the run. Deterministic for a given spec, so the perf bench
+    // gates on these instead of wall-clock.
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t eventHeapSpills = 0;
+    std::uint64_t callbackHeapAllocs = 0;
+    /** Crash-journal entries accumulated (0 unless crashJournal). */
+    std::uint64_t journalEntries = 0;
+
     energy::EnergyBreakdown energy;
 };
 

@@ -48,8 +48,12 @@ Scheduler::run(Tick stopAt)
             break;
 
         // Fire time-triggered machinery (FWB scans, monitors) that
-        // precedes this thread's next step.
-        events.runUntil(t->localTime);
+        // precedes this thread's next step. The guard jumps straight
+        // to min(next runnable thread, next event): when no event is
+        // due before this thread's tick there is nothing to step
+        // through, so skip the queue entirely.
+        if (events.nextEventTick() <= t->localTime)
+            events.runUntil(t->localTime);
 
         if (!t->started) {
             t->started = true;

@@ -17,13 +17,17 @@ EnergyModel::compute(const mem::MemorySystem &memory,
     e.dramPj = memory.dram().readEnergyPj.value() +
                memory.dram().writeEnergyPj.value();
 
+    // Hit/miss counts include the caches' unflushed hot-path
+    // accumulators so a const computation is exact at any instant.
     std::uint64_t l1_accesses = 0;
     for (std::uint32_t c = 0; c < memory.config().numCores; ++c) {
         const auto &l1 = memory.l1(c);
-        l1_accesses += l1.hits.value() + l1.misses.value();
+        l1_accesses += l1.hits.value() + l1.misses.value() +
+                       l1.pendingHits + l1.pendingMisses;
     }
     const auto &l2 = memory.l2Cache();
-    std::uint64_t l2_accesses = l2.hits.value() + l2.misses.value();
+    std::uint64_t l2_accesses = l2.hits.value() + l2.misses.value() +
+                                l2.pendingHits + l2.pendingMisses;
 
     e.l1Pj = static_cast<double>(l1_accesses) * coeff.l1AccessPj;
     e.l2Pj = static_cast<double>(l2_accesses) * coeff.l2AccessPj;

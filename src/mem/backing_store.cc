@@ -216,15 +216,40 @@ BackingStore::read(Addr addr, std::uint64_t size, void *out) const
     }
 }
 
+const std::uint8_t *
+BackingStore::pageAt(Addr addr, std::uint64_t *avail) const
+{
+    SNF_ASSERT(contains(addr, 1),
+               "pageAt %llx outside store range",
+               static_cast<unsigned long long>(addr));
+    const std::uint64_t off = addr - rangeBase;
+    const std::uint64_t inPage = off % kPageBytes;
+    *avail = std::min(kPageBytes - inPage, rangeSize - off);
+    const Page *p = pagePtr(off / kPageBytes);
+    return p ? p->bytes + inPage : nullptr;
+}
+
 void
 BackingStore::rawWrite(Addr addr, std::uint64_t size, const void *in)
 {
+    static const Page kZeroPage{};
     const auto *src = static_cast<const std::uint8_t *>(in);
     std::uint64_t off = addr - rangeBase;
     while (size > 0) {
         std::uint64_t page = off / kPageBytes;
         std::uint64_t in_page = off % kPageBytes;
         std::uint64_t n = std::min(size, kPageBytes - in_page);
+        // Writing zeros to a page never written leaves the byte image
+        // unchanged (absent pages read as zero): skip the allocation
+        // so bulk zeroing (log truncation) keeps the store sparse and
+        // later sparse scans can skip the pages outright.
+        if (pagePtr(page) == nullptr &&
+            std::memcmp(src, kZeroPage.bytes, n) == 0) {
+            src += n;
+            off += n;
+            size -= n;
+            continue;
+        }
         std::memcpy(pagePtrMut(page) + in_page, src, n);
         src += n;
         off += n;
@@ -254,6 +279,16 @@ std::uint64_t
 BackingStore::read64(Addr addr) const
 {
     std::uint64_t v = 0;
+    // Fast path: an in-range word that does not straddle a page is
+    // one hash lookup + one 8-byte copy; the generic loop handles the
+    // page-straddling and out-of-range (assert) cases.
+    const std::uint64_t off = addr - rangeBase;
+    if (addr >= rangeBase && off + sizeof(v) <= rangeSize &&
+        off % kPageBytes <= kPageBytes - sizeof(v)) {
+        if (const Page *src = pagePtr(off / kPageBytes))
+            std::memcpy(&v, src->bytes + off % kPageBytes, sizeof(v));
+        return v;
+    }
     read(addr, sizeof(v), &v);
     return v;
 }

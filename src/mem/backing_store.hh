@@ -78,6 +78,18 @@ class BackingStore
     void write64(Addr addr, std::uint64_t v, Tick doneTick = 0);
 
     /**
+     * Sparse read view: pointer to the resident bytes at @p addr, or
+     * nullptr when the covering page was never written (the range
+     * reads as zero). @p avail receives the number of contiguous
+     * bytes from @p addr to the end of that page and of the store
+     * range — the extent of the returned pointer's validity, or, for
+     * nullptr, the extent known to read as zero. Bulk scanners (the
+     * recovery slot scan) use this to skip untouched pages without
+     * copying them.
+     */
+    const std::uint8_t *pageAt(Addr addr, std::uint64_t *avail) const;
+
+    /**
      * Start journaling writes. Clones the current image as the
      * snapshot base; prior contents are the tick-0 state.
      */

@@ -14,9 +14,12 @@ Cache::Cache(std::string name, const CacheConfig &config)
       evictions(statGroup.counter("evictions")),
       writebacks(statGroup.counter("writebacks"))
 {
+    SNF_ASSERT(cfg.lineBytes >= 2, "line size too small for tag "
+               "sentinel in %s", cacheName.c_str());
     lines.resize(cfg.numLines());
     for (auto &l : lines)
         l.data.assign(cfg.lineBytes, 0);
+    tags.assign(cfg.numLines(), kInvalidTag);
 }
 
 std::uint32_t
@@ -24,25 +27,6 @@ Cache::setIndex(Addr lineAddr) const
 {
     return static_cast<std::uint32_t>(
         (lineAddr / cfg.lineBytes) & (cfg.numSets() - 1));
-}
-
-CacheLine *
-Cache::find(Addr lineAddr)
-{
-    std::uint32_t set = setIndex(lineAddr);
-    CacheLine *base = &lines[static_cast<std::size_t>(set) * cfg.ways];
-    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        CacheLine &l = base[w];
-        if (l.valid && l.lineAddr == lineAddr)
-            return &l;
-    }
-    return nullptr;
-}
-
-const CacheLine *
-Cache::find(Addr lineAddr) const
-{
-    return const_cast<Cache *>(this)->find(lineAddr);
 }
 
 CacheLine *
@@ -71,6 +55,7 @@ Cache::install(CacheLine *slot, Addr lineAddr)
     slot->valid = true;
     slot->dirty = false;
     slot->fwb = false;
+    tags[static_cast<std::size_t>(slot - lines.data())] = lineAddr;
     touch(slot);
 }
 
@@ -86,6 +71,7 @@ Cache::invalidate(CacheLine *line)
     line->valid = false;
     line->dirty = false;
     line->fwb = false;
+    tags[static_cast<std::size_t>(line - lines.data())] = kInvalidTag;
 }
 
 void
@@ -93,13 +79,6 @@ Cache::invalidateAll()
 {
     for (auto &l : lines)
         invalidate(&l);
-}
-
-void
-Cache::forEachLine(const std::function<void(CacheLine &)> &fn)
-{
-    for (auto &l : lines)
-        fn(l);
 }
 
 } // namespace snf::mem

@@ -6,13 +6,18 @@
  * write-backs, coherence) lives in mem::MemorySystem, and the FWB
  * state machine in persist::FwbEngine drives the fwb bits. This keeps
  * the entire protocol in one auditable place.
+ *
+ * Lookups run against a packed parallel tag array: one Addr compare
+ * per way, no per-way valid-bit branch (invalid ways hold a sentinel
+ * that can never equal a line-aligned address). The tag array is kept
+ * consistent by install()/invalidate(), the only mutators of line
+ * identity.
  */
 
 #ifndef SNF_MEM_CACHE_HH
 #define SNF_MEM_CACHE_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -46,8 +51,25 @@ class Cache
     Cache(std::string name, const CacheConfig &config);
 
     /** Look up @p lineAddr; nullptr on miss. Does not update LRU. */
-    CacheLine *find(Addr lineAddr);
-    const CacheLine *find(Addr lineAddr) const;
+    CacheLine *
+    find(Addr lineAddr)
+    {
+        const std::uint32_t set = setIndex(lineAddr);
+        const std::size_t base =
+            static_cast<std::size_t>(set) * cfg.ways;
+        const Addr *tagBase = &tags[base];
+        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+            if (tagBase[w] == lineAddr)
+                return &lines[base + w];
+        }
+        return nullptr;
+    }
+
+    const CacheLine *
+    find(Addr lineAddr) const
+    {
+        return const_cast<Cache *>(this)->find(lineAddr);
+    }
 
     /**
      * Pick the victim slot for installing @p lineAddr: an invalid way
@@ -72,8 +94,15 @@ class Cache
     /** Invalidate every line (crash model). */
     void invalidateAll();
 
-    /** Apply @p fn to every line slot (valid or not). */
-    void forEachLine(const std::function<void(CacheLine &)> &fn);
+    /** Apply @p fn to every line slot (valid or not). Statically
+     *  dispatched so per-line scans pay no std::function call. */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn)
+    {
+        for (auto &l : lines)
+            fn(l);
+    }
 
     std::uint32_t lineBytes() const { return cfg.lineBytes; }
 
@@ -95,6 +124,10 @@ class Cache
     Tick busyUntil = 0;
 
   private:
+    /** All-ones is never line-aligned (lineBytes >= 2), so an invalid
+     *  way can never match a lookup tag. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
     std::string cacheName;
     CacheConfig cfg;
     sim::StatGroup statGroup; // must precede the counter references
@@ -106,10 +139,31 @@ class Cache
     sim::Counter &evictions;
     sim::Counter &writebacks;
 
+    /** Hot-path demand hit/miss counts accumulate here (plain adds,
+     *  no counter indirection) and fold into the named counters at
+     *  stat-read boundaries via syncDemandStats(). */
+    std::uint64_t pendingHits = 0;
+    std::uint64_t pendingMisses = 0;
+
+    void
+    syncDemandStats()
+    {
+        if (pendingHits) {
+            hits.inc(pendingHits);
+            pendingHits = 0;
+        }
+        if (pendingMisses) {
+            misses.inc(pendingMisses);
+            pendingMisses = 0;
+        }
+    }
+
   private:
     std::uint32_t setIndex(Addr lineAddr) const;
 
     std::vector<CacheLine> lines;
+    /** Parallel to `lines`: lineAddr when valid, kInvalidTag when not. */
+    std::vector<Addr> tags;
     std::uint64_t useClock = 0;
 };
 

@@ -38,16 +38,18 @@ MemDevice::MemDevice(std::string name, const MemDeviceConfig &config,
     if (cfg.remapSize != 0)
         remapTable = std::make_unique<RemapTable>(
             cfg.remapBase, cfg.remapSize, cfg.spareBase, cfg.spareSize);
+    fastMedia = !faults.enabled();
 }
 
 void
 MemDevice::rebuildLineMap()
 {
     lineMap.clear();
-    if (!remapTable)
-        return;
-    for (const RemapTable::Entry &e : remapTable->entries())
-        lineMap.emplace(e.orig, e.spare);
+    if (remapTable) {
+        for (const RemapTable::Entry &e : remapTable->entries())
+            lineMap.emplace(e.orig, e.spare);
+    }
+    fastMedia = lineMap.empty() && !faults.enabled();
 }
 
 Addr
@@ -87,7 +89,7 @@ MemDevice::mediaWrite(Addr addr, std::uint64_t size, const void *in,
                       Tick done, Tick issue, PersistOrigin origin)
 {
     const auto *src = static_cast<const std::uint8_t *>(in);
-    if (lineMap.empty() && !faults.enabled()) {
+    if (fastMedia) {
         backing.write(addr, size, in, done, issue, origin);
         return;
     }
@@ -249,7 +251,11 @@ MemDevice::access(bool write, Addr addr, std::uint64_t size,
     if (write) {
         writes.inc();
         writeBytes.inc(size);
-        ++rowWrites[row];
+        if (cachedRowCount == nullptr || row != cachedRow) {
+            cachedRowCount = &rowWrites[row];
+            cachedRow = row;
+        }
+        ++*cachedRowCount;
         // PCM cells are written from the row buffer; array write
         // energy applies to the written bits, row-buffer energy to
         // the access itself.

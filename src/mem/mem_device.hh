@@ -203,6 +203,15 @@ class MemDevice
     std::unordered_map<Addr, Addr> lineMap;
     std::vector<Bank> banks;
     std::unordered_map<std::uint64_t, std::uint64_t> rowWrites;
+    /** Last-written row bucket: sequential write streams hit the same
+     *  row repeatedly, so cache the map slot (node-stable across
+     *  rehash) instead of re-hashing per write. */
+    std::uint64_t cachedRow = 0;
+    std::uint64_t *cachedRowCount = nullptr;
+    /** True when bytes can go straight to the backing store: no
+     *  promoted lines and no fault injection. Maintained by the ctor
+     *  and rebuildLineMap() — the only places either input changes. */
+    bool fastMedia = true;
     Tick readChannelBusy = 0;
     Tick writeChannelBusy = 0;
     Tick logChannelBusy = 0;

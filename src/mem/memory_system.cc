@@ -107,11 +107,11 @@ MemorySystem::fillL2(Addr lineAddr, Tick now)
 {
     Tick start = std::max(now, l2.busyUntil);
     if (CacheLine *l = l2.find(lineAddr)) {
-        l2.hits.inc();
+        ++l2.pendingHits;
         l2.touch(l);
         return FillResult{l, start + l2.latency(), true};
     }
-    l2.misses.inc();
+    ++l2.pendingMisses;
     CacheLine *slot = l2.victimFor(lineAddr);
     if (slot->valid)
         evictL2Line(slot, start);
@@ -153,7 +153,7 @@ MemorySystem::ensureInL1(CoreId core, Addr lineAddr, Tick now,
     Tick start = std::max(now, l1.busyUntil);
 
     if (CacheLine *line = l1.find(lineAddr)) {
-        l1.hits.inc();
+        ++l1.pendingHits;
         l1.touch(line);
         Tick done = start + l1.latency();
         if (for_store) {
@@ -183,7 +183,7 @@ MemorySystem::ensureInL1(CoreId core, Addr lineAddr, Tick now,
         return FillResult{line, done, true};
     }
 
-    l1.misses.inc();
+    ++l1.pendingMisses;
     FillResult l2res = fillL2(lineAddr, start + l1.latency());
     Tick done = l2res.done;
     level = l2res.hit ? HitLevel::L2 : HitLevel::Memory;
@@ -427,6 +427,14 @@ MemorySystem::flushAllDirty(Tick now)
     });
     done = std::max(done, wcbuf.drainAll(now));
     return done;
+}
+
+void
+MemorySystem::syncStats()
+{
+    for (auto &l1 : l1s)
+        l1->syncDemandStats();
+    l2.syncDemandStats();
 }
 
 void

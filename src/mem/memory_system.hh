@@ -141,6 +141,13 @@ class MemorySystem
     /** Write back every dirty line (graceful shutdown). */
     Tick flushAllDirty(Tick now);
 
+    /**
+     * Fold the caches' batched demand hit/miss accumulators into
+     * their named counters. Must run before any consumer reads or
+     * dumps cache statistics (System::collectStats / dumpStats do).
+     */
+    void syncStats();
+
     /** Drop all cached state and the WCB (crash model). */
     void invalidateAllCaches();
 

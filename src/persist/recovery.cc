@@ -136,6 +136,23 @@ struct ImageIO
         return img.contains(a, n);
     }
 
+    /**
+     * Sparse scan support: with no line remapped, reads are untranslated
+     * and the slot scan may walk the image's resident pages in place,
+     * treating absent pages as all-zero without copying them.
+     */
+    bool
+    directScan() const
+    {
+        return !remap || remap->size() == 0;
+    }
+
+    const std::uint8_t *
+    pageAt(Addr a, std::uint64_t *avail) const
+    {
+        return img.pageAt(a, avail);
+    }
+
     bool interrupted() const { return issued > applied; }
 };
 
@@ -347,37 +364,57 @@ recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
 
     // Step 2: classify every slot. classifySlot separates damage
     // (torn partial writes, CRC failures) from parseable records;
-    // damaged slots never contribute replay values. The whole slot
-    // array is fetched in one bulk read first: the scan is by far the
-    // hottest loop of a crash sweep (4+ passes per evaluated point),
-    // and page-wise reads beat one store lookup per slot.
-    std::vector<std::uint8_t> slotImg(slots * LogRecord::kSlotBytes);
-    io.readBulk(slot0, slotImg.size(), slotImg.data());
-    std::vector<SlotInfo> info(slots);
+    // damaged slots never contribute replay values. The scan is by
+    // far the hottest loop of a crash sweep (4+ passes per evaluated
+    // point), so with no remapping active it walks the image's
+    // resident pages in place: a page never written reads as zero, so
+    // every slot inside it is Empty without the bytes ever being
+    // copied or compared — on a typical sweep only the written log
+    // prefix of the multi-MB region costs anything. Remapped images
+    // (lifelab) keep the translated bulk-read path.
+    //
+    // Scratch is thread_local and reused across calls: a sweep runs
+    // recovery once per crash point × pass, and the per-call
+    // allocation plus value-initialization of a full SlotInfo array
+    // (each entry embeds a LogRecord) dominated recovery's own
+    // profile. Per-slot state is an 8-byte SlotMeta; parsed records
+    // are stored once, densely, only for Valid slots.
+    struct SlotMeta
+    {
+        SlotClass cls;
+        bool torn;
+        std::uint32_t rec; ///< index into `parsed`, or kNoRec
+    };
+    constexpr std::uint32_t kNoRec = ~std::uint32_t{0};
+    thread_local std::vector<std::uint8_t> slotImg;
+    thread_local std::vector<SlotMeta> meta;
+    thread_local std::vector<SlotInfo> parsed;
+    meta.assign(slots, SlotMeta{SlotClass::Empty, false, kNoRec});
+    parsed.clear();
     static const std::uint8_t kZeroSlot[LogRecord::kSlotBytes] = {};
-    for (std::uint64_t i = 0; i < slots; ++i) {
-        const std::uint8_t *img =
-            slotImg.data() + i * LogRecord::kSlotBytes;
+    auto scanOne = [&](std::uint64_t i, const std::uint8_t *img) {
         if (std::memcmp(img, kZeroSlot, LogRecord::kSlotBytes) == 0) {
-            // All-zero slot: default SlotInfo already says Empty, and
+            // All-zero slot: the default meta already says Empty, and
             // most of the region is empty in a typical sweep.
             ++report.emptySlots;
             ++report.slotsScanned;
-            continue;
+            return;
         }
-        info[i] = classifySlot(img);
-        if (opts.faultIgnoreCrc && info[i].cls == SlotClass::CrcFail) {
+        SlotInfo si = classifySlot(img);
+        if (opts.faultIgnoreCrc && si.cls == SlotClass::CrcFail) {
             // Injected bug: the pre-faultlab scanner trusted any slot
             // with a written marker.
             bool torn = false;
             auto rec = LogRecord::deserialize(img, torn);
             if (rec && rec->payloadBytes() <= LogRecord::kSlotBytes) {
-                info[i].cls = SlotClass::Valid;
-                info[i].torn = torn;
-                info[i].rec = *rec;
+                si.cls = SlotClass::Valid;
+                si.torn = torn;
+                si.rec = *rec;
             }
         }
-        switch (info[i].cls) {
+        meta[i].cls = si.cls;
+        meta[i].torn = si.torn;
+        switch (si.cls) {
           case SlotClass::Empty:
             ++report.emptySlots;
             break;
@@ -388,15 +425,50 @@ recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
             ++report.crcFailSlots;
             break;
           case SlotClass::Valid:
+            meta[i].rec = static_cast<std::uint32_t>(parsed.size());
+            parsed.push_back(si);
             break;
         }
-        if ((info[i].cls == SlotClass::Torn ||
-             info[i].cls == SlotClass::CrcFail) &&
+        if ((si.cls == SlotClass::Torn ||
+             si.cls == SlotClass::CrcFail) &&
             report.firstBadSlotAddr == 0) {
             report.firstBadSlotAddr =
                 slot0 + i * LogRecord::kSlotBytes;
         }
         ++report.slotsScanned;
+    };
+    if (io.directScan()) {
+        std::uint64_t i = 0;
+        while (i < slots) {
+            Addr a = slot0 + i * LogRecord::kSlotBytes;
+            std::uint64_t avail = 0;
+            const std::uint8_t *p = io.pageAt(a, &avail);
+            std::uint64_t whole = std::min<std::uint64_t>(
+                slots - i, avail / LogRecord::kSlotBytes);
+            if (whole == 0) {
+                // Slot straddles a page boundary: assemble it.
+                std::uint8_t buf[LogRecord::kSlotBytes];
+                io.read(a, LogRecord::kSlotBytes, buf);
+                scanOne(i, buf);
+                ++i;
+                continue;
+            }
+            if (p == nullptr) {
+                // Absent page: `whole` slots of zeros.
+                report.emptySlots += whole;
+                report.slotsScanned += whole;
+            } else {
+                for (std::uint64_t k = 0; k < whole; ++k)
+                    scanOne(i + k,
+                            p + k * LogRecord::kSlotBytes);
+            }
+            i += whole;
+        }
+    } else {
+        slotImg.resize(slots * LogRecord::kSlotBytes);
+        io.readBulk(slot0, slotImg.size(), slotImg.data());
+        for (std::uint64_t i = 0; i < slots; ++i)
+            scanOne(i, slotImg.data() + i * LogRecord::kSlotBytes);
     }
 
     // Step 3: locate the live window. The torn (pass-parity) bit of
@@ -411,27 +483,27 @@ recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
     bool wrapped = false;
     std::int64_t first_valid = -1;
     for (std::uint64_t i = 0; i < slots; ++i) {
-        if (info[i].cls == SlotClass::Valid) {
+        if (meta[i].cls == SlotClass::Valid) {
             first_valid = static_cast<std::int64_t>(i);
             break;
         }
     }
     if (first_valid >= 0) {
-        bool t0 = info[first_valid].torn;
+        bool t0 = meta[first_valid].torn;
         std::uint64_t boundary = 0; // one past the last current slot
         for (std::uint64_t i = 0; i < slots; ++i)
-            if (info[i].cls == SlotClass::Valid && info[i].torn == t0)
+            if (meta[i].cls == SlotClass::Valid && meta[i].torn == t0)
                 boundary = i + 1;
         std::vector<std::uint64_t> prev;
         for (std::uint64_t i = boundary; i < slots; ++i)
-            if (info[i].cls == SlotClass::Valid)
+            if (meta[i].cls == SlotClass::Valid)
                 prev.push_back(i);
         wrapped = !prev.empty() || boundary == slots;
         window = std::move(prev);
         for (std::uint64_t i = 0; i < boundary; ++i) {
-            switch (info[i].cls) {
+            switch (meta[i].cls) {
               case SlotClass::Valid:
-                if (info[i].torn == t0)
+                if (meta[i].torn == t0)
                     window.push_back(i);
                 else
                     ++report.stalePassSlots;
@@ -463,7 +535,7 @@ recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
     std::vector<const SlotInfo *> ordered;
     ordered.reserve(window.size());
     for (std::uint64_t slot : window)
-        ordered.push_back(&info[slot]);
+        ordered.push_back(&parsed[meta[slot].rec]);
 
     std::vector<std::size_t> gen_of(ordered.size(), SIZE_MAX);
     for (std::size_t i = 0; i < ordered.size(); ++i) {
@@ -557,8 +629,8 @@ recoverRegionIo(ImageIO &io, Addr logBase, std::uint64_t logSize,
     if (promoteInto) {
         std::vector<Addr> bad_lines;
         for (std::uint64_t i = 0; i < slots; ++i) {
-            if (info[i].cls != SlotClass::Torn &&
-                info[i].cls != SlotClass::CrcFail)
+            if (meta[i].cls != SlotClass::Torn &&
+                meta[i].cls != SlotClass::CrcFail)
                 continue;
             Addr line = (slot0 + i * LogRecord::kSlotBytes) &
                         ~static_cast<Addr>(kLineBytes - 1);

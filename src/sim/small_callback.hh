@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callback for the event queue.
+ *
+ * std::function heap-allocates once its capture exceeds the
+ * implementation's tiny inline buffer and always pays a virtual-ish
+ * dispatch through its manager function. Every callback the simulator
+ * schedules today captures at most a couple of pointers (FwbEngine:
+ * `this`; LogScrubber: `this` + queue reference), so a fixed inline
+ * buffer sized for those captures removes the per-schedule allocation
+ * entirely. Callables that do exceed the buffer still work — they
+ * spill to the heap — and the spill is observable (onHeap()) so the
+ * queue can report allocations/event as a tracked perf counter.
+ */
+
+#ifndef SNF_SIM_SMALL_CALLBACK_HH
+#define SNF_SIM_SMALL_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace snf::sim
+{
+
+/** Move-only `void(Tick)` callable with inline storage. */
+class SmallCallback
+{
+  public:
+    /** Inline capture budget: comfortably fits every scheduler in
+     *  the tree (largest today is 16 bytes) with headroom for a few
+     *  more captured words before anything spills. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    SmallCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, SmallCallback>>>
+    SmallCallback(F &&f) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            new (buf) Fn(std::forward<F>(f));
+            vt = &inlineVTable<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf) =
+                new Fn(std::forward<F>(f));
+            vt = &heapVTable<Fn>;
+        }
+    }
+
+    SmallCallback(SmallCallback &&other) noexcept
+        : vt(other.vt)
+    {
+        if (vt)
+            vt->relocate(buf, other.buf);
+        other.vt = nullptr;
+    }
+
+    SmallCallback &
+    operator=(SmallCallback &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        if (vt)
+            vt->destroy(buf);
+        vt = other.vt;
+        if (vt)
+            vt->relocate(buf, other.buf);
+        other.vt = nullptr;
+        return *this;
+    }
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback()
+    {
+        if (vt)
+            vt->destroy(buf);
+    }
+
+    void
+    operator()(Tick when)
+    {
+        vt->invoke(buf, when);
+    }
+
+    explicit operator bool() const { return vt != nullptr; }
+
+    /** True when the callable spilled to a heap allocation. */
+    bool onHeap() const { return vt != nullptr && vt->heap; }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *, Tick);
+        /** Move-construct into dst from src and destroy src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+        bool heap;
+    };
+
+    template <typename Fn>
+    static constexpr VTable inlineVTable = {
+        [](void *p, Tick when) { (*static_cast<Fn *>(p))(when); },
+        [](void *dst, void *src) {
+            new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *p) { static_cast<Fn *>(p)->~Fn(); },
+        false,
+    };
+
+    template <typename Fn>
+    static constexpr VTable heapVTable = {
+        [](void *p, Tick when) { (**static_cast<Fn **>(p))(when); },
+        [](void *dst, void *src) {
+            *static_cast<Fn **>(dst) = *static_cast<Fn **>(src);
+        },
+        [](void *p) { delete *static_cast<Fn **>(p); },
+        true,
+    };
+
+    alignas(std::max_align_t) unsigned char buf[kInlineBytes];
+    const VTable *vt = nullptr;
+};
+
+} // namespace snf::sim
+
+#endif // SNF_SIM_SMALL_CALLBACK_HH

@@ -202,6 +202,29 @@ TEST(LogShardsFlag, AcceptsTheFullMaskRange)
     EXPECT_EQ(parseLogShardsFlag("--log-shards", "64"), 64u);
 }
 
+TEST(PositiveCountFlag, AcceptsAnyNonzeroCount)
+{
+    EXPECT_EQ(parsePositiveCountFlag("--threads", "1"), 1u);
+    EXPECT_EQ(parsePositiveCountFlag("--bench-repeats", "5"), 5u);
+    EXPECT_EQ(parsePositiveCountFlag("--threads", "0x40"), 64u);
+}
+
+TEST(PositiveCountFlagDeathTest, RejectsZeroAndGarbage)
+{
+    // 0 silently degenerates the run (no threads, no repeats), so it
+    // is a hard error; garbage fails the strict number parse first.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parsePositiveCountFlag("--threads", "0"),
+                ::testing::ExitedWithCode(1),
+                "--threads needs a count >= 1, got '0'");
+    EXPECT_EXIT(parsePositiveCountFlag("--bench-repeats", "3x"),
+                ::testing::ExitedWithCode(1),
+                "--bench-repeats needs a number, got '3x'");
+    EXPECT_EXIT(parsePositiveCountFlag("--bench-repeats", ""),
+                ::testing::ExitedWithCode(1),
+                "--bench-repeats needs a number");
+}
+
 TEST(LogShardsFlagDeathTest, RejectsZeroOverflowAndGarbage)
 {
     // 0 shards is meaningless and 64 is the participation-mask

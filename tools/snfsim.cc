@@ -36,14 +36,28 @@
  *                        traffic stats)
  *     --dump-stats       dump every component counter
  *     --list             list workloads and exit
+ *     --bench-json FILE  perf-bench mode: run the reference
+ *                        workload×mode matrix with the current
+ *                        --threads/--tx/--seed and write a
+ *                        snf-bench-sim-v1 JSON report (simulated
+ *                        tx/sec, events/sec, allocations/event, plus
+ *                        the deterministic counters CI gates on);
+ *                        "-" writes to stdout
+ *     --bench-repeats N  repeat each bench cell N times: wall-clock
+ *                        is the minimum, counters must be identical
+ *                        across repeats (default 1)
  *
  * Every value flag also accepts --flag=value.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -81,7 +95,9 @@ usage()
                 "              [--fault-torn P] [--fault-stuck P] "
                 "[--fault-seed N]\n"
                 "              [--fault-preset light|heavy] "
-                "[--scrub] [--dump-stats] [--list]\n");
+                "[--scrub] [--dump-stats] [--list]\n"
+                "              [--bench-json FILE] "
+                "[--bench-repeats N]\n");
 }
 
 LogFullPolicy
@@ -93,6 +109,139 @@ parseLogFullPolicy(const char *name)
         if (std::strcmp(logFullPolicyName(p), name) == 0)
             return p;
     fatal("unknown log-full policy '%s'", name);
+}
+
+/**
+ * Perf-bench mode: run the reference workload×mode matrix and write a
+ * snf-bench-sim-v1 report. The counters block must repeat exactly
+ * (the simulator is deterministic); wall-clock rates live in a
+ * separate "perf" block so CI strips them before diffing.
+ */
+int
+runBenchMatrix(const RunSpec &base, bool paper, std::uint64_t repeats,
+               const std::string &path)
+{
+    static const char *kWorkloads[] = {"sps", "hash", "btree", "ycsb",
+                                       "tpcc"};
+    static const PersistMode kModes[] = {
+        PersistMode::Fwb, PersistMode::UndoClwb, PersistMode::RedoClwb,
+        PersistMode::NonPers};
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"snf-bench-sim-v1\",\n";
+    out << "  \"tool\": \"snfsim\",\n";
+    out << "  \"threads\": " << base.params.threads << ",\n";
+    out << "  \"tx_per_thread\": " << base.params.txPerThread << ",\n";
+    out << "  \"seed\": " << base.params.seed << ",\n";
+    out << "  \"cells\": [";
+    bool firstCell = true;
+    for (const char *w : kWorkloads) {
+        for (PersistMode m : kModes) {
+            RunSpec spec = base;
+            spec.workload = w;
+            spec.mode = m;
+            // Journal NVRAM writes like a crash sweep would, so the
+            // journal-entries counter is live and gateable.
+            spec.sys = paper
+                           ? SystemConfig::paper(spec.params.threads)
+                           : SystemConfig::scaled(spec.params.threads);
+            spec.sys.persist.distributedLogs =
+                base.sys.persist.distributedLogs;
+            spec.sys.persist.logFullPolicy =
+                base.sys.persist.logFullPolicy;
+            spec.sys.persist.logShards = base.sys.persist.logShards;
+            spec.sys.persist.crashJournal = true;
+
+            RunStats s;
+            bool verified = false;
+            double bestSec = 0.0;
+            for (std::uint64_t r = 0; r < repeats; ++r) {
+                auto t0 = std::chrono::steady_clock::now();
+                auto o = runWorkload(spec);
+                auto t1 = std::chrono::steady_clock::now();
+                double sec =
+                    std::chrono::duration<double>(t1 - t0).count();
+                if (r == 0) {
+                    s = o.stats;
+                    verified = o.verified;
+                    bestSec = sec;
+                } else {
+                    bestSec = std::min(bestSec, sec);
+                    if (o.stats.cycles != s.cycles ||
+                        o.stats.eventsScheduled != s.eventsScheduled ||
+                        o.stats.eventsExecuted != s.eventsExecuted ||
+                        o.stats.callbackHeapAllocs !=
+                            s.callbackHeapAllocs ||
+                        o.stats.journalEntries != s.journalEntries)
+                        fatal("bench cell %s/%s not deterministic "
+                              "across repeats",
+                              w, persistModeName(m));
+                }
+            }
+            if (!verified)
+                fatal("bench cell %s/%s failed verification", w,
+                      persistModeName(m));
+
+            double allocsPerEvent =
+                s.eventsScheduled == 0
+                    ? 0.0
+                    : static_cast<double>(s.callbackHeapAllocs) /
+                          static_cast<double>(s.eventsScheduled);
+            out << (firstCell ? "\n" : ",\n");
+            firstCell = false;
+            out << "    {\n";
+            out << "      \"workload\": \"" << w << "\",\n";
+            out << "      \"mode\": \"" << persistModeName(m)
+                << "\",\n";
+            out << "      \"counters\": {\n";
+            out << "        \"cycles\": " << s.cycles << ",\n";
+            out << "        \"committed_tx\": " << s.committedTx
+                << ",\n";
+            out << "        \"instructions\": " << s.instr.total
+                << ",\n";
+            out << "        \"events_scheduled\": "
+                << s.eventsScheduled << ",\n";
+            out << "        \"events_executed\": " << s.eventsExecuted
+                << ",\n";
+            out << "        \"event_heap_spills\": "
+                << s.eventHeapSpills << ",\n";
+            out << "        \"callback_heap_allocs\": "
+                << s.callbackHeapAllocs << ",\n";
+            out << "        \"journal_entries\": " << s.journalEntries
+                << "\n";
+            out << "      },\n";
+            out << "      \"perf\": {\n";
+            out << "        \"wall_sec\": " << bestSec << ",\n";
+            out << "        \"sim_tx_per_sec\": "
+                << (bestSec > 0.0
+                        ? static_cast<double>(s.committedTx) / bestSec
+                        : 0.0)
+                << ",\n";
+            out << "        \"events_per_sec\": "
+                << (bestSec > 0.0
+                        ? static_cast<double>(s.eventsExecuted) /
+                              bestSec
+                        : 0.0)
+                << ",\n";
+            out << "        \"allocs_per_event\": " << allocsPerEvent
+                << "\n";
+            out << "      }\n";
+            out << "    }";
+        }
+    }
+    out << "\n  ]\n";
+    out << "}\n";
+
+    if (path == "-") {
+        std::cout << out.str();
+    } else {
+        std::ofstream f(path);
+        if (!f)
+            fatal("cannot write '%s'", path.c_str());
+        f << out.str();
+    }
+    return 0;
 }
 
 } // namespace
@@ -115,6 +264,8 @@ main(int argc, char **argv)
     LogFullPolicy logFull = LogFullPolicy::Reclaim;
     std::uint32_t logShards = 1;
     bool scrub = false;
+    std::string benchJsonPath;
+    std::uint64_t benchRepeats = 1;
 
     // The live-fault flag family shares its ordering rules (and the
     // contradiction diagnostics) with snfcrash/snfsoak.
@@ -159,18 +310,21 @@ main(int argc, char **argv)
         } else if (const char *v = arg("--mode")) {
             spec.mode = parseMode(v);
         } else if (const char *v = arg("--threads")) {
-            threads = static_cast<std::uint32_t>(std::atoi(v));
+            threads = static_cast<std::uint32_t>(
+                parsePositiveCountFlag("--threads", v));
         } else if (const char *v = arg("--tx")) {
-            spec.params.txPerThread =
-                static_cast<std::uint64_t>(std::atoll(v));
+            spec.params.txPerThread = parseCountFlag("--tx", v);
         } else if (const char *v = arg("--footprint")) {
-            spec.params.footprint =
-                static_cast<std::uint64_t>(std::atoll(v));
+            spec.params.footprint = parseCountFlag("--footprint", v);
         } else if (const char *v = arg("--seed")) {
-            spec.params.seed =
-                static_cast<std::uint64_t>(std::atoll(v));
+            spec.params.seed = parseCountFlag("--seed", v);
         } else if (const char *v = arg("--crash-at")) {
-            crash_at = static_cast<Tick>(std::atoll(v));
+            crash_at = static_cast<Tick>(
+                parseCountFlag("--crash-at", v));
+        } else if (const char *v = arg("--bench-json")) {
+            benchJsonPath = v;
+        } else if (const char *v = arg("--bench-repeats")) {
+            benchRepeats = parsePositiveCountFlag("--bench-repeats", v);
         } else if (const char *v = arg("--log-full")) {
             logFull = parseLogFullPolicy(v);
         } else if (const char *v = arg("--log-shards")) {
@@ -215,6 +369,10 @@ main(int argc, char **argv)
         spec.sys.persist.crashJournal = true;
         spec.crashAt = crash_at;
     }
+
+    if (!benchJsonPath.empty())
+        return runBenchMatrix(spec, paper, benchRepeats,
+                              benchJsonPath);
 
     auto o = runWorkload(spec);
     const RunStats &s = o.stats;
