@@ -37,6 +37,19 @@ parsePositiveCountFlag(const char *flag, const char *value)
     return n;
 }
 
+double
+parseOpenUnitFlag(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    double x = std::strtod(value, &end);
+    if (end == value || *end != '\0')
+        fatal("%s needs a number, got '%s'", flag, value);
+    if (!(x > 0.0 && x < 1.0))
+        fatal("%s needs a value strictly inside (0,1), got '%s'",
+              flag, value);
+    return x;
+}
+
 void
 FaultFlagSet::addRate(const std::string &flag, double *target)
 {

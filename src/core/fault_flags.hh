@@ -43,6 +43,15 @@ std::uint32_t parseLogShardsFlag(const char *flag, const char *value);
 std::uint64_t parsePositiveCountFlag(const char *flag,
                                      const char *value);
 
+/**
+ * Strict real value that must lie strictly inside (0, 1) — Zipf skew
+ * exponents and similar open-unit parameters where 0 degenerates to
+ * uniform and 1 is outside the distribution's validity range. The
+ * whole value must parse; fatal() with a diagnostic naming the flag
+ * otherwise.
+ */
+double parseOpenUnitFlag(const char *flag, const char *value);
+
 /** Outcome of FaultFlagSet::consume() for one argv position. */
 enum class FlagParse
 {

@@ -1,5 +1,6 @@
 #include "core/system.hh"
 
+#include <algorithm>
 #include <ostream>
 
 #include "sim/logging.hh"
@@ -60,10 +61,16 @@ System::System(const SystemConfig &config, PersistMode m)
             return txnTracker.isActive(seq);
         });
         region->setPersistedSince(
-            [this](Addr addr, Tick appendTick) {
+            [this](Addr addr, Tick appendTick, Tick now) {
                 Addr line = memory->lineOf(addr);
-                if (memory->monitor().lastWritebackOf(line) >=
-                    appendTick)
+                Tick wb = memory->monitor().lastWritebackOf(line);
+                // A write-back whose completion lies in the future
+                // is still in flight: the cache already shows the
+                // line clean, but the data is not durable yet and a
+                // crash before `wb` loses it.
+                if (wb > now)
+                    return false;
+                if (wb >= appendTick)
                     return true;
                 return !memory->isLineDirtyAnywhere(line);
             });
@@ -76,7 +83,14 @@ System::System(const SystemConfig &config, PersistMode m)
                                  cfg.persist.logFullRetries,
                                  cfg.persist.logFullBackoffBase);
         region->setForceWriteback([this](Addr addr, Tick now) {
-            return memory->clwb(0, addr, now);
+            Tick done = memory->clwb(0, addr, now);
+            // If a write-back of the line is already in flight (the
+            // clwb then finds it clean and completes early), waiting
+            // for durability means waiting for that write-back's
+            // completion tick, not the clwb's.
+            return std::max(
+                done, memory->monitor().lastWritebackOf(
+                          memory->lineOf(addr)));
         });
         region->setAbortRequestSink([this](std::uint64_t seq) {
             // Rollback needs in-log undo values: under redo-only

@@ -88,6 +88,7 @@ Thread::execTxBegin()
 {
     SNF_ASSERT(!inTx, "nested transaction on core %u", ctx.id());
     inTx = true;
+    txPreValidated = false;
     txSeq = sys.txns().begin(ctx.id());
     ctx.instr.total += kTxLibraryInstructions;
     ctx.instr.txOverhead += kTxLibraryInstructions;
@@ -191,15 +192,20 @@ Thread::execTxCommit()
     SNF_ASSERT(inTx, "commit outside transaction on core %u",
                ctx.id());
 
-    // TL2 validation work is charged whether it passes or not.
-    if (std::size_t rs = sys.txns().readSetSize(txSeq)) {
+    // TL2 validation work is charged whether it passes or not. A
+    // pre-validated transaction (txValidate) already paid it and
+    // must not revalidate: its serialization point was the early
+    // validation, and a conflicting commit landing since then is
+    // ordered after it, not a conflict.
+    if (std::size_t rs =
+            txPreValidated ? 0 : sys.txns().readSetSize(txSeq)) {
         std::uint64_t n = kCcValidateInstructions * rs;
         ctx.instr.total += n;
         ctx.instr.txOverhead += n;
         ctx.retireCompute(n);
     }
     if (sys.txns().abortRequested(txSeq) ||
-        !sys.txns().validateReads(txSeq)) {
+        (!txPreValidated && !sys.txns().validateReads(txSeq))) {
         // Either the log-full abort-retry policy marked this
         // transaction a victim while it was appending, or TL2
         // commit validation found a stale read version; divert the
@@ -256,7 +262,16 @@ Thread::execTxAbort()
     // loudly instead of corrupting. Workloads must gate aborting
     // transactions on supportsAbort(), and the log-full AbortRetry
     // policy never victimizes transactions under these modes.
-    SNF_ASSERT(supportsAbort(sys.mode()),
+    //
+    // Exception: a transaction with an EMPTY write-set stole
+    // nothing, so aborting it is sound under any mode — it merely
+    // releases CC locks and closes the (empty) log generation. The
+    // OLTP engines' no-steal discipline relies on this: under
+    // redo-only modes every conflict (2PL deadlock, TL2 validation)
+    // is discovered before the first store, so the rollback is
+    // always of this trivial kind.
+    SNF_ASSERT(supportsAbort(sys.mode()) ||
+                   sys.txns().writeSet(txSeq).empty(),
                "tx_abort on core %u under mode %s: no undo values "
                "to roll back with",
                ctx.id(), persistModeName(sys.mode()));
@@ -285,6 +300,23 @@ Thread::execTxAbort()
     ctx.instr.total += kTxLibraryInstructions;
     ctx.instr.txOverhead += kTxLibraryInstructions;
     ctx.retireCompute(kTxLibraryInstructions);
+}
+
+bool
+Thread::execTxValidate()
+{
+    SNF_ASSERT(inTx, "tx_validate outside transaction on core %u",
+               ctx.id());
+    if (std::size_t rs = sys.txns().readSetSize(txSeq)) {
+        std::uint64_t n = kCcValidateInstructions * rs;
+        ctx.instr.total += n;
+        ctx.instr.txOverhead += n;
+        ctx.retireCompute(n);
+    }
+    if (!sys.txns().validateReads(txSeq))
+        return false;
+    txPreValidated = true;
+    return true;
 }
 
 std::uint64_t
@@ -356,6 +388,13 @@ Thread::txStore64(Addr a, std::uint64_t v)
         co_return false;
     co_await store64(a, v);
     co_return true;
+}
+
+sim::Co<bool>
+Thread::txLock64(Addr a)
+{
+    bool granted = co_await ccAcquire(a, true); // see txStore64
+    co_return granted;
 }
 
 sim::Co<bool>

@@ -181,6 +181,13 @@ class Thread
         void run() { result = t->execCcAcquire(addr, forWrite); }
     };
 
+    struct TxValidateOp : OpAwaiter<TxValidateOp, bool>
+    {
+        using OpAwaiter::OpAwaiter;
+
+        void run() { result = t->execTxValidate(); }
+    };
+
     struct CasOp : OpAwaiter<CasOp, std::uint64_t>
     {
         Addr addr;
@@ -274,6 +281,33 @@ class Thread
      */
     sim::Co<bool> txLoad64(Addr a, std::uint64_t *out);
 
+    /**
+     * Declare write intent on @p a's line without storing: acquires
+     * the line's exclusive CC lock exactly like txStore64 but leaves
+     * the data untouched. The OLTP engines' no-steal commit
+     * discipline (DESIGN §8) locks the whole write-set up front,
+     * validates, and only then stores — so under redo-only modes
+     * every conflict is discovered while the write-set is still
+     * empty and rollback needs no undo values. Returns false when
+     * waiting would deadlock. With CC disabled this is a no-op
+     * returning true.
+     */
+    sim::Co<bool> txLock64(Addr a);
+
+    /**
+     * TL2 early validation: run commit-time read validation now,
+     * with the write locks already held. On success the transaction
+     * is marked pre-validated and txCommit() skips revalidation —
+     * the validation instant (reads valid, write-set locked) is the
+     * transaction's serialization point, so stores performed after
+     * it commute with later conflicting commits. The caller must not
+     * issue further transactional loads after a successful
+     * txValidate(). Returns false (the validation work is charged
+     * either way) on conflict; the transaction must then roll back.
+     * Trivially true under 2PL and with CC disabled.
+     */
+    TxValidateOp txValidate() { return TxValidateOp(this); }
+
     /** Multi-word load into @p out (splits at 8-byte boundaries). */
     sim::Co<void> loadBytes(Addr a, void *out, std::uint32_t len);
 
@@ -299,6 +333,7 @@ class Thread
     void execTxBegin();
     void execTxCommit();
     void execTxAbort();
+    bool execTxValidate();
     void execClwb(Addr a);
     void execFence();
     std::uint64_t execCas(Addr a, std::uint64_t expected,
@@ -312,6 +347,9 @@ class Thread
     System &sys;
     bool inTx = false;
     bool lastAborted = false;
+    /** txValidate() succeeded for the open tx: commit skips TL2
+     *  revalidation (the validation was the serialization point). */
+    bool txPreValidated = false;
     std::uint64_t txSeq = 0;
 };
 

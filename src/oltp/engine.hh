@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared machinery of the production-scale OLTP engines (DESIGN §8):
+ * per-transaction-type metrics (commit counts + latency histograms)
+ * and TxExec, the per-attempt transactional access adapter that
+ * implements the two commit disciplines:
+ *
+ *  - steal (modes with undo values, supportsAbort): encounter-time
+ *    txLoad64/txStore64; conflicts roll back via tx_abort's in-log
+ *    undo replay and the attempt is retried.
+ *  - no-steal (redo-only modes under a CC scheme): reads run
+ *    encounter-time, stores are buffered in the engine; at finish()
+ *    the write-set's lines are locked (txLock64), the read-set is
+ *    early-validated (txValidate), and only then do the buffered
+ *    stores execute. Every conflict is thus discovered while the
+ *    transaction's write-set is still empty, so rollback never needs
+ *    the undo values redo-only logging doesn't have — the paper's
+ *    §II-B no-steal requirement, enforced at the engine layer.
+ */
+
+#ifndef SNF_OLTP_ENGINE_HH
+#define SNF_OLTP_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "oltp/latency.hh"
+#include "workloads/workload.hh"
+
+namespace snf::oltp
+{
+
+using workloads::WorkloadParams;
+
+/** Commit count + latency distribution of one transaction type. */
+struct TxTypeMetrics
+{
+    std::uint64_t committed = 0;
+    /** First-tx_begin-to-commit latency in ticks, retries included. */
+    LatencyHistogram latency;
+};
+
+/** Workload with engine-level OLTP metrics (see file comment). */
+class OltpEngine : public workloads::Workload
+{
+  public:
+    /** Per-type metrics in registration order (deterministic). */
+    const std::vector<std::pair<std::string, TxTypeMetrics>> &
+    txMetrics() const
+    {
+        return types;
+    }
+
+    /** Conflict-driven abort-retry attempts across all threads. */
+    std::uint64_t retries() const { return retriesCount; }
+
+    /** Business aborts (e.g. TPC-C's 1% NewOrder rollback). */
+    std::uint64_t userAborts() const { return userAbortCount; }
+
+  protected:
+    /** Register the engine's transaction types (called in setup). */
+    void
+    resetMetrics(std::initializer_list<const char *> names)
+    {
+        types.clear();
+        for (const char *n : names)
+            types.emplace_back(n, TxTypeMetrics{});
+        retriesCount = 0;
+        userAbortCount = 0;
+    }
+
+    TxTypeMetrics &typeMetrics(std::size_t i) { return types[i].second; }
+
+    std::uint64_t retriesCount = 0;
+    std::uint64_t userAbortCount = 0;
+
+  private:
+    std::vector<std::pair<std::string, TxTypeMetrics>> types;
+};
+
+/** See file comment. One instance per transaction attempt. */
+class TxExec
+{
+  public:
+    TxExec(System &system, Thread &thread, bool noSteal)
+        : sys(system), th(thread), defer(noSteal)
+    {
+    }
+
+    /** Did any access hit a conflict the CC layer resolved against
+     *  this transaction (deadlock doom or failed validation)? The
+     *  caller must then tx_abort and retry the attempt. */
+    bool doomed() const { return isDoomed; }
+
+    /** Transactional read; *out is zeroed when doomed. */
+    sim::Co<void> load(Addr a, std::uint64_t *out);
+
+    /** Transactional write: immediate (steal) or buffered. */
+    sim::Co<void> store(Addr a, std::uint64_t v);
+
+    /**
+     * No-steal commit prologue: lock the buffered write-set's lines
+     * (sorted, deduplicated), early-validate the read-set, then
+     * flush the buffered stores. No-op under the steal discipline.
+     * Must run before txCommit() unless doomed().
+     */
+    sim::Co<void> finish();
+
+  private:
+    System &sys;
+    Thread &th;
+    bool defer;
+    bool isDoomed = false;
+    std::vector<std::pair<Addr, std::uint64_t>> buf;
+};
+
+} // namespace snf::oltp
+
+#endif // SNF_OLTP_ENGINE_HH

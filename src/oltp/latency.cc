@@ -1,0 +1,90 @@
+#include "oltp/latency.hh"
+
+#include <bit>
+
+namespace snf::oltp
+{
+
+std::size_t
+LatencyHistogram::bucketOf(std::uint64_t v)
+{
+    if (v < kSub)
+        return static_cast<std::size_t>(v);
+    // Octave = position of the most significant bit; the kSubBits
+    // bits below it select the sub-bucket.
+    unsigned msb = 63 - static_cast<unsigned>(std::countl_zero(v));
+    std::uint64_t sub = (v >> (msb - kSubBits)) & (kSub - 1);
+    return kSub + (msb - kSubBits) * kSub +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpper(std::size_t b)
+{
+    if (b < kSub)
+        return b;
+    std::size_t octave = (b - kSub) / kSub;
+    std::uint64_t sub = (b - kSub) % kSub;
+    unsigned msb = static_cast<unsigned>(octave) + kSubBits;
+    std::uint64_t base = (1ULL << msb) | (sub << (msb - kSubBits));
+    std::uint64_t width = 1ULL << (msb - kSubBits);
+    return base + width - 1;
+}
+
+void
+LatencyHistogram::record(std::uint64_t v)
+{
+    ++counts[bucketOf(v)];
+    if (total == 0 || v < minV)
+        minV = v;
+    if (total == 0 || v > maxV)
+        maxV = v;
+    sumV += v;
+    ++total;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.total == 0)
+        return;
+    if (total == 0 || other.minV < minV)
+        minV = other.minV;
+    if (total == 0 || other.maxV > maxV)
+        maxV = other.maxV;
+    for (std::size_t b = 0; b < kBuckets; ++b)
+        counts[b] += other.counts[b];
+    sumV += other.sumV;
+    total += other.total;
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample, 1-based; ceil without float drift
+    // for the common exact cases.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(total));
+    if (static_cast<double>(rank) < q * static_cast<double>(total))
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += counts[b];
+        if (seen >= rank) {
+            // Never report beyond the true extremes.
+            std::uint64_t u = bucketUpper(b);
+            return u > maxV ? maxV : u;
+        }
+    }
+    return maxV;
+}
+
+} // namespace snf::oltp

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic log-bucketed latency histogram for the OLTP engines
+ * (DESIGN §8): commit latencies in simulated ticks are recorded into
+ * power-of-two octaves subdivided into 8 sub-buckets (HdrHistogram
+ * style, <= 12.5% relative quantile error). Quantiles report the
+ * recorded bucket's upper bound, so p50/p99/p999 are pure functions
+ * of the recorded multiset — byte-identical across runs and across
+ * --jobs settings, which is what lets BENCH_oltp.json gate them in
+ * the counters block instead of the wall-clock perf block.
+ */
+
+#ifndef SNF_OLTP_LATENCY_HH
+#define SNF_OLTP_LATENCY_HH
+
+#include <array>
+#include <cstdint>
+
+namespace snf::oltp
+{
+
+/** See file comment. */
+class LatencyHistogram
+{
+  public:
+    /** Sub-buckets per octave = 2^kSubBits. */
+    static constexpr unsigned kSubBits = 3;
+    static constexpr unsigned kSub = 1u << kSubBits;
+    /** Values 0..2^kSubBits-1 get exact buckets; octaves above. */
+    static constexpr std::size_t kBuckets = kSub + (64 - kSubBits) * kSub;
+
+    void record(std::uint64_t v);
+
+    void merge(const LatencyHistogram &other);
+
+    std::uint64_t count() const { return total; }
+
+    std::uint64_t min() const { return total == 0 ? 0 : minV; }
+
+    std::uint64_t max() const { return total == 0 ? 0 : maxV; }
+
+    std::uint64_t sum() const { return sumV; }
+
+    /** Mean, rounded down; 0 when empty. */
+    std::uint64_t mean() const
+    {
+        return total == 0 ? 0 : sumV / total;
+    }
+
+    /**
+     * Quantile @p q in [0, 1]: the upper bound of the bucket holding
+     * the ceil(q * count)-th smallest recorded value (0 when empty).
+     */
+    std::uint64_t quantile(double q) const;
+
+    std::uint64_t p50() const { return quantile(0.50); }
+
+    std::uint64_t p99() const { return quantile(0.99); }
+
+    std::uint64_t p999() const { return quantile(0.999); }
+
+  private:
+    static std::size_t bucketOf(std::uint64_t v);
+
+    /** Largest value mapping into bucket @p b. */
+    static std::uint64_t bucketUpper(std::size_t b);
+
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t total = 0;
+    std::uint64_t minV = 0;
+    std::uint64_t maxV = 0;
+    std::uint64_t sumV = 0;
+};
+
+} // namespace snf::oltp
+
+#endif // SNF_OLTP_LATENCY_HH

@@ -105,14 +105,15 @@ LogRegion::reserve(const LogRecord &rec, Tick now)
                 // runs; within this append the slot stays blocked.
                 blocked = true;
             } else if (persistedSince &&
-                       !persistedSince(m.addr, m.appendTick)) {
+                       !persistedSince(m.addr, m.appendTick, ready)) {
                 if (forceWriteback) {
                     ready = std::max(
                         ready, forceWriteback(m.addr, ready));
                     forcedWritebacks.inc();
                 }
-                blocked = persistedSince &&
-                          !persistedSince(m.addr, m.appendTick);
+                blocked =
+                    persistedSince &&
+                    !persistedSince(m.addr, m.appendTick, ready);
             }
             if (!blocked)
                 break;
@@ -135,10 +136,23 @@ LogRegion::reserve(const LogRecord &rec, Tick now)
                 // the transaction can no longer be rolled back.
                 hazard = true;
             } else if (persistedSince &&
-                       !persistedSince(m.addr, m.appendTick)) {
+                       !persistedSince(m.addr, m.appendTick, ready)) {
                 // The working data guarded by this record has not
-                // reached NVRAM since the record was appended.
-                hazard = true;
+                // reached NVRAM since the record was appended. The
+                // hardware never frees such an entry silently: it
+                // forces the line back (and, when a write-back is
+                // already in flight, waits for its completion ACK)
+                // before advancing the log tail — the paper's log
+                // truncation rule. Only when no write-back path is
+                // wired does the overwrite become a counted hazard.
+                if (forceWriteback) {
+                    ready = std::max(ready,
+                                     forceWriteback(m.addr, ready));
+                    forcedWritebacks.inc();
+                }
+                hazard =
+                    persistedSince &&
+                    !persistedSince(m.addr, m.appendTick, ready);
             }
         }
         if (hazard) {

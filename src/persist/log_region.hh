@@ -113,11 +113,15 @@ class LogRegion
     }
 
     /**
-     * Predicate: is the line containing this address persistent (was
-     * it written back to NVRAM after the given tick)? Wired by the
+     * Predicate: is the line containing this address durable as of
+     * @p now (a write-back COMPLETED in [appendTick, now])? A
+     * write-back that has merely been issued — its completion tick
+     * lies beyond @p now — does not count: the data is still in
+     * flight and a crash before completion loses it. Wired by the
      * System to the memory hierarchy + bus monitor.
+     * Arguments: (addr, appendTick, now).
      */
-    using PersistedSincePred = std::function<bool(Addr, Tick)>;
+    using PersistedSincePred = std::function<bool(Addr, Tick, Tick)>;
     using TxActivePred = std::function<bool(std::uint64_t)>;
     using HazardSink = std::function<void()>;
     /** Force the line holding an address back to NVRAM; returns the

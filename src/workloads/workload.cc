@@ -14,6 +14,9 @@
 #include "workloads/whisper_vacation.hh"
 #include "workloads/whisper_ycsb.hh"
 
+#include "oltp/tpcc.hh"
+#include "oltp/ycsb.hh"
+
 namespace snf::workloads
 {
 
@@ -44,6 +47,10 @@ makeWorkload(const std::string &name)
         return std::make_unique<WhisperEcho>();
     if (name == "vacation")
         return std::make_unique<WhisperVacation>();
+    if (name == "oltp-tpcc")
+        return std::make_unique<oltp::TpccEngine>();
+    if (name == "oltp-ycsb")
+        return std::make_unique<oltp::YcsbEngine>();
     fatal("unknown workload '%s'", name.c_str());
 }
 
@@ -65,12 +72,23 @@ whisperNames()
     return names;
 }
 
+const std::vector<std::string> &
+oltpNames()
+{
+    static const std::vector<std::string> names = {
+        "oltp-tpcc", "oltp-ycsb",
+    };
+    return names;
+}
+
 std::vector<std::string>
 allWorkloadNames()
 {
     std::vector<std::string> all = microbenchNames();
     const auto &w = whisperNames();
     all.insert(all.end(), w.begin(), w.end());
+    const auto &o = oltpNames();
+    all.insert(all.end(), o.begin(), o.end());
     // conformlab's program-driven adapter: a random transaction
     // program generated from the run seed.
     all.push_back("prog");

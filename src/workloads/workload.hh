@@ -36,6 +36,14 @@ struct WorkloadParams
      * (conformlab::ProgGenConfig::conflictRate). 0 = conflict-free.
      */
     double conflictRate = 0.0;
+    /**
+     * TPC-C warehouses (oltp-tpcc): 0 = one per thread. With fewer
+     * warehouses than threads the engine requires a CC scheme, since
+     * threads then contend on shared warehouse rows.
+     */
+    std::uint64_t warehouses = 0;
+    /** Zipf skew exponent for oltp-ycsb, in (0, 1); 0 = default. */
+    double zipfTheta = 0.0;
 };
 
 /** See file comment. */
@@ -83,6 +91,9 @@ const std::vector<std::string> &microbenchNames();
 
 /** Names of the WHISPER-like workloads. */
 const std::vector<std::string> &whisperNames();
+
+/** Names of the production-scale OLTP engines (src/oltp). */
+const std::vector<std::string> &oltpNames();
 
 /** All workload names. */
 std::vector<std::string> allWorkloadNames();

@@ -240,3 +240,37 @@ TEST(LogShardsFlagDeathTest, RejectsZeroOverflowAndGarbage)
                 ::testing::ExitedWithCode(1),
                 "--log-shards needs a number, got '2q'");
 }
+
+TEST(OpenUnitFlag, AcceptsInteriorValues)
+{
+    EXPECT_DOUBLE_EQ(parseOpenUnitFlag("--zipf-theta", "0.9"), 0.9);
+    EXPECT_DOUBLE_EQ(parseOpenUnitFlag("--zipf-theta", "0.001"),
+                     0.001);
+    EXPECT_DOUBLE_EQ(parseOpenUnitFlag("--zipf-theta", ".5"), 0.5);
+}
+
+TEST(OpenUnitFlagDeathTest, RejectsBoundsAndGarbage)
+{
+    // The interval is open: theta = 0 silently degenerates Zipf to
+    // uniform and theta = 1 is outside the distribution's validity
+    // range, so both are hard errors, as is a half-parsed value.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(parseOpenUnitFlag("--zipf-theta", "0"),
+                ::testing::ExitedWithCode(1),
+                "--zipf-theta needs a value strictly inside \\(0,1\\)");
+    EXPECT_EXIT(parseOpenUnitFlag("--zipf-theta", "1"),
+                ::testing::ExitedWithCode(1),
+                "--zipf-theta needs a value strictly inside \\(0,1\\)");
+    EXPECT_EXIT(parseOpenUnitFlag("--zipf-theta", "1.5"),
+                ::testing::ExitedWithCode(1),
+                "--zipf-theta needs a value strictly inside \\(0,1\\)");
+    EXPECT_EXIT(parseOpenUnitFlag("--zipf-theta", "-0.2"),
+                ::testing::ExitedWithCode(1),
+                "--zipf-theta needs a value strictly inside \\(0,1\\)");
+    EXPECT_EXIT(parseOpenUnitFlag("--zipf-theta", "0.5x"),
+                ::testing::ExitedWithCode(1),
+                "--zipf-theta needs a number, got '0.5x'");
+    EXPECT_EXIT(parseOpenUnitFlag("--zipf-theta", ""),
+                ::testing::ExitedWithCode(1),
+                "--zipf-theta needs a number");
+}

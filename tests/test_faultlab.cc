@@ -835,7 +835,8 @@ TEST(LogFullPolicy, StallForcesWritebackThenProceeds)
     RegionFixture f;
     bool persisted = false;
     int writebacks = 0;
-    f.lr.setPersistedSince([&](Addr, Tick) { return persisted; });
+    f.lr.setPersistedSince(
+        [&](Addr, Tick, Tick) { return persisted; });
     f.lr.setForceWriteback([&](Addr, Tick now) {
         persisted = true;
         ++writebacks;
@@ -854,7 +855,8 @@ TEST(LogFullPolicy, StallForcesWritebackThenProceeds)
 TEST(LogFullPolicy, StallBacksOffThenGivesUp)
 {
     RegionFixture f;
-    f.lr.setPersistedSince([](Addr, Tick) { return false; });
+    f.lr.setPersistedSince(
+        [](Addr, Tick, Tick) { return false; });
     f.lr.setLogFullPolicy(LogFullPolicy::Stall, 3, 64);
     f.fill(0);
 

@@ -192,7 +192,7 @@ TEST(LogRegion, ReclaimHazardOnUnpersistedData)
     region.create();
     region.setTxActive([](std::uint64_t) { return false; });
     region.setPersistedSince(
-        [](Addr, Tick) { return false; }); // nothing persisted
+        [](Addr, Tick, Tick) { return false; }); // nothing persisted
     region.reserve(rec(1, 0x2000, 1, 2), 0);
     for (std::uint64_t i = 0; i < region.slotCount(); ++i)
         region.reserve(rec(1, 0x2000, 1, 2), i + 1);
@@ -205,7 +205,7 @@ TEST(LogRegion, NoHazardWhenDataPersisted)
     LogRegion region(smallMap(), nv);
     region.create();
     region.setTxActive([](std::uint64_t) { return false; });
-    region.setPersistedSince([](Addr, Tick) { return true; });
+    region.setPersistedSince([](Addr, Tick, Tick) { return true; });
     for (std::uint64_t i = 0; i < 3 * region.slotCount(); ++i)
         region.reserve(rec(1, 0x2000, 1, 2), i);
     EXPECT_EQ(region.hazards.value(), 0u);
@@ -217,7 +217,7 @@ TEST(LogRegion, CommitRecordsReclaimFreely)
     LogRegion region(smallMap(), nv);
     region.create();
     region.setTxActive([](std::uint64_t) { return true; });
-    region.setPersistedSince([](Addr, Tick) { return false; });
+    region.setPersistedSince([](Addr, Tick, Tick) { return false; });
     for (std::uint64_t i = 0; i < 2 * region.slotCount(); ++i)
         region.reserve(LogRecord::commit(0, 1), i);
     EXPECT_EQ(region.hazards.value(), 0u);

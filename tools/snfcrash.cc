@@ -16,7 +16,9 @@
  *     --seed N[,N...]      workload RNG seed(s) (default 1)
  *     --threads N          workload threads (default 2)
  *     --tx N               transactions per thread (default 50)
- *     --footprint N        elements in the initial structure
+ *     --footprint N        elements in the initial structure (>= 1)
+ *     --warehouses N       oltp-tpcc warehouse count (>= 1)
+ *     --zipf-theta X       oltp-ycsb Zipf skew, strictly in (0,1)
  *     --conflict-rate R    prog workload only: probability each op
  *                          targets the shared conflict region
  *                          (enables 2PL concurrency control unless
@@ -154,6 +156,7 @@ usage()
         "[--seed N[,N]]\n"
         "                [--threads N] [--tx N] [--footprint N] "
         "[--jobs N]\n"
+        "                [--warehouses N] [--zipf-theta X]\n"
         "                [--conflict-rate R] [--cc 2pl|tl2|none]\n"
         "                [--max-points N] [--sample-seed N] "
         "[--json FILE]\n"
@@ -255,7 +258,16 @@ main(int argc, char **argv)
         } else if (const char *v = arg("--tx")) {
             params.txPerThread = std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--footprint")) {
-            params.footprint = std::strtoull(v, nullptr, 0);
+            // Strict and positive: the old strtoull turned a typo'd
+            // value into 0, which every workload silently replaced
+            // with its built-in default record count.
+            params.footprint =
+                parsePositiveCountFlag("--footprint", v);
+        } else if (const char *v = arg("--warehouses")) {
+            params.warehouses =
+                parsePositiveCountFlag("--warehouses", v);
+        } else if (const char *v = arg("--zipf-theta")) {
+            params.zipfTheta = parseOpenUnitFlag("--zipf-theta", v);
         } else if (const char *v = arg("--conflict-rate")) {
             params.conflictRate = std::atof(v);
             if (params.conflictRate < 0.0 ||

@@ -12,7 +12,9 @@
  *                         hw-rlog, hw-ulog, hwl, fwb)
  *     --threads N        (default 2)
  *     --tx N             transactions per thread (default 1000)
- *     --footprint N      elements in the initial structure
+ *     --footprint N      elements in the initial structure (>= 1)
+ *     --warehouses N     oltp-tpcc warehouse count (>= 1)
+ *     --zipf-theta X     oltp-ycsb Zipf skew, strictly in (0,1)
  *     --seed N           workload RNG seed
  *     --strings          string (multi-word) values
  *     --distributed-log  per-thread log partitions
@@ -85,6 +87,7 @@ usage()
 {
     std::printf("usage: snfsim [--workload W] [--mode M] "
                 "[--threads N] [--tx N] [--footprint N]\n"
+                "              [--warehouses N] [--zipf-theta X]\n"
                 "              [--seed N] [--strings] "
                 "[--distributed-log] [--paper]\n"
                 "              [--crash-at TICK] "
@@ -315,7 +318,17 @@ main(int argc, char **argv)
         } else if (const char *v = arg("--tx")) {
             spec.params.txPerThread = parseCountFlag("--tx", v);
         } else if (const char *v = arg("--footprint")) {
-            spec.params.footprint = parseCountFlag("--footprint", v);
+            // Strictly positive: a 0 (e.g. from a typo'd value) used
+            // to fall through to each workload's built-in default,
+            // silently ignoring what the user asked for.
+            spec.params.footprint =
+                parsePositiveCountFlag("--footprint", v);
+        } else if (const char *v = arg("--warehouses")) {
+            spec.params.warehouses =
+                parsePositiveCountFlag("--warehouses", v);
+        } else if (const char *v = arg("--zipf-theta")) {
+            spec.params.zipfTheta =
+                parseOpenUnitFlag("--zipf-theta", v);
         } else if (const char *v = arg("--seed")) {
             spec.params.seed = parseCountFlag("--seed", v);
         } else if (const char *v = arg("--crash-at")) {

@@ -171,7 +171,10 @@ main(int argc, char **argv)
             cfg.run.params.txPerThread =
                 std::strtoull(v, nullptr, 0);
         } else if (const char *v = arg("--footprint")) {
-            cfg.run.params.footprint = std::strtoull(v, nullptr, 0);
+            // Strict and positive (see snfsim): a typo'd value used
+            // to silently become the workload's default size.
+            cfg.run.params.footprint =
+                parsePositiveCountFlag("--footprint", v);
         } else if (const char *v = arg("--seed")) {
             cfg.run.params.seed = std::strtoull(v, nullptr, 0);
             cfg.seed = cfg.run.params.seed;
